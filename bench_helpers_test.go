@@ -1,0 +1,53 @@
+package coda_test
+
+import (
+	"context"
+	"math/rand"
+
+	"coda/internal/core"
+	"coda/internal/crossval"
+	"coda/internal/dataset"
+	"coda/internal/metrics"
+	"coda/internal/mlmodels"
+	"coda/internal/preprocess"
+)
+
+// runFig3Search executes the Figure 3 graph search once with the given
+// worker-pool width — the workload behind the parallelism ablation.
+func runFig3Search(seed int64, workers int) error {
+	rng := rand.New(rand.NewSource(seed))
+	ds, _, err := dataset.MakeRegression(dataset.RegressionSpec{
+		Samples: 120, Features: 6, Informative: 3, Noise: 3,
+	}, rng)
+	if err != nil {
+		return err
+	}
+	g := core.NewGraph()
+	g.AddFeatureScalers(
+		preprocess.NewMinMaxScaler(),
+		preprocess.NewRobustScaler(),
+		preprocess.NewStandardScaler(),
+		preprocess.NewNoOp(),
+	)
+	g.AddFeatureSelectors(
+		[]core.Transformer{preprocess.NewCovariance(), preprocess.NewPCA(3)},
+		[]core.Transformer{preprocess.NewSelectKBest(3)},
+		[]core.Transformer{preprocess.NewNoOp()},
+	)
+	g.AddRegressionModels(
+		mlmodels.NewRandomForest(mlmodels.TreeRegression, 10),
+		mlmodels.NewKNN(mlmodels.KNNRegression, 5),
+		mlmodels.NewDecisionTree(mlmodels.TreeRegression),
+	)
+	scorer, err := metrics.ScorerByName("rmse")
+	if err != nil {
+		return err
+	}
+	_, err = core.Search(context.Background(), g, ds, core.SearchOptions{
+		Splitter:    crossval.KFold{K: 3, Shuffle: true},
+		Scorer:      scorer,
+		Parallelism: workers,
+		Seed:        seed,
+	})
+	return err
+}

@@ -1,0 +1,344 @@
+// Command coda-client is an analytics client node (Figure 1). It runs
+// Transformer-Estimator-Graph searches over CSV or synthetic data —
+// cooperating through a remote DARR when -server is given — and manages
+// versioned objects in a remote home data store.
+//
+// Usage:
+//
+//	coda-client search -data train.csv -target y -metric rmse -k 10
+//	coda-client search -synthetic regression -server http://host:8080 -client alice
+//	coda-client search -synthetic timeseries -metric rmse
+//	coda-client query  -server http://host:8080 -fingerprint <fp>
+//	coda-client put    -server http://host:8080 -key data -file blob.bin
+//	coda-client pull   -server http://host:8080 -key data -out blob.bin
+//	coda-client serve  -data train.csv -target y -addr :9090
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+
+	"coda/internal/core"
+	"coda/internal/crossval"
+	"coda/internal/dataset"
+	"coda/internal/httpapi"
+	"coda/internal/metrics"
+	"coda/internal/mlmodels"
+	"coda/internal/preprocess"
+	"coda/internal/sim"
+	"coda/internal/store"
+	"coda/internal/tsgraph"
+	"coda/internal/webservice"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "search":
+		err = runSearch(os.Args[2:])
+	case "query":
+		err = runQuery(os.Args[2:])
+	case "put":
+		err = runPut(os.Args[2:])
+	case "pull":
+		err = runPull(os.Args[2:])
+	case "serve":
+		err = runServe(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coda-client:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: coda-client <search|query|put|pull|serve> [flags]")
+}
+
+// runServe trains the best pipeline for a dataset and exposes it as an AI
+// web service (Figure 1's third party): POST {"rows": [[...], ...]} to /score.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	var (
+		dataPath = fs.String("data", "", "CSV file with a header row")
+		target   = fs.String("target", "", "target column name in the CSV")
+		addr     = fs.String("addr", ":9090", "listen address")
+		metric   = fs.String("metric", "rmse", "scoring metric for model selection")
+		k        = fs.Int("k", 5, "cross-validation folds")
+		seed     = fs.Int64("seed", 1, "search seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var ds *dataset.Dataset
+	if *dataPath != "" {
+		f, err := os.Open(*dataPath)
+		if err != nil {
+			return fmt.Errorf("opening data: %w", err)
+		}
+		defer f.Close()
+		ds, err = dataset.ReadCSV(f, *target)
+		if err != nil {
+			return err
+		}
+	} else {
+		rng := rand.New(rand.NewSource(*seed))
+		var err error
+		ds, _, err = dataset.MakeRegression(dataset.RegressionSpec{Samples: 300, Features: 6, Informative: 3, Noise: 3}, rng)
+		if err != nil {
+			return err
+		}
+	}
+	scorer, err := metrics.ScorerByName(*metric)
+	if err != nil {
+		return err
+	}
+	res, err := core.Search(context.Background(), regressionGraph(), ds, core.SearchOptions{
+		Splitter:    crossval.KFold{K: *k, Shuffle: true},
+		Scorer:      scorer,
+		Seed:        *seed,
+		Parallelism: 4,
+	})
+	if err != nil {
+		return err
+	}
+	if res.BestPipeline == nil {
+		return fmt.Errorf("no pipeline succeeded on the data")
+	}
+	fmt.Printf("serving %s (%s=%.5g) on %s\n", res.Best.Spec, *metric, res.Best.Mean, *addr)
+	fmt.Println(`POST {"rows": [[...feature values...], ...]} to /score`)
+	mux := http.NewServeMux()
+	mux.Handle("/score", webservice.Handler(pipelineEstimator{res.BestPipeline}))
+	return http.ListenAndServe(*addr, mux)
+}
+
+// pipelineEstimator adapts a fitted Pipeline to core.Estimator for the
+// webservice handler (Fit re-fits the whole pipeline; Predict runs the
+// transform-then-predict path).
+type pipelineEstimator struct {
+	p *core.Pipeline
+}
+
+func (pe pipelineEstimator) Name() string                         { return "served-pipeline" }
+func (pe pipelineEstimator) SetParam(key string, _ float64) error { return fmt.Errorf("no params") }
+func (pe pipelineEstimator) Params() map[string]float64           { return nil }
+func (pe pipelineEstimator) Clone() core.Estimator                { return pipelineEstimator{pe.p.Clone()} }
+func (pe pipelineEstimator) Fit(ds *dataset.Dataset) error        { return pe.p.Fit(ds) }
+func (pe pipelineEstimator) Predict(ds *dataset.Dataset) ([]float64, error) {
+	return pe.p.Predict(ds)
+}
+
+func runSearch(args []string) error {
+	fs := flag.NewFlagSet("search", flag.ExitOnError)
+	var (
+		dataPath  = fs.String("data", "", "CSV file with a header row")
+		target    = fs.String("target", "", "target column name in the CSV")
+		synthetic = fs.String("synthetic", "", "use synthetic data: regression | timeseries")
+		metric    = fs.String("metric", "rmse", "scoring metric")
+		k         = fs.Int("k", 5, "cross-validation folds")
+		server    = fs.String("server", "", "DARR server URL for cooperative search")
+		clientID  = fs.String("client", "cli", "client id for DARR claims")
+		seed      = fs.Int64("seed", 1, "search seed")
+		parallel  = fs.Int("parallel", 4, "concurrent pipeline evaluations")
+		epochs    = fs.Int("epochs", 20, "network epochs (timeseries graph)")
+		top       = fs.Int("top", 5, "pipelines to print")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		ds  *dataset.Dataset
+		g   *core.Graph
+		err error
+	)
+	switch {
+	case *dataPath != "":
+		f, err := os.Open(*dataPath)
+		if err != nil {
+			return fmt.Errorf("opening data: %w", err)
+		}
+		defer f.Close()
+		ds, err = dataset.ReadCSV(f, *target)
+		if err != nil {
+			return err
+		}
+		g = regressionGraph()
+	case *synthetic == "regression":
+		rng := rand.New(rand.NewSource(*seed))
+		ds, _, err = dataset.MakeRegression(dataset.RegressionSpec{Samples: 300, Features: 6, Informative: 3, Noise: 3}, rng)
+		if err != nil {
+			return err
+		}
+		g = regressionGraph()
+	case *synthetic == "timeseries":
+		rng := rand.New(rand.NewSource(*seed))
+		ds, err = sim.GenerateSeries(sim.SeriesSpec{Steps: 400, Vars: 2, Regime: sim.RegimeAR}, rng)
+		if err != nil {
+			return err
+		}
+		g, err = tsgraph.New(tsgraph.Config{History: 8, Epochs: *epochs, Seed: *seed, Slim: true})
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("pass -data <csv> or -synthetic regression|timeseries")
+	}
+
+	scorer, err := metrics.ScorerByName(*metric)
+	if err != nil {
+		return err
+	}
+	var splitter crossval.Splitter = crossval.KFold{K: *k, Shuffle: true}
+	if *synthetic == "timeseries" {
+		n := ds.NumSamples()
+		splitter = crossval.SlidingSplit{K: *k, TrainSize: n / 2, TestSize: n / 6, Buffer: 8}
+	}
+	opts := core.SearchOptions{
+		Splitter:    splitter,
+		Scorer:      scorer,
+		Seed:        *seed,
+		Parallelism: *parallel,
+	}
+	if *server != "" {
+		hc := httpapi.NewClient(*server, *clientID)
+		hc.Metric = *metric
+		opts.Store = hc
+		opts.SkipClaimed = true
+	}
+
+	res, err := core.Search(context.Background(), g, ds, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dataset fingerprint: %s\n", ds.Fingerprint())
+	fmt.Printf("units: %d computed, %d from DARR, %d skipped (claimed elsewhere)\n",
+		res.Computed, res.CacheHits, res.Skipped)
+
+	ok := res.Units[:0:0]
+	for _, u := range res.Units {
+		if u.Err == "" && !u.Skipped {
+			ok = append(ok, u)
+		}
+	}
+	sort.Slice(ok, func(a, b int) bool { return scorer.Better(ok[a].Mean, ok[b].Mean) })
+	if len(ok) > *top {
+		ok = ok[:*top]
+	}
+	for i, u := range ok {
+		src := "computed"
+		if u.FromCache {
+			src = "darr"
+		}
+		fmt.Printf("%2d. %s=%.5g  [%s]  %s\n", i+1, *metric, u.Mean, src, u.Spec)
+	}
+	if res.Best != nil {
+		fmt.Printf("best: %s (%s=%.5g)\n", res.Best.Spec, *metric, res.Best.Mean)
+	}
+	return nil
+}
+
+func regressionGraph() *core.Graph {
+	g := core.NewGraph()
+	g.AddFeatureScalers(
+		preprocess.NewMinMaxScaler(),
+		preprocess.NewRobustScaler(),
+		preprocess.NewStandardScaler(),
+		preprocess.NewNoOp(),
+	)
+	g.AddFeatureSelectors(
+		[]core.Transformer{preprocess.NewCovariance(), preprocess.NewPCA(3)},
+		[]core.Transformer{preprocess.NewSelectKBest(3)},
+		[]core.Transformer{preprocess.NewNoOp()},
+	)
+	g.AddRegressionModels(
+		mlmodels.NewRandomForest(mlmodels.TreeRegression, 30),
+		mlmodels.NewKNN(mlmodels.KNNRegression, 5),
+		mlmodels.NewDecisionTree(mlmodels.TreeRegression),
+		mlmodels.NewLinearRegression(),
+	)
+	return g
+}
+
+func runQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	server := fs.String("server", "", "DARR server URL")
+	fp := fs.String("fingerprint", "", "dataset fingerprint")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *server == "" || *fp == "" {
+		return fmt.Errorf("query needs -server and -fingerprint")
+	}
+	recs, err := httpapi.NewClient(*server, "cli").QueryByDataset(*fp)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d records for dataset %s\n", len(recs), *fp)
+	for _, r := range recs {
+		fmt.Printf("  %s=%.5g by %s: %s\n", r.Metric, r.Score, r.ClientID, r.PipelineSpec)
+	}
+	return nil
+}
+
+func runPut(args []string) error {
+	fs := flag.NewFlagSet("put", flag.ExitOnError)
+	server := fs.String("server", "", "store server URL")
+	key := fs.String("key", "", "object key")
+	file := fs.String("file", "", "file to upload")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *server == "" || *key == "" || *file == "" {
+		return fmt.Errorf("put needs -server, -key and -file")
+	}
+	data, err := os.ReadFile(*file)
+	if err != nil {
+		return err
+	}
+	version, err := httpapi.NewClient(*server, "cli").PutObject(*key, data)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("stored %q version %d (%d bytes)\n", *key, version, len(data))
+	return nil
+}
+
+func runPull(args []string) error {
+	fs := flag.NewFlagSet("pull", flag.ExitOnError)
+	server := fs.String("server", "", "store server URL")
+	key := fs.String("key", "", "object key")
+	out := fs.String("out", "", "output file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *server == "" || *key == "" || *out == "" {
+		return fmt.Errorf("pull needs -server, -key and -out")
+	}
+	rep := store.NewReplica()
+	if err := httpapi.NewClient(*server, "cli").PullObject(rep, *key); err != nil {
+		return err
+	}
+	data, ok := rep.Data(*key)
+	if !ok {
+		return fmt.Errorf("pull succeeded but replica is empty")
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("pulled %q version %d (%d bytes, %d on the wire)\n",
+		*key, rep.VersionOf(*key), len(data), rep.BytesReceived())
+	return nil
+}

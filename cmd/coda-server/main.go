@@ -1,0 +1,42 @@
+// Command coda-server runs a cloud analytics server node (Figure 1): it
+// hosts the Data Analytics Results Repository (Figure 2) and a versioned
+// home data store with delta-encoded replies (Section III) over JSON/HTTP.
+//
+// Usage:
+//
+//	coda-server -addr :8080 -claim-ttl 1m -retain 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"coda/internal/darr"
+	"coda/internal/httpapi"
+	"coda/internal/store"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		claimTTL = flag.Duration("claim-ttl", time.Minute, "DARR work-claim expiry")
+		retain   = flag.Int("retain", 4, "object versions retained for delta bases")
+		block    = flag.Int("block", 64, "delta block size in bytes")
+		fullFrac = flag.Float64("full-fraction", 0.5, "send delta only when smaller than this fraction of the full object")
+	)
+	flag.Parse()
+
+	repo := darr.NewRepo(nil, *claimTTL)
+	hs := store.NewHomeStore(store.Options{Retain: *retain, BlockSize: *block, FullFraction: *fullFrac})
+	srv := httpapi.NewServer(repo, hs)
+
+	log.Printf("coda-server listening on %s (claim TTL %s, retain %d versions)", *addr, *claimTTL, *retain)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		fmt.Fprintln(os.Stderr, "coda-server:", err)
+		os.Exit(1)
+	}
+}

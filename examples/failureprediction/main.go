@@ -1,0 +1,49 @@
+// Failure Prediction Analysis: the Section IV-E solution template for
+// heavy industry. Historical sensor data with failure logs goes in; a
+// trained early-warning model with held-out quality numbers comes out —
+// one call, no ML expertise required.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"coda/internal/sim"
+	"coda/internal/templates"
+)
+
+func main() {
+	// Simulated equipment history: 2000 timestamps, 5 sensors, 16 failure
+	// events, each preceded by a 12-step degradation ramp on two sensors.
+	rng := rand.New(rand.NewSource(13))
+	fd, err := sim.GenerateFailureData(sim.FailureSpec{
+		Steps: 2000, Sensors: 5, Failures: 16, LeadTime: 12,
+	}, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	positives := 0
+	for _, l := range fd.Labels {
+		if l == 1 {
+			positives++
+		}
+	}
+	fmt.Printf("history: %d steps, %d sensors, %d failures (%d labelled lead-window steps)\n",
+		fd.Series.NumSamples(), fd.Series.NumFeatures(), len(fd.FailureTimes), positives)
+
+	for name, model := range map[string]templates.FPAModel{
+		"logistic regression": templates.FPALogistic,
+		"random forest":       templates.FPAForest,
+	} {
+		res, err := templates.FailurePrediction(fd.Series, fd.Labels, templates.FPAConfig{
+			History: 6, Model: model, TrainFrac: 0.7, Seed: 2,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s (trained on first 70%% of time, tested on the rest):\n", name)
+		fmt.Printf("  precision %.3f  recall %.3f  F1 %.3f  AUC %.3f  (%d failure steps in test)\n",
+			res.Precision, res.Recall, res.F1, res.AUC, res.TestPositives)
+	}
+}

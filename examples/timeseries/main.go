@@ -1,0 +1,77 @@
+// Time-series prediction: run the paper's Figure 11 pipeline graph — Data
+// Scaling -> Data Preprocessing -> Modelling with selective wiring — on a
+// simulated industrial sensor series, evaluated with the leakage-free
+// TimeSeriesSlidingSplit of Figure 12.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"coda/internal/core"
+	"coda/internal/crossval"
+	"coda/internal/metrics"
+	"coda/internal/sim"
+	"coda/internal/tsgraph"
+)
+
+func main() {
+	// A multivariate series with AR dynamics: history-aware models should
+	// clearly beat the Zero (persistence) baseline here.
+	rng := rand.New(rand.NewSource(11))
+	series, err := sim.GenerateSeries(sim.SeriesSpec{
+		Steps: 400, Vars: 3, Regime: sim.RegimeAR, Noise: 0.2,
+	}, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The Figure 11 graph. Slim keeps one model per family so the example
+	// finishes in seconds; drop it to search all ten models.
+	g, err := tsgraph.New(tsgraph.Config{
+		History: 8, Horizon: 1, Target: 0, Epochs: 20, Seed: 3, Slim: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("stages:")
+	for _, st := range g.Stages() {
+		fmt.Printf("  %-18s", st.Name)
+		for _, opt := range st.Options {
+			fmt.Printf(" %s", opt.Name)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("pipelines after selective wiring: %d\n\n", g.NumPipelines())
+
+	scorer, err := metrics.ScorerByName("rmse")
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := series.NumSamples()
+	res, err := core.Search(context.Background(), g, series, core.SearchOptions{
+		Splitter:    crossval.SlidingSplit{K: 3, TrainSize: n / 2, TestSize: n / 6, Buffer: 8},
+		Scorer:      scorer,
+		Parallelism: 4,
+		Seed:        3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ok := res.Units[:0:0]
+	for _, u := range res.Units {
+		if u.Err == "" {
+			ok = append(ok, u)
+		}
+	}
+	sort.Slice(ok, func(a, b int) bool { return ok[a].Mean < ok[b].Mean })
+	fmt.Println("pipelines ranked by sliding-split RMSE:")
+	for i, u := range ok {
+		fmt.Printf("%2d. %-8.4f %s\n", i+1, u.Mean, u.Spec)
+	}
+	fmt.Printf("\nbest modelling path: %s\n", res.Best.Spec)
+}

@@ -1,0 +1,3 @@
+module coda
+
+go 1.22

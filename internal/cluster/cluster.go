@@ -1,0 +1,183 @@
+// Package cluster models the distributed deployment of Figure 1 — client
+// nodes, cloud analytics servers, and AI web services connected by links of
+// differing latency and bandwidth — with deterministic virtual-time
+// accounting instead of real sleeps, so experiments measure message counts,
+// bytes moved and simulated transfer/compute time exactly and reproducibly.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Link characterizes one directed network path.
+type Link struct {
+	Latency   time.Duration // per-message propagation delay
+	Bandwidth float64       // bytes per second; <= 0 means infinite
+}
+
+// TransferTime returns the simulated time to move n bytes over the link.
+func (l Link) TransferTime(n int) time.Duration {
+	t := l.Latency
+	if l.Bandwidth > 0 {
+		t += time.Duration(float64(n) / l.Bandwidth * float64(time.Second))
+	}
+	return t
+}
+
+// NodeKind labels the three node roles in Figure 1.
+type NodeKind int
+
+// Node roles.
+const (
+	ClientNode NodeKind = iota + 1
+	CloudServerNode
+	WebServiceNode
+)
+
+// String names the kind.
+func (k NodeKind) String() string {
+	switch k {
+	case ClientNode:
+		return "client"
+	case CloudServerNode:
+		return "cloud-server"
+	case WebServiceNode:
+		return "web-service"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Node is one participant with a relative compute speed (1.0 = baseline
+// client; cloud servers are typically faster).
+type Node struct {
+	ID    string
+	Kind  NodeKind
+	Speed float64 // relative compute speed; must be > 0
+}
+
+// ComputeTime returns the simulated time for `work` baseline-seconds of
+// computation on this node.
+func (n Node) ComputeTime(work float64) time.Duration {
+	speed := n.Speed
+	if speed <= 0 {
+		speed = 1
+	}
+	return time.Duration(work / speed * float64(time.Second))
+}
+
+// Traffic accumulates the cost of a simulated exchange.
+type Traffic struct {
+	mu       sync.Mutex
+	messages int
+	bytes    int64
+	elapsed  time.Duration
+}
+
+// Messages returns the message count.
+func (t *Traffic) Messages() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.messages
+}
+
+// Bytes returns total payload bytes.
+func (t *Traffic) Bytes() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.bytes
+}
+
+// Elapsed returns accumulated simulated time (transfers + compute recorded
+// against this traffic meter).
+func (t *Traffic) Elapsed() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.elapsed
+}
+
+// AddCompute records simulated computation time.
+func (t *Traffic) AddCompute(d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.elapsed += d
+}
+
+// Topology is a set of nodes and directed links with a default link for
+// unspecified pairs.
+type Topology struct {
+	Default Link
+
+	mu    sync.Mutex
+	nodes map[string]Node
+	links map[string]Link
+}
+
+// NewTopology builds a topology whose unlisted pairs use defaultLink.
+func NewTopology(defaultLink Link) *Topology {
+	return &Topology{Default: defaultLink, nodes: map[string]Node{}, links: map[string]Link{}}
+}
+
+// AddNode registers a node; adding the same ID twice is an error.
+func (t *Topology) AddNode(n Node) error {
+	if n.ID == "" {
+		return fmt.Errorf("cluster: node has empty ID")
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, exists := t.nodes[n.ID]; exists {
+		return fmt.Errorf("cluster: duplicate node %q", n.ID)
+	}
+	t.nodes[n.ID] = n
+	return nil
+}
+
+// Node returns the registered node.
+func (t *Topology) Node(id string) (Node, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n, ok := t.nodes[id]
+	if !ok {
+		return Node{}, fmt.Errorf("cluster: unknown node %q", id)
+	}
+	return n, nil
+}
+
+// SetLink installs a directed link between two registered nodes.
+func (t *Topology) SetLink(from, to string, l Link) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.nodes[from]; !ok {
+		return fmt.Errorf("cluster: unknown node %q", from)
+	}
+	if _, ok := t.nodes[to]; !ok {
+		return fmt.Errorf("cluster: unknown node %q", to)
+	}
+	t.links[from+"->"+to] = l
+	return nil
+}
+
+// LinkBetween returns the effective link from one node to another.
+func (t *Topology) LinkBetween(from, to string) Link {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if l, ok := t.links[from+"->"+to]; ok {
+		return l
+	}
+	return t.Default
+}
+
+// Send simulates moving n bytes from one node to another, charging the
+// traffic meter, and returns the transfer's simulated duration.
+func (t *Topology) Send(meter *Traffic, from, to string, n int) time.Duration {
+	link := t.LinkBetween(from, to)
+	d := link.TransferTime(n)
+	meter.mu.Lock()
+	meter.messages++
+	meter.bytes += int64(n)
+	meter.elapsed += d
+	meter.mu.Unlock()
+	return d
+}

@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLinkTransferTime(t *testing.T) {
+	l := Link{Latency: 10 * time.Millisecond, Bandwidth: 1000} // 1 KB/s
+	if got := l.TransferTime(1000); got != 10*time.Millisecond+time.Second {
+		t.Fatalf("transfer time %v", got)
+	}
+	// Infinite bandwidth = latency only.
+	l2 := Link{Latency: 5 * time.Millisecond}
+	if got := l2.TransferTime(1 << 30); got != 5*time.Millisecond {
+		t.Fatalf("infinite bandwidth transfer %v", got)
+	}
+}
+
+func TestNodeComputeTime(t *testing.T) {
+	slow := Node{ID: "edge", Kind: ClientNode, Speed: 1}
+	fast := Node{ID: "cloud", Kind: CloudServerNode, Speed: 8}
+	work := 4.0
+	if slow.ComputeTime(work) != 4*time.Second {
+		t.Fatalf("slow compute %v", slow.ComputeTime(work))
+	}
+	if fast.ComputeTime(work) != 500*time.Millisecond {
+		t.Fatalf("fast compute %v", fast.ComputeTime(work))
+	}
+	// Zero speed defaults to baseline rather than dividing by zero.
+	if (Node{}).ComputeTime(1) != time.Second {
+		t.Fatal("zero-speed default")
+	}
+}
+
+func TestTopology(t *testing.T) {
+	top := NewTopology(Link{Latency: time.Millisecond, Bandwidth: 1e6})
+	if err := top.AddNode(Node{ID: "client", Kind: ClientNode, Speed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := top.AddNode(Node{ID: "cloud", Kind: CloudServerNode, Speed: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := top.AddNode(Node{ID: "client"}); err == nil {
+		t.Fatal("want duplicate error")
+	}
+	if err := top.AddNode(Node{}); err == nil {
+		t.Fatal("want empty-ID error")
+	}
+	wan := Link{Latency: 50 * time.Millisecond, Bandwidth: 1e5}
+	if err := top.SetLink("client", "cloud", wan); err != nil {
+		t.Fatal(err)
+	}
+	if err := top.SetLink("client", "nope", wan); err == nil {
+		t.Fatal("want unknown-node error")
+	}
+	if got := top.LinkBetween("client", "cloud"); got != wan {
+		t.Fatalf("link %+v", got)
+	}
+	// Reverse direction not set: default.
+	if got := top.LinkBetween("cloud", "client"); got != top.Default {
+		t.Fatalf("default link %+v", got)
+	}
+	if _, err := top.Node("client"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := top.Node("ghost"); err == nil {
+		t.Fatal("want unknown node error")
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	top := NewTopology(Link{Latency: 10 * time.Millisecond, Bandwidth: 1000})
+	_ = top.AddNode(Node{ID: "a", Speed: 1})
+	_ = top.AddNode(Node{ID: "b", Speed: 1})
+	var meter Traffic
+	d := top.Send(&meter, "a", "b", 500)
+	if d != 10*time.Millisecond+500*time.Millisecond {
+		t.Fatalf("send duration %v", d)
+	}
+	top.Send(&meter, "b", "a", 250)
+	if meter.Messages() != 2 || meter.Bytes() != 750 {
+		t.Fatalf("meter %d msgs %d bytes", meter.Messages(), meter.Bytes())
+	}
+	meter.AddCompute(time.Second)
+	if meter.Elapsed() < time.Second {
+		t.Fatalf("elapsed %v", meter.Elapsed())
+	}
+}
+
+func TestNodeKindString(t *testing.T) {
+	if ClientNode.String() != "client" || CloudServerNode.String() != "cloud-server" || WebServiceNode.String() != "web-service" {
+		t.Fatal("kind names")
+	}
+}

@@ -1,0 +1,86 @@
+// Package core implements the paper's primary contribution: the
+// Transformer-Estimator Graph (TEG), a rooted DAG whose vertices are named
+// machine-learning operations and whose root-to-leaf paths are pipelines.
+// The package provides the component contracts, graph construction API
+// (Section IV-A, Listing 1), pipeline fit/predict semantics (Figure 5), and
+// the model validation and selection engine (Section IV-B, Listing 2),
+// including parameter-grid expansion with the sklearn-style
+// "node__param" naming convention.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"coda/internal/dataset"
+)
+
+// Component is the common contract for every vertex operation in a
+// Transformer-Estimator Graph. Name returns the default node name (for
+// example "pca"); parameters are addressed externally as
+// "<node>__<param>" per the paper's naming convention.
+type Component interface {
+	// Name returns the component's default node name.
+	Name() string
+	// SetParam sets a named hyperparameter. Unknown keys are an error.
+	SetParam(key string, value float64) error
+	// Params returns the current hyperparameter values.
+	Params() map[string]float64
+}
+
+// Transformer is a Component whose operation rewrites a dataset: feature
+// scaling, selection, projection, or time-series windowing. Fit learns any
+// data-dependent state (an Estimate operation in the paper's terminology);
+// Transform applies it.
+type Transformer interface {
+	Component
+	Fit(ds *dataset.Dataset) error
+	Transform(ds *dataset.Dataset) (*dataset.Dataset, error)
+	// Clone returns an unfitted copy carrying the same hyperparameters,
+	// so concurrent folds and paths never share mutable state.
+	Clone() Transformer
+}
+
+// Estimator is a Component that learns a predictive model from a dataset
+// and predicts targets for new data.
+type Estimator interface {
+	Component
+	Fit(ds *dataset.Dataset) error
+	Predict(ds *dataset.Dataset) ([]float64, error)
+	// Clone returns an unfitted copy carrying the same hyperparameters.
+	Clone() Estimator
+}
+
+// ComponentSpec renders a component with its parameters as a canonical,
+// deterministic string such as "pca(n_components=3)". The DARR keys results
+// by these specs so cooperating clients agree on what has been computed.
+func ComponentSpec(c Component) string {
+	params := c.Params()
+	if len(params) == 0 {
+		return c.Name()
+	}
+	keys := make([]string, 0, len(params))
+	for k := range params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := c.Name() + "("
+	for i, k := range keys {
+		if i > 0 {
+			s += ","
+		}
+		s += k + "=" + strconv.FormatFloat(params[k], 'g', -1, 64)
+	}
+	return s + ")"
+}
+
+// SetGraphParam applies a "node__param" assignment to the matching node
+// component, returning a descriptive error when the node or parameter does
+// not exist.
+func setComponentParam(c Component, param string, v float64) error {
+	if err := c.SetParam(param, v); err != nil {
+		return fmt.Errorf("core: setting %s__%s: %w", c.Name(), param, err)
+	}
+	return nil
+}

@@ -1,0 +1,365 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Node is one vertex of a Transformer-Estimator Graph: a unique name plus
+// the operation it performs (a chain of one or more Transformers, or an
+// Estimator). Per the paper, the name is the placeholder through which
+// external information — parameters named "<node>__<param>" — reaches the
+// operation.
+type Node struct {
+	Name         string
+	Transformers []Transformer // non-nil for transformer nodes
+	Estimator    Estimator     // non-nil for estimator nodes
+}
+
+// IsEstimator reports whether the node is a model (leaf-stage) vertex.
+func (n *Node) IsEstimator() bool { return n.Estimator != nil }
+
+// spec renders the node with its current parameters.
+func (n *Node) spec() string {
+	if n.IsEstimator() {
+		return ComponentSpec(n.Estimator)
+	}
+	parts := make([]string, len(n.Transformers))
+	for i, t := range n.Transformers {
+		parts[i] = ComponentSpec(t)
+	}
+	return strings.Join(parts, "+")
+}
+
+// clone deep-copies the node with unfitted components.
+func (n *Node) clone() *Node {
+	out := &Node{Name: n.Name}
+	if n.Estimator != nil {
+		out.Estimator = n.Estimator.Clone()
+	}
+	for _, t := range n.Transformers {
+		out.Transformers = append(out.Transformers, t.Clone())
+	}
+	return out
+}
+
+// Stage is one layer of the graph: a named modelling step with multiple
+// candidate operations (Table I's rows).
+type Stage struct {
+	Name    string
+	Options []*Node
+}
+
+// Graph is a Transformer-Estimator Graph G(V, E): a rooted, staged DAG.
+// Build it with the Add* methods (mirroring the paper's Listing 1), then
+// optionally restrict stage-to-stage connectivity with Connect — by
+// default every option connects to every option of the next stage, as in
+// Figure 3; Figure 11's selective wiring uses explicit edges.
+//
+// Builder errors stick to the graph and surface from Finalize/Paths, so
+// construction code can chain calls without per-call error checks.
+type Graph struct {
+	stages []*Stage
+	// explicit edges: fromNode -> set of allowed toNodes in the next
+	// stage. A from-node absent from the map connects to all options.
+	edges map[string]map[string]bool
+	names map[string]*Node
+	err   error
+}
+
+// NewGraph returns an empty Transformer-Estimator Graph.
+func NewGraph() *Graph {
+	return &Graph{edges: map[string]map[string]bool{}, names: map[string]*Node{}}
+}
+
+// Err returns the first builder error, if any.
+func (g *Graph) Err() error { return g.err }
+
+func (g *Graph) fail(format string, args ...any) {
+	if g.err == nil {
+		g.err = fmt.Errorf(format, args...)
+	}
+}
+
+// register gives the node a unique name (appending _2, _3, ... on
+// collision) and indexes it.
+func (g *Graph) register(n *Node, base string) {
+	name := base
+	for i := 2; ; i++ {
+		if _, taken := g.names[name]; !taken {
+			break
+		}
+		name = fmt.Sprintf("%s_%d", base, i)
+	}
+	n.Name = name
+	g.names[name] = n
+}
+
+// lastStageIsEstimator reports whether an estimator stage has been added
+// (estimator stages are terminal).
+func (g *Graph) lastStageIsEstimator() bool {
+	if len(g.stages) == 0 {
+		return false
+	}
+	opts := g.stages[len(g.stages)-1].Options
+	return len(opts) > 0 && opts[0].IsEstimator()
+}
+
+// AddTransformerStage appends a stage whose options are single
+// transformers. The stage name is only a label; node names derive from the
+// transformers themselves.
+func (g *Graph) AddTransformerStage(stageName string, options ...Transformer) *Graph {
+	chains := make([][]Transformer, len(options))
+	for i, t := range options {
+		chains[i] = []Transformer{t}
+	}
+	return g.AddChainStage(stageName, chains...)
+}
+
+// AddChainStage appends a stage whose options may be chains of
+// transformers, as in Listing 1's [Covariance(), PCA()] option. A chained
+// node is named by joining its component names with "+".
+func (g *Graph) AddChainStage(stageName string, options ...[]Transformer) *Graph {
+	if g.err != nil {
+		return g
+	}
+	if g.lastStageIsEstimator() {
+		g.fail("core: cannot add stage %q after the estimator stage", stageName)
+		return g
+	}
+	if len(options) == 0 {
+		g.fail("core: stage %q has no options", stageName)
+		return g
+	}
+	st := &Stage{Name: stageName}
+	for _, chain := range options {
+		if len(chain) == 0 {
+			g.fail("core: stage %q contains an empty chain option", stageName)
+			return g
+		}
+		names := make([]string, len(chain))
+		for i, t := range chain {
+			if t == nil {
+				g.fail("core: stage %q contains a nil transformer", stageName)
+				return g
+			}
+			names[i] = t.Name()
+		}
+		n := &Node{Transformers: chain}
+		g.register(n, strings.Join(names, "+"))
+		st.Options = append(st.Options, n)
+	}
+	g.stages = append(g.stages, st)
+	return g
+}
+
+// AddEstimatorStage appends the terminal modelling stage.
+func (g *Graph) AddEstimatorStage(stageName string, options ...Estimator) *Graph {
+	if g.err != nil {
+		return g
+	}
+	if g.lastStageIsEstimator() {
+		g.fail("core: graph already has an estimator stage")
+		return g
+	}
+	if len(options) == 0 {
+		g.fail("core: estimator stage %q has no options", stageName)
+		return g
+	}
+	st := &Stage{Name: stageName}
+	for _, e := range options {
+		if e == nil {
+			g.fail("core: stage %q contains a nil estimator", stageName)
+			return g
+		}
+		n := &Node{Estimator: e}
+		g.register(n, e.Name())
+		st.Options = append(st.Options, n)
+	}
+	g.stages = append(g.stages, st)
+	return g
+}
+
+// AddFeatureScalers mirrors Listing 1's add_feature_scalers.
+func (g *Graph) AddFeatureScalers(options ...Transformer) *Graph {
+	return g.AddTransformerStage("feature scaling", options...)
+}
+
+// AddFeatureSelectors mirrors Listing 1's add_feature_selector; options may
+// be chains such as {Covariance, PCA}.
+func (g *Graph) AddFeatureSelectors(options ...[]Transformer) *Graph {
+	return g.AddChainStage("feature selection", options...)
+}
+
+// AddRegressionModels mirrors Listing 1's add_regression_models.
+func (g *Graph) AddRegressionModels(options ...Estimator) *Graph {
+	return g.AddEstimatorStage("regression", options...)
+}
+
+// Connect restricts the edge set: once called for a from-node, that node
+// connects only to the to-nodes named in Connect calls (which must live in
+// the immediately following stage). Nodes never named as a from keep the
+// default all-to-all connectivity.
+func (g *Graph) Connect(from, to string) *Graph {
+	if g.err != nil {
+		return g
+	}
+	fromNode, ok := g.names[from]
+	if !ok {
+		g.fail("core: Connect: unknown node %q", from)
+		return g
+	}
+	toNode, ok := g.names[to]
+	if !ok {
+		g.fail("core: Connect: unknown node %q", to)
+		return g
+	}
+	fs, ts := g.stageOf(fromNode), g.stageOf(toNode)
+	if ts != fs+1 {
+		g.fail("core: Connect: %q (stage %d) and %q (stage %d) are not adjacent", from, fs, to, ts)
+		return g
+	}
+	if g.edges[from] == nil {
+		g.edges[from] = map[string]bool{}
+	}
+	g.edges[from][to] = true
+	return g
+}
+
+func (g *Graph) stageOf(n *Node) int {
+	for i, st := range g.stages {
+		for _, opt := range st.Options {
+			if opt == n {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// NodeByName returns the named node, for parameter inspection.
+func (g *Graph) NodeByName(name string) (*Node, bool) {
+	n, ok := g.names[name]
+	return n, ok
+}
+
+// NodeNames returns all node names in stage order.
+func (g *Graph) NodeNames() []string {
+	var out []string
+	for _, st := range g.stages {
+		for _, opt := range st.Options {
+			out = append(out, opt.Name)
+		}
+	}
+	return out
+}
+
+// Stages returns the graph's stages in order.
+func (g *Graph) Stages() []*Stage { return g.stages }
+
+// Finalize validates the graph: builder errors, at least one stage, a
+// terminal estimator stage, and every node reachable and co-reachable given
+// the explicit edges.
+func (g *Graph) Finalize() error {
+	if g.err != nil {
+		return g.err
+	}
+	if len(g.stages) == 0 {
+		return fmt.Errorf("core: graph has no stages")
+	}
+	if !g.lastStageIsEstimator() {
+		return fmt.Errorf("core: graph must end with an estimator stage (call AddEstimatorStage)")
+	}
+	if len(g.Paths()) == 0 {
+		return fmt.Errorf("core: graph has no complete root-to-leaf paths; check Connect calls")
+	}
+	return nil
+}
+
+// allowed reports whether an edge from -> to is in E.
+func (g *Graph) allowed(from, to *Node) bool {
+	set, restricted := g.edges[from.Name]
+	if !restricted {
+		return true
+	}
+	return set[to.Name]
+}
+
+// Path is one root-to-leaf pipeline skeleton: one option per stage.
+type Path []*Node
+
+// Spec renders the path as the paper writes pipelines:
+// "input -> robustscaler -> selectkbest(k=3) -> decisiontree(...)".
+func (p Path) Spec() string {
+	parts := make([]string, 0, len(p)+1)
+	parts = append(parts, "input")
+	for _, n := range p {
+		parts = append(parts, n.spec())
+	}
+	return strings.Join(parts, " -> ")
+}
+
+// Paths enumerates every root-to-leaf path respecting the edge set.
+func (g *Graph) Paths() []Path {
+	if g.err != nil || len(g.stages) == 0 {
+		return nil
+	}
+	var out []Path
+	var walk func(stage int, acc Path)
+	walk = func(stage int, acc Path) {
+		if stage == len(g.stages) {
+			out = append(out, append(Path(nil), acc...))
+			return
+		}
+		for _, opt := range g.stages[stage].Options {
+			if len(acc) > 0 && !g.allowed(acc[len(acc)-1], opt) {
+				continue
+			}
+			walk(stage+1, append(acc, opt))
+		}
+	}
+	walk(0, nil)
+	return out
+}
+
+// NumPipelines returns the number of root-to-leaf paths (36 for the Figure
+// 3 working example).
+func (g *Graph) NumPipelines() int { return len(g.Paths()) }
+
+// DOT renders the graph in Graphviz format — the visual-inspection output
+// of Listing 1's create_graph method.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph TEG {\n  rankdir=LR;\n  input [shape=circle];\n")
+	for _, st := range g.stages {
+		for _, opt := range st.Options {
+			shape := "box"
+			if opt.IsEstimator() {
+				shape = "ellipse"
+			}
+			fmt.Fprintf(&b, "  %q [shape=%s, label=%q];\n", opt.Name, shape, opt.Name)
+		}
+	}
+	if len(g.stages) > 0 {
+		for _, opt := range g.stages[0].Options {
+			fmt.Fprintf(&b, "  input -> %q;\n", opt.Name)
+		}
+	}
+	for i := 0; i+1 < len(g.stages); i++ {
+		for _, from := range g.stages[i].Options {
+			var tos []string
+			for _, to := range g.stages[i+1].Options {
+				if g.allowed(from, to) {
+					tos = append(tos, to.Name)
+				}
+			}
+			sort.Strings(tos)
+			for _, to := range tos {
+				fmt.Fprintf(&b, "  %q -> %q;\n", from.Name, to)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

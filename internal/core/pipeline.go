@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"coda/internal/dataset"
+)
+
+// Pipeline is one concrete root-to-leaf path instantiated with its own
+// (unshared) component copies: a sequence of transformer nodes ending in an
+// estimator node. Fit implements Figure 5's training semantics — internal
+// nodes run "fit & transform", the final node runs "fit" — and Predict the
+// prediction semantics — internal nodes run "transform" only.
+type Pipeline struct {
+	Nodes []*Node
+
+	fitted bool
+}
+
+// NewPipeline instantiates a path with fresh clones of every component, so
+// pipelines built from the same graph can be fitted concurrently.
+func NewPipeline(path Path) (*Pipeline, error) {
+	if len(path) == 0 {
+		return nil, fmt.Errorf("core: empty path")
+	}
+	p := &Pipeline{Nodes: make([]*Node, len(path))}
+	for i, n := range path {
+		if i < len(path)-1 && n.IsEstimator() {
+			return nil, fmt.Errorf("core: estimator node %q before end of path", n.Name)
+		}
+		p.Nodes[i] = n.clone()
+	}
+	if !p.Nodes[len(p.Nodes)-1].IsEstimator() {
+		return nil, fmt.Errorf("core: path must end in an estimator, got %q", path[len(path)-1].Name)
+	}
+	return p, nil
+}
+
+// Clone returns an unfitted copy carrying all current parameters.
+func (p *Pipeline) Clone() *Pipeline {
+	out := &Pipeline{Nodes: make([]*Node, len(p.Nodes))}
+	for i, n := range p.Nodes {
+		out.Nodes[i] = n.clone()
+	}
+	return out
+}
+
+// Estimator returns the terminal model node's estimator.
+func (p *Pipeline) Estimator() Estimator { return p.Nodes[len(p.Nodes)-1].Estimator }
+
+// SetParam applies a "node__param" assignment (the paper's sklearn-derived
+// convention: node name, two underscores, attribute name).
+func (p *Pipeline) SetParam(key string, v float64) error {
+	node, param, ok := strings.Cut(key, "__")
+	if !ok {
+		return fmt.Errorf("core: parameter key %q is not of the form node__param", key)
+	}
+	for _, n := range p.Nodes {
+		if n.Name != node {
+			continue
+		}
+		if n.Estimator != nil {
+			return setComponentParam(n.Estimator, param, v)
+		}
+		// For a chain node, the param goes to the first component in the
+		// chain that accepts it (component parameter names are disjoint
+		// in practice); with a single transformer it applies directly.
+		if len(n.Transformers) == 1 {
+			return setComponentParam(n.Transformers[0], param, v)
+		}
+		for _, t := range n.Transformers {
+			if err := t.SetParam(param, v); err == nil {
+				return nil
+			}
+		}
+		return fmt.Errorf("core: chain node %q: no component accepts parameter %q", node, param)
+	}
+	return fmt.Errorf("core: no node named %q in pipeline %s", node, p.Spec())
+}
+
+// HasNode reports whether the pipeline contains the named node.
+func (p *Pipeline) HasNode(name string) bool {
+	for _, n := range p.Nodes {
+		if n.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Fit trains the pipeline per Figure 5: every internal transformer node is
+// fitted then applied to refresh the data for subsequent modelling, and the
+// final estimator is fitted on the fully transformed data.
+func (p *Pipeline) Fit(ds *dataset.Dataset) error {
+	cur := ds
+	for _, n := range p.Nodes[:len(p.Nodes)-1] {
+		for _, t := range n.Transformers {
+			if err := t.Fit(cur); err != nil {
+				return fmt.Errorf("core: fitting node %q: %w", n.Name, err)
+			}
+			next, err := t.Transform(cur)
+			if err != nil {
+				return fmt.Errorf("core: transforming through node %q: %w", n.Name, err)
+			}
+			cur = next
+		}
+	}
+	if err := p.Estimator().Fit(cur); err != nil {
+		return fmt.Errorf("core: fitting estimator %q: %w", p.Nodes[len(p.Nodes)-1].Name, err)
+	}
+	p.fitted = true
+	return nil
+}
+
+// transformOnly pushes a dataset through the fitted internal nodes.
+func (p *Pipeline) transformOnly(ds *dataset.Dataset) (*dataset.Dataset, error) {
+	cur := ds
+	for _, n := range p.Nodes[:len(p.Nodes)-1] {
+		for _, t := range n.Transformers {
+			next, err := t.Transform(cur)
+			if err != nil {
+				return nil, fmt.Errorf("core: transforming through node %q: %w", n.Name, err)
+			}
+			cur = next
+		}
+	}
+	return cur, nil
+}
+
+// Predict runs Figure 5's prediction operation: transform-only through the
+// internal nodes, then the trained model generates predictions. When
+// scaling transformers rescaled the quantity being predicted (time-series
+// pipelines derive targets from scaled series), predictions are mapped back
+// to original units, so outputs — and scores — are comparable across
+// scaling options.
+func (p *Pipeline) Predict(ds *dataset.Dataset) ([]float64, error) {
+	if !p.fitted {
+		return nil, fmt.Errorf("core: pipeline %s not fitted", p.Spec())
+	}
+	cur, err := p.transformOnly(ds)
+	if err != nil {
+		return nil, err
+	}
+	yhat, err := p.Estimator().Predict(cur)
+	if err != nil {
+		return nil, err
+	}
+	return cur.DenormY(yhat), nil
+}
+
+// PredictWithTruth predicts and also returns the ground-truth targets after
+// transformation — necessary because time-series windowing transformers
+// derive the targets from the series itself, so the evaluation truth is
+// only known post-transform. Both predictions and truth are mapped back to
+// original units (see Predict).
+func (p *Pipeline) PredictWithTruth(ds *dataset.Dataset) (yhat, ytrue []float64, err error) {
+	if !p.fitted {
+		return nil, nil, fmt.Errorf("core: pipeline %s not fitted", p.Spec())
+	}
+	cur, err := p.transformOnly(ds)
+	if err != nil {
+		return nil, nil, err
+	}
+	yhat, err = p.Estimator().Predict(cur)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cur.DenormY(yhat), cur.DenormY(cur.Y), nil
+}
+
+// Spec renders the pipeline with all current parameter values; together
+// with a dataset fingerprint and evaluation spec it keys DARR records.
+func (p *Pipeline) Spec() string {
+	parts := make([]string, 0, len(p.Nodes)+1)
+	parts = append(parts, "input")
+	for _, n := range p.Nodes {
+		parts = append(parts, n.spec())
+	}
+	return strings.Join(parts, " -> ")
+}

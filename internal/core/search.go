@@ -1,0 +1,308 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"coda/internal/crossval"
+	"coda/internal/dataset"
+	"coda/internal/metrics"
+)
+
+// ResultStore is the cooperation hook the search engine uses to avoid
+// redundant computations across clients (Section III, Figure 2). The DARR
+// client implements it; a nil store means every unit is computed locally.
+type ResultStore interface {
+	// Lookup returns a previously published mean score for the key.
+	Lookup(key string) (score float64, ok bool, err error)
+	// Claim atomically reserves the key for this client; false means
+	// another client is already computing it.
+	Claim(key string) (bool, error)
+	// Publish stores a finished result with its explanation.
+	Publish(key string, score float64, explanation string) error
+}
+
+// SearchOptions configures model validation and selection over a graph
+// (Section IV-B; Listing 2's set_cross_validation / set_accuracy).
+type SearchOptions struct {
+	// Splitter is the cross-validation strategy (required).
+	Splitter crossval.Splitter
+	// Scorer is the agreed performance measure (required).
+	Scorer metrics.Scorer
+	// ParamGrid maps "node__param" keys to candidate values; keys whose
+	// node is absent from a path are ignored for that path.
+	ParamGrid map[string][]float64
+	// Parallelism bounds concurrent pipeline evaluations (default 1).
+	Parallelism int
+	// Seed drives fold shuffling, shared across clients so cooperating
+	// searches agree on the evaluation (part of the DARR key).
+	Seed int64
+	// Store enables cooperative deduplication via the DARR.
+	Store ResultStore
+	// SkipClaimed, with a Store, skips units another client has claimed
+	// instead of computing them redundantly.
+	SkipClaimed bool
+}
+
+// UnitResult is the outcome of evaluating one (path, parameter set) unit.
+type UnitResult struct {
+	Spec      string             // pipeline spec with parameters applied
+	Params    map[string]float64 // grid assignment used
+	Scores    []float64          // per-fold scores
+	Mean      float64
+	Err       string // non-empty when the pipeline failed on this data
+	FromCache bool   // true when the result came from the ResultStore
+	Skipped   bool   // true when another client had claimed the unit
+}
+
+// SearchResult is the outcome of Search.
+type SearchResult struct {
+	Units []UnitResult
+	// Best points at the best successful unit (nil if all failed).
+	Best *UnitResult
+	// BestPipeline is the winning pipeline refitted on the full dataset.
+	BestPipeline *Pipeline
+	// Computed / CacheHits / Skipped count how units were satisfied.
+	Computed, CacheHits, Skipped int
+}
+
+// searchUnit is one pipeline x parameter-assignment work item.
+type searchUnit struct {
+	index    int
+	pipeline *Pipeline
+	params   map[string]float64
+}
+
+// Search evaluates every pipeline in the graph under every applicable
+// parameter-grid assignment with the configured cross-validation strategy,
+// and returns per-unit scores plus the best pipeline refitted on all data.
+// Individual pipeline failures are recorded, not fatal — the point of a TEG
+// is to try many options, some of which may not suit the data.
+func Search(ctx context.Context, g *Graph, ds *dataset.Dataset, opts SearchOptions) (*SearchResult, error) {
+	if err := g.Finalize(); err != nil {
+		return nil, err
+	}
+	if opts.Splitter == nil {
+		return nil, fmt.Errorf("core: SearchOptions.Splitter is required")
+	}
+	if opts.Scorer.Fn == nil {
+		return nil, fmt.Errorf("core: SearchOptions.Scorer is required")
+	}
+	if opts.Parallelism < 1 {
+		opts.Parallelism = 1
+	}
+	splits, err := opts.Splitter.Splits(ds.NumSamples(), rand.New(rand.NewSource(opts.Seed)))
+	if err != nil {
+		return nil, fmt.Errorf("core: computing folds: %w", err)
+	}
+
+	units, err := expandUnits(g, opts.ParamGrid)
+	if err != nil {
+		return nil, err
+	}
+
+	fp := ds.Fingerprint()
+	evalSpec := fmt.Sprintf("%s|%s|seed=%d", opts.Splitter.Spec(), opts.Scorer.Name, opts.Seed)
+
+	results := make([]UnitResult, len(units))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opts.Parallelism)
+	for _, u := range units {
+		u := u
+		if ctx.Err() != nil {
+			break
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[u.index] = evaluateUnit(ctx, u, ds, splits, fp, evalSpec, opts)
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: search cancelled: %w", err)
+	}
+
+	res := &SearchResult{Units: results}
+	for i := range results {
+		u := &results[i]
+		switch {
+		case u.Skipped:
+			res.Skipped++
+		case u.FromCache:
+			res.CacheHits++
+		case u.Err == "":
+			res.Computed++
+		}
+		if u.Err != "" || u.Skipped {
+			continue
+		}
+		if res.Best == nil || opts.Scorer.Better(u.Mean, res.Best.Mean) {
+			res.Best = u
+		}
+	}
+	if res.Best != nil {
+		best := units[indexOfSpec(results, res.Best.Spec, res.Best.Params)]
+		refit := best.pipeline.Clone()
+		if err := refit.Fit(ds); err != nil {
+			return nil, fmt.Errorf("core: refitting best pipeline %s: %w", res.Best.Spec, err)
+		}
+		res.BestPipeline = refit
+	}
+	return res, nil
+}
+
+func indexOfSpec(results []UnitResult, spec string, params map[string]float64) int {
+	for i := range results {
+		if results[i].Spec == spec && equalParams(results[i].Params, params) {
+			return i
+		}
+	}
+	return 0
+}
+
+func equalParams(a, b map[string]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// UnitKey builds the canonical DARR key for one evaluation unit. Clients
+// that agree on dataset fingerprint, pipeline spec (with parameters) and
+// evaluation spec share results.
+func UnitKey(datasetFP, pipelineSpec, evalSpec string) string {
+	return datasetFP + "|" + pipelineSpec + "|" + evalSpec
+}
+
+func evaluateUnit(ctx context.Context, u searchUnit, ds *dataset.Dataset, splits []crossval.Split, fp, evalSpec string, opts SearchOptions) UnitResult {
+	out := UnitResult{Spec: u.pipeline.Spec(), Params: u.params}
+	key := UnitKey(fp, out.Spec, evalSpec)
+
+	if opts.Store != nil {
+		if score, ok, err := opts.Store.Lookup(key); err == nil && ok {
+			out.Mean = score
+			out.FromCache = true
+			return out
+		}
+		claimed, err := opts.Store.Claim(key)
+		if err == nil && !claimed && opts.SkipClaimed {
+			out.Skipped = true
+			return out
+		}
+	}
+
+	scores := make([]float64, 0, len(splits))
+	for _, sp := range splits {
+		if ctx.Err() != nil {
+			out.Err = ctx.Err().Error()
+			return out
+		}
+		p := u.pipeline.Clone()
+		train := ds.Subset(sp.Train)
+		test := ds.Subset(sp.Test)
+		if err := p.Fit(train); err != nil {
+			out.Err = err.Error()
+			return out
+		}
+		yhat, ytrue, err := p.PredictWithTruth(test)
+		if err != nil {
+			out.Err = err.Error()
+			return out
+		}
+		score, err := opts.Scorer.Fn(ytrue, yhat)
+		if err != nil {
+			out.Err = err.Error()
+			return out
+		}
+		scores = append(scores, score)
+	}
+	out.Scores = scores
+	sum := 0.0
+	for _, s := range scores {
+		sum += s
+	}
+	out.Mean = sum / float64(len(scores))
+
+	if opts.Store != nil {
+		explanation := fmt.Sprintf("pipeline=%s cv=%s metric=%s folds=%d", out.Spec, evalSpec, opts.Scorer.Name, len(scores))
+		// Best-effort publish: a store outage must not fail the search.
+		_ = opts.Store.Publish(key, out.Mean, explanation)
+	}
+	return out
+}
+
+// expandUnits enumerates (path x applicable grid assignment) units, applying
+// grid values via SetParam on fresh pipeline clones.
+func expandUnits(g *Graph, grid map[string][]float64) ([]searchUnit, error) {
+	paths := g.Paths()
+	keys := make([]string, 0, len(grid))
+	for k := range grid {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	var units []searchUnit
+	for _, path := range paths {
+		base, err := NewPipeline(path)
+		if err != nil {
+			return nil, err
+		}
+		// Grid keys that name a node on this path.
+		var applicable []string
+		for _, k := range keys {
+			node, _, ok := strings.Cut(k, "__")
+			if ok && base.HasNode(node) {
+				applicable = append(applicable, k)
+			}
+		}
+		assignments := cartesian(applicable, grid)
+		for _, assign := range assignments {
+			p := base.Clone()
+			for k, v := range assign {
+				if err := p.SetParam(k, v); err != nil {
+					return nil, fmt.Errorf("core: applying grid %s=%s: %w", k, strconv.FormatFloat(v, 'g', -1, 64), err)
+				}
+			}
+			units = append(units, searchUnit{index: len(units), pipeline: p, params: assign})
+		}
+	}
+	return units, nil
+}
+
+// cartesian expands the grid over the given keys; with no keys it returns a
+// single empty assignment.
+func cartesian(keys []string, grid map[string][]float64) []map[string]float64 {
+	out := []map[string]float64{{}}
+	for _, k := range keys {
+		vals := grid[k]
+		if len(vals) == 0 {
+			continue
+		}
+		next := make([]map[string]float64, 0, len(out)*len(vals))
+		for _, assign := range out {
+			for _, v := range vals {
+				na := make(map[string]float64, len(assign)+1)
+				for ak, av := range assign {
+					na[ak] = av
+				}
+				na[k] = v
+				next = append(next, na)
+			}
+		}
+		out = next
+	}
+	return out
+}

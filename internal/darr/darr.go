@@ -1,0 +1,227 @@
+// Package darr implements the Data Analytics Results Repository of Section
+// III (Figure 2): a cloud-side repository where cooperating clients store
+// every analytics result together with an explanation of how it was
+// achieved. Clients query the DARR to learn which calculations have already
+// run for a data set, reuse those results, and claim non-overlapping work.
+//
+// Records are keyed by core.UnitKey — dataset fingerprint, pipeline spec
+// (with parameters) and evaluation spec — so clients that agree on the
+// scoring mechanism share results exactly. Claims carry a TTL so a crashed
+// client's work is eventually re-issued.
+package darr
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrNotFound is returned when a record key is unknown.
+var ErrNotFound = errors.New("darr: record not found")
+
+// Record is one completed analytics calculation.
+type Record struct {
+	Key          string    `json:"key"`
+	DatasetFP    string    `json:"dataset_fp"`
+	PipelineSpec string    `json:"pipeline_spec"`
+	EvalSpec     string    `json:"eval_spec"`
+	Metric       string    `json:"metric"`
+	Score        float64   `json:"score"`
+	Explanation  string    `json:"explanation"`
+	ClientID     string    `json:"client_id"`
+	CreatedAt    time.Time `json:"created_at"`
+}
+
+type claim struct {
+	clientID string
+	expires  time.Time
+}
+
+// Repo is the in-memory DARR implementation; the HTTP tier exposes it to
+// remote clients.
+type Repo struct {
+	now      func() time.Time
+	claimTTL time.Duration
+
+	mu      sync.Mutex
+	records map[string]Record
+	claims  map[string]claim
+	// accounting for experiments
+	lookups, hits, puts int
+}
+
+// NewRepo builds a repository. nowFn may be nil (wall clock); claimTTL <= 0
+// defaults to one minute.
+func NewRepo(nowFn func() time.Time, claimTTL time.Duration) *Repo {
+	if nowFn == nil {
+		nowFn = time.Now
+	}
+	if claimTTL <= 0 {
+		claimTTL = time.Minute
+	}
+	return &Repo{
+		now:      nowFn,
+		claimTTL: claimTTL,
+		records:  map[string]Record{},
+		claims:   map[string]claim{},
+	}
+}
+
+// Put stores (or overwrites) a record and releases any claim on its key.
+func (r *Repo) Put(rec Record) error {
+	if rec.Key == "" {
+		return fmt.Errorf("darr: record has empty key")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if rec.CreatedAt.IsZero() {
+		rec.CreatedAt = r.now()
+	}
+	r.records[rec.Key] = rec
+	delete(r.claims, rec.Key)
+	r.puts++
+	return nil
+}
+
+// Get returns the record for a key.
+func (r *Repo) Get(key string) (Record, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.lookups++
+	rec, ok := r.records[key]
+	if !ok {
+		return Record{}, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	r.hits++
+	return rec, nil
+}
+
+// QueryByDataset returns all records for a dataset fingerprint, sorted by
+// pipeline spec — how a client discovers "which calculations have been run
+// for a certain data set".
+func (r *Repo) QueryByDataset(fp string) []Record {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Record
+	for _, rec := range r.records {
+		if rec.DatasetFP == fp {
+			out = append(out, rec)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].PipelineSpec < out[b].PipelineSpec })
+	return out
+}
+
+// Claim atomically reserves a key for clientID. It returns false when
+// another client holds an unexpired claim or the result already exists.
+// Re-claiming one's own key refreshes the TTL and returns true.
+func (r *Repo) Claim(key, clientID string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, done := r.records[key]; done {
+		return false
+	}
+	c, held := r.claims[key]
+	now := r.now()
+	if held && c.clientID != clientID && now.Before(c.expires) {
+		return false
+	}
+	r.claims[key] = claim{clientID: clientID, expires: now.Add(r.claimTTL)}
+	return true
+}
+
+// Release drops clientID's claim on key (a no-op for other clients' claims).
+func (r *Repo) Release(key, clientID string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.claims[key]; ok && c.clientID == clientID {
+		delete(r.claims, key)
+	}
+}
+
+// ActiveClaims counts unexpired claims.
+func (r *Repo) ActiveClaims() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.now()
+	n := 0
+	for _, c := range r.claims {
+		if now.Before(c.expires) {
+			n++
+		}
+	}
+	return n
+}
+
+// Len returns the number of stored records.
+func (r *Repo) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.records)
+}
+
+// Stats reports lookup/hit/put counts for the cooperation experiments.
+func (r *Repo) Stats() (lookups, hits, puts int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lookups, r.hits, r.puts
+}
+
+// Client adapts a Repo to core.ResultStore for one named client, parsing
+// the structured fields out of unit keys when publishing.
+type Client struct {
+	Repo     *Repo
+	ClientID string
+	Metric   string
+}
+
+// Lookup implements core.ResultStore.
+func (c *Client) Lookup(key string) (float64, bool, error) {
+	rec, err := c.Repo.Get(key)
+	if errors.Is(err, ErrNotFound) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	return rec.Score, true, nil
+}
+
+// Claim implements core.ResultStore.
+func (c *Client) Claim(key string) (bool, error) {
+	return c.Repo.Claim(key, c.ClientID), nil
+}
+
+// Publish implements core.ResultStore.
+func (c *Client) Publish(key string, score float64, explanation string) error {
+	fp, spec, eval := SplitKey(key)
+	return c.Repo.Put(Record{
+		Key:          key,
+		DatasetFP:    fp,
+		PipelineSpec: spec,
+		EvalSpec:     eval,
+		Metric:       c.Metric,
+		Score:        score,
+		Explanation:  explanation,
+		ClientID:     c.ClientID,
+	})
+}
+
+// SplitKey decomposes a core.UnitKey into its dataset fingerprint, pipeline
+// spec and evaluation spec. Pipeline specs never contain '|' (they use
+// " -> "), while evaluation specs do, so the first two separators delimit
+// the three fields.
+func SplitKey(key string) (datasetFP, pipelineSpec, evalSpec string) {
+	fp, rest, ok := strings.Cut(key, "|")
+	if !ok {
+		return "", key, ""
+	}
+	spec, eval, ok := strings.Cut(rest, "|")
+	if !ok {
+		return fp, rest, ""
+	}
+	return fp, spec, eval
+}

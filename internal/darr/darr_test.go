@@ -1,0 +1,228 @@
+package darr
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"coda/internal/core"
+)
+
+// fixed clock helper.
+type clock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newClock() *clock { return &clock{t: time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)} }
+
+func (c *clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *clock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func TestPutGetAndQuery(t *testing.T) {
+	r := NewRepo(nil, 0)
+	rec := Record{
+		Key:       "fp1|input -> noop -> knn(k=5)|kfold(k=5,shuffle=true)|rmse|seed=1",
+		DatasetFP: "fp1", PipelineSpec: "input -> noop -> knn(k=5)",
+		EvalSpec: "kfold(k=5,shuffle=true)|rmse|seed=1",
+		Metric:   "rmse", Score: 1.5, ClientID: "c1", Explanation: "test",
+	}
+	if err := r.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Get(rec.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Score != 1.5 || got.ClientID != "c1" {
+		t.Fatalf("got %+v", got)
+	}
+	if got.CreatedAt.IsZero() {
+		t.Fatal("CreatedAt not stamped")
+	}
+	if _, err := r.Get("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+	if err := r.Put(Record{}); err == nil {
+		t.Fatal("want empty-key error")
+	}
+
+	// Query by dataset.
+	rec2 := rec
+	rec2.Key = "fp1|input -> noop -> linearregression(alpha=0)|eval"
+	rec2.PipelineSpec = "input -> noop -> linearregression(alpha=0)"
+	if err := r.Put(rec2); err != nil {
+		t.Fatal(err)
+	}
+	rec3 := rec
+	rec3.Key = "fp2|other|eval"
+	rec3.DatasetFP = "fp2"
+	if err := r.Put(rec3); err != nil {
+		t.Fatal(err)
+	}
+	recs := r.QueryByDataset("fp1")
+	if len(recs) != 2 {
+		t.Fatalf("query returned %d records", len(recs))
+	}
+	// Sorted by pipeline spec.
+	if recs[0].PipelineSpec > recs[1].PipelineSpec {
+		t.Fatal("query results not sorted")
+	}
+	if len(r.QueryByDataset("fp3")) != 0 {
+		t.Fatal("unknown dataset should return nothing")
+	}
+}
+
+func TestClaimSemantics(t *testing.T) {
+	ck := newClock()
+	r := NewRepo(ck.Now, time.Minute)
+	if !r.Claim("k1", "alice") {
+		t.Fatal("first claim should succeed")
+	}
+	if r.Claim("k1", "bob") {
+		t.Fatal("second client must not steal an active claim")
+	}
+	if !r.Claim("k1", "alice") {
+		t.Fatal("re-claim by owner should refresh")
+	}
+	// Claims expire so crashed clients don't block work forever.
+	ck.Advance(2 * time.Minute)
+	if !r.Claim("k1", "bob") {
+		t.Fatal("expired claim should be reclaimable")
+	}
+	// Completed work cannot be claimed.
+	if err := r.Put(Record{Key: "k2", DatasetFP: "fp"}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Claim("k2", "alice") {
+		t.Fatal("existing record must not be claimable")
+	}
+}
+
+func TestReleaseClaim(t *testing.T) {
+	r := NewRepo(nil, time.Hour)
+	r.Claim("k", "alice")
+	r.Release("k", "bob") // not the owner: no-op
+	if r.Claim("k", "bob") {
+		t.Fatal("release by non-owner must not free the claim")
+	}
+	r.Release("k", "alice")
+	if !r.Claim("k", "bob") {
+		t.Fatal("released claim should be available")
+	}
+}
+
+func TestPutReleasesClaim(t *testing.T) {
+	r := NewRepo(nil, time.Hour)
+	r.Claim("k", "alice")
+	if err := r.Put(Record{Key: "k"}); err != nil {
+		t.Fatal(err)
+	}
+	if r.ActiveClaims() != 0 {
+		t.Fatal("publishing a result should clear its claim")
+	}
+}
+
+func TestClientAdapterImplementsResultStore(t *testing.T) {
+	var _ core.ResultStore = (*Client)(nil)
+	repo := NewRepo(nil, time.Minute)
+	c := &Client{Repo: repo, ClientID: "c1", Metric: "rmse"}
+
+	key := core.UnitKey("fpX", "input -> noop -> knn(k=3)", "kfold(k=3,shuffle=true)|rmse|seed=7")
+	if _, ok, err := c.Lookup(key); err != nil || ok {
+		t.Fatalf("lookup empty repo: ok=%v err=%v", ok, err)
+	}
+	claimed, err := c.Claim(key)
+	if err != nil || !claimed {
+		t.Fatalf("claim: %v %v", claimed, err)
+	}
+	if err := c.Publish(key, 2.25, "explanation here"); err != nil {
+		t.Fatal(err)
+	}
+	score, ok, err := c.Lookup(key)
+	if err != nil || !ok || score != 2.25 {
+		t.Fatalf("lookup after publish: %v %v %v", score, ok, err)
+	}
+	// The record carries the parsed structure.
+	rec, err := repo.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.DatasetFP != "fpX" {
+		t.Fatalf("fp %q", rec.DatasetFP)
+	}
+	if rec.PipelineSpec != "input -> noop -> knn(k=3)" {
+		t.Fatalf("spec %q", rec.PipelineSpec)
+	}
+	if rec.EvalSpec != "kfold(k=3,shuffle=true)|rmse|seed=7" {
+		t.Fatalf("eval %q", rec.EvalSpec)
+	}
+	if rec.Metric != "rmse" || rec.ClientID != "c1" {
+		t.Fatalf("metadata %+v", rec)
+	}
+	// Query sees it.
+	if got := repo.QueryByDataset("fpX"); len(got) != 1 {
+		t.Fatalf("query %d", len(got))
+	}
+}
+
+func TestSplitKey(t *testing.T) {
+	fp, spec, eval := SplitKey("abc|input -> x -> y|kfold(k=5)|rmse|seed=1")
+	if fp != "abc" || spec != "input -> x -> y" || eval != "kfold(k=5)|rmse|seed=1" {
+		t.Fatalf("split = %q %q %q", fp, spec, eval)
+	}
+	fp, spec, eval = SplitKey("nokey")
+	if fp != "" || spec != "nokey" || eval != "" {
+		t.Fatalf("degenerate split = %q %q %q", fp, spec, eval)
+	}
+}
+
+func TestConcurrentClaims(t *testing.T) {
+	r := NewRepo(nil, time.Minute)
+	const workers = 16
+	winners := make(chan string, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if r.Claim("contested", string(rune('a'+w))) {
+				winners <- string(rune('a' + w))
+			}
+		}()
+	}
+	wg.Wait()
+	close(winners)
+	n := 0
+	for range winners {
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("%d clients won a single claim", n)
+	}
+}
+
+func TestStats(t *testing.T) {
+	r := NewRepo(nil, time.Minute)
+	_ = r.Put(Record{Key: "k"})
+	_, _ = r.Get("k")
+	_, _ = r.Get("missing")
+	lookups, hits, puts := r.Stats()
+	if lookups != 2 || hits != 1 || puts != 1 {
+		t.Fatalf("stats %d %d %d", lookups, hits, puts)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("len %d", r.Len())
+	}
+}

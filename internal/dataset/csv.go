@@ -1,0 +1,109 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"coda/internal/matrix"
+)
+
+// ReadCSV parses numeric CSV data with a header row into a Dataset. If
+// targetCol names a header column, that column becomes Y; pass "" for an
+// unsupervised dataset.
+func ReadCSV(r io.Reader, targetCol string) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	target := -1
+	for i, h := range header {
+		if h == targetCol && targetCol != "" {
+			target = i
+		}
+	}
+	if targetCol != "" && target < 0 {
+		return nil, fmt.Errorf("dataset: target column %q not in header %v", targetCol, header)
+	}
+
+	var rows [][]float64
+	var y []float64
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV line %d: %w", line, err)
+		}
+		row := make([]float64, 0, len(rec))
+		for i, field := range rec {
+			v, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: CSV line %d column %q: %w", line, header[i], err)
+			}
+			if i == target {
+				y = append(y, v)
+			} else {
+				row = append(row, v)
+			}
+		}
+		rows = append(rows, row)
+	}
+
+	x, err := matrix.NewFromRows(rows)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: building matrix: %w", err)
+	}
+	names := make([]string, 0, len(header))
+	for i, h := range header {
+		if i != target {
+			names = append(names, h)
+		}
+	}
+	ds := &Dataset{X: x, ColNames: names, TargetName: targetCol}
+	if target >= 0 {
+		ds.Y = y
+	}
+	return ds, nil
+}
+
+// WriteCSV writes the dataset as numeric CSV with a header row; the target
+// column (named by TargetName, or "target") is written last when Y != nil.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, d.NumFeatures())
+	for j := range header {
+		if d.ColNames != nil && j < len(d.ColNames) {
+			header[j] = d.ColNames[j]
+		} else {
+			header[j] = fmt.Sprintf("x%d", j)
+		}
+	}
+	if d.Y != nil {
+		name := d.TargetName
+		if name == "" {
+			name = "target"
+		}
+		header = append(header, name)
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: writing CSV header: %w", err)
+	}
+	rec := make([]string, len(header))
+	for i := 0; i < d.NumSamples(); i++ {
+		for j, v := range d.X.Row(i) {
+			rec[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if d.Y != nil {
+			rec[len(rec)-1] = strconv.FormatFloat(d.Y[i], 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: writing CSV row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

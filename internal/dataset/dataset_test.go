@@ -1,0 +1,242 @@
+package dataset
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"coda/internal/matrix"
+)
+
+func makeDS(t *testing.T) *Dataset {
+	t.Helper()
+	x, err := matrix.NewFromRows([][]float64{{1, 2}, {3, 4}, {5, 6}, {7, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := New(x, []float64{10, 20, 30, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.ColNames = []string{"a", "b"}
+	ds.TargetName = "y"
+	return ds
+}
+
+func TestNewValidatesLengths(t *testing.T) {
+	x := matrix.New(3, 2)
+	if _, err := New(x, []float64{1, 2}); err == nil {
+		t.Fatal("want length mismatch error")
+	}
+	if _, err := New(x, nil); err != nil {
+		t.Fatalf("nil Y should be fine: %v", err)
+	}
+}
+
+func TestSubsetAndSlice(t *testing.T) {
+	ds := makeDS(t)
+	sub := ds.Subset([]int{3, 1})
+	if sub.NumSamples() != 2 || sub.X.At(0, 0) != 7 || sub.Y[1] != 20 {
+		t.Fatalf("Subset wrong: %+v", sub)
+	}
+	sl := ds.SliceRange(1, 3)
+	if sl.NumSamples() != 2 || sl.X.At(0, 0) != 3 || sl.Y[1] != 30 {
+		t.Fatalf("SliceRange wrong: %+v", sl)
+	}
+	// Mutating the subset must not touch the original.
+	sub.X.Set(0, 0, 999)
+	sub.Y[0] = 999
+	if ds.X.At(3, 0) == 999 || ds.Y[3] == 999 {
+		t.Fatal("Subset aliases original data")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	ds := makeDS(t)
+	ds.WindowLen, ds.NumVars = 2, 1
+	c := ds.Clone()
+	c.X.Set(0, 0, -1)
+	c.Y[0] = -1
+	c.ColNames[0] = "zzz"
+	if ds.X.At(0, 0) == -1 || ds.Y[0] == -1 || ds.ColNames[0] == "zzz" {
+		t.Fatal("Clone aliases original")
+	}
+	if c.WindowLen != 2 || c.NumVars != 1 {
+		t.Fatal("Clone drops window metadata")
+	}
+}
+
+func TestFingerprintStability(t *testing.T) {
+	ds := makeDS(t)
+	fp1 := ds.Fingerprint()
+	fp2 := ds.Clone().Fingerprint()
+	if fp1 != fp2 {
+		t.Fatal("identical data must have identical fingerprints")
+	}
+	other := makeDS(t)
+	other.Y[0] = 11
+	if other.Fingerprint() == fp1 {
+		t.Fatal("different Y must change fingerprint")
+	}
+	other2 := makeDS(t)
+	other2.X.Set(0, 0, 1.5)
+	if other2.Fingerprint() == fp1 {
+		t.Fatal("different X must change fingerprint")
+	}
+}
+
+func TestTrainTestSplit(t *testing.T) {
+	ds := makeDS(t)
+	rng := rand.New(rand.NewSource(1))
+	train, test, err := ds.TrainTestSplit(0.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.NumSamples()+test.NumSamples() != 4 {
+		t.Fatal("split loses samples")
+	}
+	if _, _, err := ds.TrainTestSplit(0, rng); err == nil {
+		t.Fatal("want fraction error")
+	}
+	if _, _, err := ds.TrainTestSplit(1.5, rng); err == nil {
+		t.Fatal("want fraction error")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds := makeDS(t)
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.X.Equal(ds.X, 0) {
+		t.Fatalf("X round trip: %v vs %v", back.X, ds.X)
+	}
+	for i := range ds.Y {
+		if back.Y[i] != ds.Y[i] {
+			t.Fatalf("Y round trip at %d", i)
+		}
+	}
+	if back.ColNames[0] != "a" || back.ColNames[1] != "b" {
+		t.Fatalf("ColNames round trip: %v", back.ColNames)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("a,b\n1,2\n"), "missing"); err == nil {
+		t.Fatal("want missing-target error")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n1,notanumber\n"), ""); err == nil {
+		t.Fatal("want parse error")
+	}
+	// Unsupervised read.
+	ds, err := ReadCSV(strings.NewReader("a,b\n1,2\n3,4\n"), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Y != nil || ds.NumSamples() != 2 {
+		t.Fatalf("unsupervised read wrong: %+v", ds)
+	}
+}
+
+func TestMakeRegression(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ds, coef, err := MakeRegression(RegressionSpec{Samples: 100, Features: 5, Informative: 3, Noise: 0}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumSamples() != 100 || ds.NumFeatures() != 5 {
+		t.Fatalf("shape %dx%d", ds.NumSamples(), ds.NumFeatures())
+	}
+	if coef[3] != 0 || coef[4] != 0 {
+		t.Fatalf("uninformative coefs should be zero: %v", coef)
+	}
+	// With zero noise, Y must equal X*coef exactly.
+	for i := 0; i < ds.NumSamples(); i++ {
+		s := 0.0
+		for j, c := range coef {
+			s += ds.X.At(i, j) * c
+		}
+		if diff := s - ds.Y[i]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("Y[%d] inconsistent with coef", i)
+		}
+	}
+	if _, _, err := MakeRegression(RegressionSpec{}, rng); err == nil {
+		t.Fatal("want spec error")
+	}
+}
+
+func TestMakeClassification(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ds, err := MakeClassification(ClassificationSpec{Samples: 90, Features: 4, Classes: 3, ClusterSep: 5}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[float64]int{}
+	for _, v := range ds.Y {
+		counts[v]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("want 3 classes, got %v", counts)
+	}
+	for c, n := range counts {
+		if n != 30 {
+			t.Fatalf("class %v has %d samples, want 30 (balanced)", c, n)
+		}
+	}
+	// Imbalanced classes.
+	ds, err = MakeClassification(ClassificationSpec{
+		Samples: 1000, Features: 3, Classes: 2, ClassFrac: []float64{0.9, 0.1},
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minority := 0
+	for _, v := range ds.Y {
+		if v == 1 {
+			minority++
+		}
+	}
+	if minority < 50 || minority > 200 {
+		t.Fatalf("minority class count %d far from 10%%", minority)
+	}
+	if _, err := MakeClassification(ClassificationSpec{Samples: 10, Features: 2, Classes: 2, ClassFrac: []float64{1}}, rng); err == nil {
+		t.Fatal("want ClassFrac length error")
+	}
+}
+
+// Property: Subset(perm) preserves the multiset of (row, y) pairs, checked
+// via the fingerprint of a re-sorted dataset being permutation sensitive but
+// subset of identity being identical.
+func TestSubsetIdentityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		x := matrix.New(n, 3)
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < 3; j++ {
+				x.Set(i, j, rng.NormFloat64())
+			}
+			y[i] = rng.NormFloat64()
+		}
+		ds, err := New(x, y)
+		if err != nil {
+			return false
+		}
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		return ds.Subset(idx).Fingerprint() == ds.Fingerprint()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

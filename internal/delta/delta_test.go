@@ -1,0 +1,213 @@
+package delta
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, base, target []byte, blockSize int) *Delta {
+	t.Helper()
+	d := Compute(base, target, blockSize)
+	got, err := Apply(base, d)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if !bytes.Equal(got, target) {
+		t.Fatalf("round trip mismatch: got %d bytes, want %d", len(got), len(target))
+	}
+	return d
+}
+
+func TestIdenticalVersions(t *testing.T) {
+	data := bytes.Repeat([]byte("abcdefgh"), 100)
+	d := roundTrip(t, data, data, 32)
+	// All copies, trivially mergeable into one op.
+	if len(d.Ops) != 1 || !d.Ops[0].IsCopy() {
+		t.Fatalf("identical data should be a single copy op, got %d ops", len(d.Ops))
+	}
+	if d.WireSize() >= len(data)/10 {
+		t.Fatalf("delta of identical data is %d bytes for %d-byte object", d.WireSize(), len(data))
+	}
+}
+
+func TestSmallEdit(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	base := make([]byte, 8192)
+	rng.Read(base)
+	target := append([]byte(nil), base...)
+	// Flip a few bytes in the middle.
+	for i := 4000; i < 4010; i++ {
+		target[i] ^= 0xff
+	}
+	d := roundTrip(t, base, target, 64)
+	if d.WireSize() > len(target)/4 {
+		t.Fatalf("10-byte edit produced %d-byte delta for %d-byte object", d.WireSize(), len(target))
+	}
+}
+
+func TestAppendOnly(t *testing.T) {
+	base := bytes.Repeat([]byte("sensor-reading;"), 200)
+	target := append(append([]byte(nil), base...), bytes.Repeat([]byte("new-data;"), 20)...)
+	d := roundTrip(t, base, target, 64)
+	if d.WireSize() > len(target)/3 {
+		t.Fatalf("append produced %d-byte delta for %d-byte target", d.WireSize(), len(target))
+	}
+}
+
+func TestCompletelyDifferent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	base := make([]byte, 2048)
+	target := make([]byte, 2048)
+	rng.Read(base)
+	rng.Read(target)
+	d := roundTrip(t, base, target, 64)
+	// Delta degenerates to literals: wire size slightly above target size.
+	if d.WireSize() < len(target) {
+		t.Fatalf("random data delta %d suspiciously smaller than target %d", d.WireSize(), len(target))
+	}
+}
+
+func TestEmptyCases(t *testing.T) {
+	roundTrip(t, nil, nil, 0)
+	roundTrip(t, nil, []byte("hello"), 0)
+	roundTrip(t, []byte("hello"), nil, 0)
+	roundTrip(t, []byte("tiny"), []byte("other"), 64) // base smaller than block
+}
+
+func TestPrefixInsertion(t *testing.T) {
+	base := bytes.Repeat([]byte("0123456789abcdef"), 64)
+	target := append([]byte("HEADER:"), base...)
+	d := roundTrip(t, base, target, 32)
+	if d.WireSize() > len(target)/4 {
+		t.Fatalf("prefix insert delta %d bytes for %d-byte target", d.WireSize(), len(target))
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	base := make([]byte, 3000)
+	rng.Read(base)
+	target := append([]byte(nil), base[:1500]...)
+	target = append(target, []byte("inserted data here")...)
+	target = append(target, base[1500:]...)
+	d := Compute(base, target, 128)
+	wire := d.Marshal()
+	back, err := Unmarshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Apply(base, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, target) {
+		t.Fatal("marshal round trip lost data")
+	}
+	if d.WireSize() != len(wire) {
+		t.Fatalf("WireSize %d != marshalled %d", d.WireSize(), len(wire))
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal([]byte{}); err == nil {
+		t.Fatal("want truncated error")
+	}
+	d := Compute([]byte("aaaa"), []byte("aaab"), 2)
+	wire := d.Marshal()
+	if _, err := Unmarshal(wire[:len(wire)-1]); err == nil {
+		t.Fatal("want truncated-literal error")
+	}
+}
+
+func TestApplyValidation(t *testing.T) {
+	base := bytes.Repeat([]byte("x"), 256)
+	d := Compute(base, base, 64)
+	if _, err := Apply(base[:100], d); err == nil {
+		t.Fatal("want base-length error")
+	}
+	// Corrupt a copy op to read out of range.
+	bad := *d
+	bad.Ops = append([]Op(nil), d.Ops...)
+	bad.Ops[0] = Op{Off: 200, Len: 100}
+	if _, err := Apply(base, &bad); err == nil {
+		t.Fatal("want out-of-range error")
+	}
+}
+
+// Property: Apply(base, Compute(base, target)) == target for arbitrary
+// inputs and block sizes.
+func TestComputeApplyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		baseLen := rng.Intn(2000)
+		base := make([]byte, baseLen)
+		rng.Read(base)
+		// Build a target as a mutation of base: random splice operations.
+		target := append([]byte(nil), base...)
+		for k := 0; k < rng.Intn(5); k++ {
+			if len(target) == 0 {
+				break
+			}
+			pos := rng.Intn(len(target))
+			switch rng.Intn(3) {
+			case 0: // insert
+				ins := make([]byte, rng.Intn(50))
+				rng.Read(ins)
+				target = append(target[:pos], append(ins, target[pos:]...)...)
+			case 1: // delete
+				end := pos + rng.Intn(len(target)-pos)
+				target = append(target[:pos], target[end:]...)
+			case 2: // overwrite
+				if pos < len(target) {
+					target[pos] ^= 0x5a
+				}
+			}
+		}
+		blockSize := 1 + rng.Intn(256)
+		d := Compute(base, target, blockSize)
+		got, err := Apply(base, d)
+		if err != nil {
+			return false
+		}
+		if !bytes.Equal(got, target) {
+			return false
+		}
+		// Marshal round trip preserves semantics too.
+		back, err := Unmarshal(d.Marshal())
+		if err != nil {
+			return false
+		}
+		got2, err := Apply(base, back)
+		return err == nil && bytes.Equal(got2, target)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property from the paper: for small edits the delta should be considerably
+// smaller than the full object.
+func TestSmallEditCompressionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		base := make([]byte, 4096+rng.Intn(4096))
+		rng.Read(base)
+		target := append([]byte(nil), base...)
+		// Edit at most 1% of bytes.
+		edits := 1 + rng.Intn(len(base)/100)
+		for k := 0; k < edits; k++ {
+			target[rng.Intn(len(target))] ^= 0xff
+		}
+		d := Compute(base, target, 64)
+		got, err := Apply(base, d)
+		if err != nil || !bytes.Equal(got, target) {
+			return false
+		}
+		return d.WireSize() < len(target)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

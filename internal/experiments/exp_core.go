@@ -1,0 +1,389 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"coda/internal/core"
+	"coda/internal/crossval"
+	"coda/internal/dataset"
+	"coda/internal/metrics"
+	"coda/internal/mlmodels"
+	"coda/internal/preprocess"
+	"coda/internal/sim"
+	"coda/internal/tswindow"
+)
+
+// tableIGraph builds a Table-I-shaped staged graph from the components this
+// repo implements (see DESIGN.md for the substitution notes: information
+// gain / entropy selectors, kernel-PCA/LDA and the CNN column are
+// approximated by SelectKBest, covariance-PCA and the tree ensemble).
+func tableIGraph() *core.Graph {
+	g := core.NewGraph()
+	g.AddChainStage("select features",
+		[]core.Transformer{preprocess.NewSelectKBest(4)},
+		[]core.Transformer{preprocess.NewNoOp()},
+	)
+	g.AddTransformerStage("feature normalization",
+		preprocess.NewMinMaxScaler(),
+		preprocess.NewStandardScaler(),
+	)
+	g.AddChainStage("feature transformation",
+		[]core.Transformer{preprocess.NewCovariance(), preprocess.NewPCA(3)},
+		[]core.Transformer{preprocess.NewNoOp()},
+	)
+	g.AddEstimatorStage("model training",
+		mlmodels.NewRandomForest(mlmodels.TreeRegression, 20),
+		mlmodels.NewLinearRegression(),
+		mlmodels.NewKNN(mlmodels.KNNRegression, 5),
+	)
+	return g
+}
+
+// RunT1 reproduces Table I: the staged regression modelling process, run
+// end-to-end with both evaluation strategies and both scores the table
+// lists, reporting the best pipeline under each.
+func RunT1(cfg Config) (*Table, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ds, _, err := dataset.MakeRegression(dataset.RegressionSpec{
+		Samples:     cfg.pick(400, 120),
+		Features:    8,
+		Informative: 4,
+		Noise:       5,
+	}, rng)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "T1",
+		Title:   "Table I regression modelling: best pipeline per evaluation x score",
+		Columns: []string{"evaluation", "score", "pipelines", "best pipeline", "best score"},
+	}
+	splitters := []crossval.Splitter{
+		crossval.KFold{K: 5, Shuffle: true},
+		crossval.ShuffleSplit{Iterations: 5, TestFrac: 0.25}, // monte-carlo
+	}
+	for _, sp := range splitters {
+		for _, metricName := range []string{"rmse", "mape"} {
+			scorer, err := metrics.ScorerByName(metricName)
+			if err != nil {
+				return nil, err
+			}
+			res, err := core.Search(context.Background(), tableIGraph(), ds, core.SearchOptions{
+				Splitter:    sp,
+				Scorer:      scorer,
+				Parallelism: 4,
+				Seed:        cfg.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			best := "-"
+			score := math.NaN()
+			if res.Best != nil {
+				best = res.Best.Spec
+				score = res.Best.Mean
+			}
+			t.AddRow(sp.Spec(), metricName, d(len(res.Units)), best, f(score))
+		}
+	}
+	t.AddNote("stage options: selection {selectkbest,noop} x normalization {minmax,standard} x transformation {covariance+pca,noop} x models {randomforest,linearregression,knn} = 24 pipelines")
+	return t, nil
+}
+
+// RunF3 reproduces Figure 3's working example exactly: 4 scalers x 3
+// selectors x 3 models = 36 pipelines; it verifies the count the paper
+// states, expands a parameter grid, and finds the best path.
+func RunF3(cfg Config) (*Table, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ds, _, err := dataset.MakeRegression(dataset.RegressionSpec{
+		Samples:     cfg.pick(300, 100),
+		Features:    6,
+		Informative: 3,
+		Noise:       3,
+	}, rng)
+	if err != nil {
+		return nil, err
+	}
+	build := func() *core.Graph {
+		g := core.NewGraph()
+		g.AddFeatureScalers(
+			preprocess.NewMinMaxScaler(),
+			preprocess.NewRobustScaler(),
+			preprocess.NewStandardScaler(),
+			preprocess.NewNoOp(),
+		)
+		g.AddFeatureSelectors(
+			[]core.Transformer{preprocess.NewCovariance(), preprocess.NewPCA(3)},
+			[]core.Transformer{preprocess.NewSelectKBest(3)},
+			[]core.Transformer{preprocess.NewNoOp()},
+		)
+		g.AddRegressionModels(
+			mlmodels.NewRandomForest(mlmodels.TreeRegression, 20),
+			mlmodels.NewKNN(mlmodels.KNNRegression, 5), // stands in for MLPRegressor
+			mlmodels.NewDecisionTree(mlmodels.TreeRegression),
+		)
+		return g
+	}
+	g := build()
+	if err := g.Finalize(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "F3",
+		Title:   "Figure 3 graph: enumeration, grid expansion, best path",
+		Columns: []string{"quantity", "value"},
+	}
+	t.AddRow("pipelines (paper: 36)", d(g.NumPipelines()))
+
+	scorer, _ := metrics.ScorerByName("rmse")
+	grid := map[string][]float64{
+		"selectkbest__k":               {2, 3, 4},
+		"covariance+pca__n_components": {2, 3},
+	}
+	res, err := core.Search(context.Background(), build(), ds, core.SearchOptions{
+		Splitter:    crossval.KFold{K: 5, Shuffle: true},
+		Scorer:      scorer,
+		ParamGrid:   grid,
+		Parallelism: 4,
+		Seed:        cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("evaluation units after grid expansion", d(len(res.Units)))
+	failed := 0
+	for _, u := range res.Units {
+		if u.Err != "" {
+			failed++
+		}
+	}
+	t.AddRow("failed units", d(failed))
+	if res.Best != nil {
+		t.AddRow("best pipeline", res.Best.Spec)
+		t.AddRow("best CV RMSE", f(res.Best.Mean))
+	}
+	t.AddNote("grid expansion: 12 pca-paths x 2 + 12 selectkbest-paths x 3 + 12 plain paths = 72 units")
+	return t, nil
+}
+
+// RunF4 reproduces Figure 4: the K-fold machinery, measuring how the
+// variance of the cross-validation estimate shrinks as K grows, against
+// the true held-out error.
+func RunF4(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "F4",
+		Title:   "Figure 4 K-fold CV: estimate mean/stddev vs true holdout error",
+		Columns: []string{"K", "repeats", "cv rmse mean", "cv rmse stddev", "holdout rmse"},
+	}
+	repeats := cfg.pick(12, 4)
+	nTrain := cfg.pick(240, 120)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	full, _, err := dataset.MakeRegression(dataset.RegressionSpec{
+		Samples: nTrain + 2000, Features: 5, Informative: 5, Noise: 4,
+	}, rng)
+	if err != nil {
+		return nil, err
+	}
+	train := full.SliceRange(0, nTrain)
+	holdout := full.SliceRange(nTrain, full.NumSamples())
+
+	// True error: fit once on all training data, score the big holdout.
+	lr := mlmodels.NewLinearRegression()
+	if err := lr.Fit(train); err != nil {
+		return nil, err
+	}
+	preds, err := lr.Predict(holdout)
+	if err != nil {
+		return nil, err
+	}
+	truth, err := metrics.RMSE(holdout.Y, preds)
+	if err != nil {
+		return nil, err
+	}
+
+	for _, k := range []int{2, 5, 10} {
+		var estimates []float64
+		for r := 0; r < repeats; r++ {
+			foldRng := rand.New(rand.NewSource(cfg.Seed + int64(1000*k+r)))
+			splits, err := (crossval.KFold{K: k, Shuffle: true}).Splits(train.NumSamples(), foldRng)
+			if err != nil {
+				return nil, err
+			}
+			sum := 0.0
+			for _, sp := range splits {
+				m := mlmodels.NewLinearRegression()
+				if err := m.Fit(train.Subset(sp.Train)); err != nil {
+					return nil, err
+				}
+				test := train.Subset(sp.Test)
+				p, err := m.Predict(test)
+				if err != nil {
+					return nil, err
+				}
+				rmse, err := metrics.RMSE(test.Y, p)
+				if err != nil {
+					return nil, err
+				}
+				sum += rmse
+			}
+			estimates = append(estimates, sum/float64(len(splits)))
+		}
+		mean, std := meanStd(estimates)
+		t.AddRow(d(k), d(repeats), f(mean), f(std), f(truth))
+	}
+	t.AddNote("larger K lowers the pessimistic bias (bigger training folds) and the fold-assignment variance")
+	return t, nil
+}
+
+// RunF5 reproduces Figure 5: the training operation (internal nodes fit &
+// transform, final node fits) versus the prediction operation (internal
+// nodes transform only), with throughput for each.
+func RunF5(cfg Config) (*Table, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ds, _, err := dataset.MakeRegression(dataset.RegressionSpec{
+		Samples: cfg.pick(2000, 400), Features: 10, Informative: 5, Noise: 2,
+	}, rng)
+	if err != nil {
+		return nil, err
+	}
+	// The paper's sample pipeline: robustscaler -> select-k -> model.
+	g := core.NewGraph()
+	g.AddFeatureScalers(preprocess.NewRobustScaler())
+	g.AddFeatureSelectors([]core.Transformer{preprocess.NewSelectKBest(5)})
+	g.AddRegressionModels(mlmodels.NewLinearRegression())
+	if err := g.Finalize(); err != nil {
+		return nil, err
+	}
+	p, err := core.NewPipeline(g.Paths()[0])
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:      "F5",
+		Title:   "Figure 5 pipeline operations on " + p.Spec(),
+		Columns: []string{"operation", "samples", "duration", "samples/sec"},
+	}
+	start := time.Now()
+	if err := p.Fit(ds); err != nil {
+		return nil, err
+	}
+	fitDur := time.Since(start)
+	t.AddRow("fit (fit&transform internals + fit model)", d(ds.NumSamples()), fitDur.String(),
+		f(float64(ds.NumSamples())/fitDur.Seconds()))
+
+	start = time.Now()
+	yhat, ytrue, err := p.PredictWithTruth(ds)
+	if err != nil {
+		return nil, err
+	}
+	predDur := time.Since(start)
+	t.AddRow("predict (transform internals + predict model)", d(len(yhat)), predDur.String(),
+		f(float64(len(yhat))/predDur.Seconds()))
+
+	r2, err := metrics.R2(ytrue, yhat)
+	if err != nil {
+		return nil, err
+	}
+	t.AddNote("train R2 = %s; predict is cheaper than fit since no estimation happens", f(r2))
+	return t, nil
+}
+
+// RunF12 reproduces Figure 12's motivation: on non-stationary series,
+// shuffled K-fold interleaves future and past and reports optimistic
+// errors, while TimeSeriesSlidingSplit (train, buffer, validation windows
+// sliding forward) gives the honest number.
+func RunF12(cfg Config) (*Table, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	steps := cfg.pick(900, 400)
+	series, err := sim.GenerateSeries(sim.SeriesSpec{Steps: steps, Vars: 1, Regime: sim.RegimeRandomWalk, Noise: 1}, rng)
+	if err != nil {
+		return nil, err
+	}
+	history := 8
+	windows, err := tswindow.NewFlatWindowing(history, 1, 0).Transform(series)
+	if err != nil {
+		return nil, err
+	}
+
+	// KNN memorizes its training neighbourhood, so interleaved folds let
+	// it "predict" test windows from temporally adjacent train windows —
+	// the leakage Figure 12's buffer exists to prevent.
+	score := func(sp crossval.Splitter) (float64, error) {
+		splits, err := sp.Splits(windows.NumSamples(), rand.New(rand.NewSource(cfg.Seed)))
+		if err != nil {
+			return 0, err
+		}
+		sum := 0.0
+		for _, s := range splits {
+			m := mlmodels.NewKNN(mlmodels.KNNRegression, 3)
+			if err := m.Fit(windows.Subset(s.Train)); err != nil {
+				return 0, err
+			}
+			test := windows.Subset(s.Test)
+			p, err := m.Predict(test)
+			if err != nil {
+				return 0, err
+			}
+			rmse, err := metrics.RMSE(test.Y, p)
+			if err != nil {
+				return 0, err
+			}
+			sum += rmse
+		}
+		return sum / float64(len(splits)), nil
+	}
+
+	n := windows.NumSamples()
+	sliding := crossval.SlidingSplit{K: 5, TrainSize: n / 3, TestSize: n / 10, Buffer: history}
+	naive := crossval.KFold{K: 5, Shuffle: true}
+	naiveRMSE, err := score(naive)
+	if err != nil {
+		return nil, err
+	}
+	slidingRMSE, err := score(sliding)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "F12",
+		Title:   "Figure 12 sliding split vs naive K-fold on a random-walk series",
+		Columns: []string{"cross-validation", "mean RMSE", "relative to honest"},
+	}
+	t.AddRow(sliding.Spec(), f(slidingRMSE), "1.00 (honest forward validation)")
+	t.AddRow(naive.Spec(), f(naiveRMSE), fmt.Sprintf("%.2f (optimistic: future leaks into training)", naiveRMSE/slidingRMSE))
+	t.AddNote("buffer %d >= forecast horizon keeps validation windows strictly after training (+gap)", history)
+	return t, nil
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	for _, v := range xs {
+		mean += v
+	}
+	mean /= float64(len(xs))
+	for _, v := range xs {
+		std += (v - mean) * (v - mean)
+	}
+	std = math.Sqrt(std / float64(len(xs)))
+	return mean, std
+}
+
+// topUnits returns the best n successful units under the scorer.
+func topUnits(units []core.UnitResult, scorer metrics.Scorer, n int) []core.UnitResult {
+	ok := make([]core.UnitResult, 0, len(units))
+	for _, u := range units {
+		if u.Err == "" && !u.Skipped {
+			ok = append(ok, u)
+		}
+	}
+	sort.Slice(ok, func(a, b int) bool { return scorer.Better(ok[a].Mean, ok[b].Mean) })
+	if len(ok) > n {
+		ok = ok[:n]
+	}
+	return ok
+}

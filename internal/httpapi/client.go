@@ -1,0 +1,188 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"coda/internal/darr"
+	"coda/internal/store"
+)
+
+// Client talks to a remote coda server. It implements core.ResultStore for
+// cooperative searches and provides versioned object sync against the
+// remote home data store.
+type Client struct {
+	BaseURL  string
+	ClientID string
+	Metric   string
+	HTTP     *http.Client
+}
+
+// NewClient builds a client with a sane default timeout.
+func NewClient(baseURL, clientID string) *Client {
+	return &Client{
+		BaseURL:  baseURL,
+		ClientID: clientID,
+		HTTP:     &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) doJSON(method, path string, body any, out any) (int, error) {
+	var rdr io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return 0, fmt.Errorf("httpapi: encoding request: %w", err)
+		}
+		rdr = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, c.BaseURL+path, rdr)
+	if err != nil {
+		return 0, fmt.Errorf("httpapi: building request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("httpapi: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, fmt.Errorf("httpapi: decoding response: %w", err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// Lookup implements core.ResultStore.
+func (c *Client) Lookup(key string) (float64, bool, error) {
+	var rec darr.Record
+	status, err := c.doJSON(http.MethodGet, "/darr/records?key="+url.QueryEscape(key), nil, &rec)
+	if err != nil {
+		return 0, false, err
+	}
+	if status == http.StatusNotFound {
+		return 0, false, nil
+	}
+	if status != http.StatusOK {
+		return 0, false, fmt.Errorf("httpapi: lookup status %d", status)
+	}
+	return rec.Score, true, nil
+}
+
+// Claim implements core.ResultStore.
+func (c *Client) Claim(key string) (bool, error) {
+	var out struct {
+		Granted bool `json:"granted"`
+	}
+	status, err := c.doJSON(http.MethodPost, "/darr/claims", claimRequest{Key: key, ClientID: c.ClientID}, &out)
+	if err != nil {
+		return false, err
+	}
+	if status != http.StatusOK {
+		return false, fmt.Errorf("httpapi: claim status %d", status)
+	}
+	return out.Granted, nil
+}
+
+// Release drops this client's claim on key.
+func (c *Client) Release(key string) error {
+	status, err := c.doJSON(http.MethodDelete, "/darr/claims", claimRequest{Key: key, ClientID: c.ClientID}, nil)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("httpapi: release status %d", status)
+	}
+	return nil
+}
+
+// Publish implements core.ResultStore.
+func (c *Client) Publish(key string, score float64, explanation string) error {
+	fp, spec, eval := darr.SplitKey(key)
+	rec := darr.Record{
+		Key: key, DatasetFP: fp, PipelineSpec: spec, EvalSpec: eval,
+		Metric: c.Metric, Score: score, Explanation: explanation, ClientID: c.ClientID,
+	}
+	status, err := c.doJSON(http.MethodPost, "/darr/records", rec, nil)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusCreated {
+		return fmt.Errorf("httpapi: publish status %d", status)
+	}
+	return nil
+}
+
+// QueryByDataset lists the remote DARR's records for a dataset fingerprint.
+func (c *Client) QueryByDataset(fp string) ([]darr.Record, error) {
+	var recs []darr.Record
+	status, err := c.doJSON(http.MethodGet, "/darr/records?dataset="+url.QueryEscape(fp), nil, &recs)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("httpapi: query status %d", status)
+	}
+	return recs, nil
+}
+
+// PutObject uploads a new version of an object to the remote home store.
+func (c *Client) PutObject(key string, data []byte) (uint64, error) {
+	req, err := http.NewRequest(http.MethodPut, c.BaseURL+"/store/objects/"+url.PathEscape(key), bytes.NewReader(data))
+	if err != nil {
+		return 0, fmt.Errorf("httpapi: building put: %w", err)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("httpapi: put object: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("httpapi: put status %d", resp.StatusCode)
+	}
+	var out struct {
+		Version uint64 `json:"version"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, fmt.Errorf("httpapi: decoding put response: %w", err)
+	}
+	return out.Version, nil
+}
+
+// PullObject synchronizes one object into the replica, sending the
+// replica's current version so the server can answer with a delta.
+func (c *Client) PullObject(rep *store.Replica, key string) error {
+	have := rep.VersionOf(key)
+	var or objectReply
+	path := fmt.Sprintf("/store/objects/%s?have=%d", url.PathEscape(key), have)
+	status, err := c.doJSON(http.MethodGet, path, nil, &or)
+	if err != nil {
+		return err
+	}
+	if status == http.StatusNotFound {
+		return fmt.Errorf("%w: %q", store.ErrNotFound, key)
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("httpapi: pull status %d", status)
+	}
+	reply, err := decodeReply(or)
+	if err != nil {
+		return err
+	}
+	return rep.ApplyReply(reply)
+}

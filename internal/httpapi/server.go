@@ -1,0 +1,208 @@
+// Package httpapi exposes the DARR and the versioned home data store over
+// JSON/HTTP — the wire tier connecting Figure 1's client nodes to the cloud
+// analytics servers — and provides the matching client, which implements
+// core.ResultStore so a remote DARR plugs straight into core.Search.
+package httpapi
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"coda/internal/darr"
+	"coda/internal/delta"
+	"coda/internal/store"
+)
+
+// Server wires a DARR repository and a home data store into an http.Handler.
+type Server struct {
+	Repo  *darr.Repo
+	Store *store.HomeStore
+
+	mux *http.ServeMux
+}
+
+// NewServer builds the handler; either component may be nil to disable its
+// endpoints.
+func NewServer(repo *darr.Repo, hs *store.HomeStore) *Server {
+	s := &Server{Repo: repo, Store: hs, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	if repo != nil {
+		s.mux.HandleFunc("/darr/records", s.handleRecords)
+		s.mux.HandleFunc("/darr/claims", s.handleClaims)
+	}
+	if hs != nil {
+		s.mux.HandleFunc("/store/objects/", s.handleObjects)
+	}
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		var rec darr.Record
+		if err := json.NewDecoder(r.Body).Decode(&rec); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding record: %w", err))
+			return
+		}
+		if err := s.Repo.Put(rec); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]string{"status": "stored"})
+	case http.MethodGet:
+		if key := r.URL.Query().Get("key"); key != "" {
+			rec, err := s.Repo.Get(key)
+			if errors.Is(err, darr.ErrNotFound) {
+				writeError(w, http.StatusNotFound, err)
+				return
+			}
+			if err != nil {
+				writeError(w, http.StatusInternalServerError, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, rec)
+			return
+		}
+		if fp := r.URL.Query().Get("dataset"); fp != "" {
+			writeJSON(w, http.StatusOK, s.Repo.QueryByDataset(fp))
+			return
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("need key or dataset query parameter"))
+	default:
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+	}
+}
+
+// claimRequest is the body of claim POST/DELETE calls.
+type claimRequest struct {
+	Key      string `json:"key"`
+	ClientID string `json:"client_id"`
+}
+
+func (s *Server) handleClaims(w http.ResponseWriter, r *http.Request) {
+	var req claimRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding claim: %w", err))
+		return
+	}
+	if req.Key == "" || req.ClientID == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("claim needs key and client_id"))
+		return
+	}
+	switch r.Method {
+	case http.MethodPost:
+		granted := s.Repo.Claim(req.Key, req.ClientID)
+		writeJSON(w, http.StatusOK, map[string]bool{"granted": granted})
+	case http.MethodDelete:
+		s.Repo.Release(req.Key, req.ClientID)
+		writeJSON(w, http.StatusOK, map[string]string{"status": "released"})
+	default:
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+	}
+}
+
+// objectReply is the JSON wire form of a store.Reply.
+type objectReply struct {
+	Key         string `json:"key"`
+	Version     uint64 `json:"version"`
+	Unchanged   bool   `json:"unchanged,omitempty"`
+	Full        string `json:"full,omitempty"`  // base64
+	Delta       string `json:"delta,omitempty"` // base64 of delta wire format
+	BaseVersion uint64 `json:"base_version,omitempty"`
+}
+
+func (s *Server) handleObjects(w http.ResponseWriter, r *http.Request) {
+	key := strings.TrimPrefix(r.URL.Path, "/store/objects/")
+	if key == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing object key"))
+		return
+	}
+	switch r.Method {
+	case http.MethodPut:
+		data, err := io.ReadAll(r.Body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+			return
+		}
+		version := s.Store.Put(key, data)
+		writeJSON(w, http.StatusOK, map[string]uint64{"version": version})
+	case http.MethodGet:
+		var have uint64
+		if hs := r.URL.Query().Get("have"); hs != "" {
+			v, err := strconv.ParseUint(hs, 10, 64)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("bad have parameter: %w", err))
+				return
+			}
+			have = v
+		}
+		reply, err := s.Store.Get(key, have)
+		if errors.Is(err, store.ErrNotFound) {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		out := objectReply{Key: reply.Key, Version: reply.Version, BaseVersion: reply.BaseVersion, Unchanged: reply.Unchanged}
+		switch {
+		case reply.Unchanged:
+			// no payload
+		case reply.IsDelta():
+			out.Delta = base64.StdEncoding.EncodeToString(reply.Delta.Marshal())
+		default:
+			out.Full = base64.StdEncoding.EncodeToString(reply.Full)
+		}
+		writeJSON(w, http.StatusOK, out)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+	}
+}
+
+// decodeReply converts the wire form back into a store.Reply.
+func decodeReply(or objectReply) (*store.Reply, error) {
+	reply := &store.Reply{Key: or.Key, Version: or.Version, BaseVersion: or.BaseVersion, Unchanged: or.Unchanged}
+	if or.Unchanged {
+		return reply, nil
+	}
+	if or.Delta != "" {
+		raw, err := base64.StdEncoding.DecodeString(or.Delta)
+		if err != nil {
+			return nil, fmt.Errorf("httpapi: decoding delta: %w", err)
+		}
+		d, err := delta.Unmarshal(raw)
+		if err != nil {
+			return nil, fmt.Errorf("httpapi: parsing delta: %w", err)
+		}
+		reply.Delta = d
+		return reply, nil
+	}
+	raw, err := base64.StdEncoding.DecodeString(or.Full)
+	if err != nil {
+		return nil, fmt.Errorf("httpapi: decoding full value: %w", err)
+	}
+	reply.Full = raw
+	return reply, nil
+}

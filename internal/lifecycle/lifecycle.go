@@ -1,0 +1,114 @@
+// Package lifecycle implements Section II's model life-cycle management:
+// analytics run over a long period while the data keeps changing, so the
+// deployed model must be retrained at the right frequency — "too frequent
+// retraining can result in high overhead, while too infrequent retraining
+// can result in obsolete models". A Manager owns a fitted pipeline, tracks
+// incoming data updates with one of Section III's change-detection
+// triggers, and retrains from fresh data when the trigger fires.
+package lifecycle
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"coda/internal/core"
+	"coda/internal/dataset"
+	"coda/internal/replication"
+)
+
+// ErrNotTrained is returned by Predict before the first Train.
+var ErrNotTrained = errors.New("lifecycle: model not trained yet")
+
+// Manager keeps one deployed pipeline fresh against a changing dataset.
+// All methods are safe for concurrent use; predictions keep being served
+// from the current model while updates accumulate.
+type Manager struct {
+	build   func() *core.Pipeline
+	monitor *replication.Monitor
+
+	mu       sync.RWMutex
+	pipeline *core.Pipeline
+	retrains int
+	trained  bool
+}
+
+// NewManager builds a lifecycle manager. build must return a fresh,
+// unfitted pipeline (the model architecture to retrain); trigger decides
+// when accumulated updates warrant retraining.
+func NewManager(build func() *core.Pipeline, trigger replication.Trigger) (*Manager, error) {
+	if build == nil {
+		return nil, fmt.Errorf("lifecycle: nil pipeline builder")
+	}
+	if trigger == nil {
+		return nil, fmt.Errorf("lifecycle: nil trigger")
+	}
+	return &Manager{build: build, monitor: replication.NewMonitor(trigger)}, nil
+}
+
+// Train (re)fits a fresh pipeline on the given data and installs it. The
+// update statistics reset, and the retrain counter advances when this was
+// a retrain rather than the initial fit.
+func (m *Manager) Train(ds *dataset.Dataset) error {
+	p := m.build()
+	if p == nil {
+		return fmt.Errorf("lifecycle: pipeline builder returned nil")
+	}
+	if err := p.Fit(ds); err != nil {
+		return fmt.Errorf("lifecycle: training: %w", err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.trained {
+		m.retrains++
+	}
+	m.pipeline = p
+	m.trained = true
+	m.monitor.Reset()
+	return nil
+}
+
+// Observe records one data update of the given payload size. When the
+// trigger fires, the manager retrains on current (the up-to-date training
+// data) and reports retrained = true. Observing before the initial Train
+// is an error.
+func (m *Manager) Observe(updateBytes int, current *dataset.Dataset) (retrained bool, err error) {
+	m.mu.RLock()
+	trained := m.trained
+	m.mu.RUnlock()
+	if !trained {
+		return false, fmt.Errorf("%w: call Train before Observe", ErrNotTrained)
+	}
+	m.monitor.RecordUpdate(updateBytes)
+	if !m.monitor.Check() {
+		return false, nil
+	}
+	if err := m.Train(current); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Predict serves predictions from the currently deployed model.
+func (m *Manager) Predict(ds *dataset.Dataset) ([]float64, error) {
+	m.mu.RLock()
+	p := m.pipeline
+	m.mu.RUnlock()
+	if p == nil {
+		return nil, ErrNotTrained
+	}
+	return p.Predict(ds)
+}
+
+// Retrains counts completed retrainings (excluding the initial Train).
+func (m *Manager) Retrains() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.retrains
+}
+
+// PendingUpdates reports the update statistics accumulated since the last
+// (re)training.
+func (m *Manager) PendingUpdates() replication.UpdateStats {
+	return m.monitor.Stats()
+}

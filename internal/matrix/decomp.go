@@ -1,0 +1,166 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SolveLeastSquares returns x minimizing ||A*x - b||_2 using Householder QR
+// with column-norm-based rank handling. A is rows x cols with rows >= cols
+// required; b has len rows.
+func SolveLeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	if a.rows != len(b) {
+		return nil, fmt.Errorf("%w: lstsq A %dx%d, b %d", ErrShape, a.rows, a.cols, len(b))
+	}
+	if a.rows < a.cols {
+		return nil, fmt.Errorf("%w: lstsq underdetermined %dx%d", ErrShape, a.rows, a.cols)
+	}
+	m, n := a.rows, a.cols
+	r := a.Clone()
+	y := make([]float64, m)
+	copy(y, b)
+
+	// Householder QR: transform R in place, apply the same reflections to y.
+	for k := 0; k < n; k++ {
+		// Compute the norm of column k below the diagonal.
+		norm := 0.0
+		for i := k; i < m; i++ {
+			v := r.At(i, k)
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			continue // rank-deficient column; leave zeros, coefficient stays 0
+		}
+		if r.At(k, k) > 0 {
+			norm = -norm
+		}
+		// Householder vector v stored in column k below diagonal.
+		for i := k; i < m; i++ {
+			r.Set(i, k, r.At(i, k)/norm)
+		}
+		r.Set(k, k, r.At(k, k)+1)
+		// Apply reflection to remaining columns.
+		for j := k + 1; j < n; j++ {
+			s := 0.0
+			for i := k; i < m; i++ {
+				s += r.At(i, k) * r.At(i, j)
+			}
+			s = -s / r.At(k, k)
+			for i := k; i < m; i++ {
+				r.Set(i, j, r.At(i, j)+s*r.At(i, k))
+			}
+		}
+		// Apply reflection to y.
+		s := 0.0
+		for i := k; i < m; i++ {
+			s += r.At(i, k) * y[i]
+		}
+		s = -s / r.At(k, k)
+		for i := k; i < m; i++ {
+			y[i] += s * r.At(i, k)
+		}
+		r.Set(k, k, -norm)
+	}
+
+	// Back substitution on the upper-triangular part of r.
+	x := make([]float64, n)
+	for k := n - 1; k >= 0; k-- {
+		d := r.At(k, k)
+		if math.Abs(d) < 1e-12 {
+			x[k] = 0
+			continue
+		}
+		s := y[k]
+		for j := k + 1; j < n; j++ {
+			s -= r.At(k, j) * x[j]
+		}
+		x[k] = s / d
+	}
+	return x, nil
+}
+
+// SymEig computes the eigendecomposition of a symmetric matrix using the
+// cyclic Jacobi method. It returns eigenvalues in descending order and the
+// corresponding eigenvectors as the columns of the returned matrix.
+func SymEig(a *Matrix) (vals []float64, vecs *Matrix, err error) {
+	if a.rows != a.cols {
+		return nil, nil, fmt.Errorf("%w: symeig on %dx%d", ErrShape, a.rows, a.cols)
+	}
+	n := a.rows
+	s := a.Clone()
+	v := Identity(n)
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += s.At(i, j) * s.At(i, j)
+			}
+		}
+		if off < 1e-22 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := s.At(p, q)
+				if math.Abs(apq) < 1e-18 {
+					continue
+				}
+				app, aqq := s.At(p, p), s.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				sn := t * c
+				// Rotate rows/columns p and q of s.
+				for k := 0; k < n; k++ {
+					skp, skq := s.At(k, p), s.At(k, q)
+					s.Set(k, p, c*skp-sn*skq)
+					s.Set(k, q, sn*skp+c*skq)
+				}
+				for k := 0; k < n; k++ {
+					spk, sqk := s.At(p, k), s.At(q, k)
+					s.Set(p, k, c*spk-sn*sqk)
+					s.Set(q, k, sn*spk+c*sqk)
+				}
+				// Accumulate eigenvectors.
+				for k := 0; k < n; k++ {
+					vkp, vkq := v.At(k, p), v.At(k, q)
+					v.Set(k, p, c*vkp-sn*vkq)
+					v.Set(k, q, sn*vkp+c*vkq)
+				}
+			}
+		}
+	}
+
+	vals = make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = s.At(i, i)
+	}
+	// Sort eigenpairs by descending eigenvalue.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return vals[order[a]] > vals[order[b]] })
+	sortedVals := make([]float64, n)
+	sortedVecs := New(n, n)
+	for newJ, oldJ := range order {
+		sortedVals[newJ] = vals[oldJ]
+		for i := 0; i < n; i++ {
+			sortedVecs.Set(i, newJ, v.At(i, oldJ))
+		}
+	}
+	return sortedVals, sortedVecs, nil
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}

@@ -1,0 +1,344 @@
+// Package matrix provides the dense linear-algebra substrate used by every
+// analytics component in coda: row-major float64 matrices with arithmetic,
+// QR-based least squares, and a Jacobi eigendecomposition for PCA.
+//
+// The package is deliberately small and allocation-conscious rather than a
+// general BLAS replacement; components in internal/preprocess,
+// internal/mlmodels and internal/nn only need the operations defined here.
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrShape is returned (wrapped) whenever operand dimensions are incompatible.
+var ErrShape = errors.New("matrix: incompatible shapes")
+
+// Matrix is a dense, row-major matrix of float64 values.
+//
+// The zero value is an empty 0x0 matrix. Use New or NewFromRows to build
+// non-empty matrices.
+type Matrix struct {
+	rows, cols int
+	data       []float64 // len == rows*cols, row-major
+}
+
+// New returns a zeroed rows x cols matrix.
+// It panics if rows or cols is negative; a zero dimension is allowed.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("matrix: negative dimension %dx%d", rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// NewFromRows builds a matrix from a slice of equal-length rows, copying the
+// data. It returns an error if rows are ragged.
+func NewFromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 {
+		return New(0, 0), nil
+	}
+	cols := len(rows[0])
+	m := New(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("%w: row %d has %d cols, want %d", ErrShape, i, len(r), cols)
+		}
+		copy(m.data[i*cols:(i+1)*cols], r)
+	}
+	return m, nil
+}
+
+// FromSlice wraps an existing row-major backing slice without copying.
+// len(data) must equal rows*cols.
+func FromSlice(rows, cols int, data []float64) (*Matrix, error) {
+	if len(data) != rows*cols {
+		return nil, fmt.Errorf("%w: data length %d != %d*%d", ErrShape, len(data), rows, cols)
+	}
+	return &Matrix{rows: rows, cols: cols, data: data}, nil
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns v to the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Row returns a view (not a copy) of row i as a slice.
+func (m *Matrix) Row(i int) []float64 { return m.data[i*m.cols : (i+1)*m.cols] }
+
+// RowCopy returns a copy of row i.
+func (m *Matrix) RowCopy(i int) []float64 {
+	out := make([]float64, m.cols)
+	copy(out, m.Row(i))
+	return out
+}
+
+// ColCopy returns a copy of column j.
+func (m *Matrix) ColCopy(j int) []float64 {
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = m.At(i, j)
+	}
+	return out
+}
+
+// Data returns the underlying row-major backing slice (not a copy).
+func (m *Matrix) Data() []float64 { return m.data }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// SelectRows returns a new matrix containing rows idx (in order), copying data.
+func (m *Matrix) SelectRows(idx []int) *Matrix {
+	out := New(len(idx), m.cols)
+	for k, i := range idx {
+		copy(out.Row(k), m.Row(i))
+	}
+	return out
+}
+
+// SelectCols returns a new matrix containing columns idx (in order).
+func (m *Matrix) SelectCols(idx []int) *Matrix {
+	out := New(m.rows, len(idx))
+	for i := 0; i < m.rows; i++ {
+		src := m.Row(i)
+		dst := out.Row(i)
+		for k, j := range idx {
+			dst[k] = src[j]
+		}
+	}
+	return out
+}
+
+// SliceRows returns a copy of rows [a, b).
+func (m *Matrix) SliceRows(a, b int) *Matrix {
+	out := New(b-a, m.cols)
+	copy(out.data, m.data[a*m.cols:b*m.cols])
+	return out
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Matrix) T() *Matrix {
+	out := New(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.data[j*m.rows+i] = v
+		}
+	}
+	return out
+}
+
+// Add returns m + b.
+func (m *Matrix) Add(b *Matrix) (*Matrix, error) {
+	if m.rows != b.rows || m.cols != b.cols {
+		return nil, fmt.Errorf("%w: add %dx%d and %dx%d", ErrShape, m.rows, m.cols, b.rows, b.cols)
+	}
+	out := m.Clone()
+	for i, v := range b.data {
+		out.data[i] += v
+	}
+	return out, nil
+}
+
+// Sub returns m - b.
+func (m *Matrix) Sub(b *Matrix) (*Matrix, error) {
+	if m.rows != b.rows || m.cols != b.cols {
+		return nil, fmt.Errorf("%w: sub %dx%d and %dx%d", ErrShape, m.rows, m.cols, b.rows, b.cols)
+	}
+	out := m.Clone()
+	for i, v := range b.data {
+		out.data[i] -= v
+	}
+	return out, nil
+}
+
+// Scale returns s*m as a new matrix.
+func (m *Matrix) Scale(s float64) *Matrix {
+	out := m.Clone()
+	for i := range out.data {
+		out.data[i] *= s
+	}
+	return out
+}
+
+// Mul returns the matrix product m*b.
+func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
+	if m.cols != b.rows {
+		return nil, fmt.Errorf("%w: mul %dx%d by %dx%d", ErrShape, m.rows, m.cols, b.rows, b.cols)
+	}
+	out := New(m.rows, b.cols)
+	for i := 0; i < m.rows; i++ {
+		arow := m.Row(i)
+		orow := out.Row(i)
+		for k, a := range arow {
+			if a == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += a * bv
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns the matrix-vector product m*v.
+func (m *Matrix) MulVec(v []float64) ([]float64, error) {
+	if m.cols != len(v) {
+		return nil, fmt.Errorf("%w: mulvec %dx%d by %d", ErrShape, m.rows, m.cols, len(v))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		s := 0.0
+		for j, a := range row {
+			s += a * v[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// ColMeans returns the per-column mean.
+func (m *Matrix) ColMeans() []float64 {
+	means := make([]float64, m.cols)
+	if m.rows == 0 {
+		return means
+	}
+	for i := 0; i < m.rows; i++ {
+		for j, v := range m.Row(i) {
+			means[j] += v
+		}
+	}
+	for j := range means {
+		means[j] /= float64(m.rows)
+	}
+	return means
+}
+
+// ColStds returns the per-column (population) standard deviation.
+func (m *Matrix) ColStds() []float64 {
+	stds := make([]float64, m.cols)
+	if m.rows == 0 {
+		return stds
+	}
+	means := m.ColMeans()
+	for i := 0; i < m.rows; i++ {
+		for j, v := range m.Row(i) {
+			d := v - means[j]
+			stds[j] += d * d
+		}
+	}
+	for j := range stds {
+		stds[j] = math.Sqrt(stds[j] / float64(m.rows))
+	}
+	return stds
+}
+
+// ColMins returns the per-column minimum. For an empty matrix all zeros.
+func (m *Matrix) ColMins() []float64 {
+	mins := make([]float64, m.cols)
+	if m.rows == 0 {
+		return mins
+	}
+	copy(mins, m.Row(0))
+	for i := 1; i < m.rows; i++ {
+		for j, v := range m.Row(i) {
+			if v < mins[j] {
+				mins[j] = v
+			}
+		}
+	}
+	return mins
+}
+
+// ColMaxs returns the per-column maximum. For an empty matrix all zeros.
+func (m *Matrix) ColMaxs() []float64 {
+	maxs := make([]float64, m.cols)
+	if m.rows == 0 {
+		return maxs
+	}
+	copy(maxs, m.Row(0))
+	for i := 1; i < m.rows; i++ {
+		for j, v := range m.Row(i) {
+			if v > maxs[j] {
+				maxs[j] = v
+			}
+		}
+	}
+	return maxs
+}
+
+// Covariance returns the cols x cols sample covariance matrix of m's columns.
+// With fewer than two rows, the result is all zeros.
+func (m *Matrix) Covariance() *Matrix {
+	cov := New(m.cols, m.cols)
+	if m.rows < 2 {
+		return cov
+	}
+	means := m.ColMeans()
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for a := 0; a < m.cols; a++ {
+			da := row[a] - means[a]
+			crow := cov.Row(a)
+			for b := a; b < m.cols; b++ {
+				crow[b] += da * (row[b] - means[b])
+			}
+		}
+	}
+	n := float64(m.rows - 1)
+	for a := 0; a < m.cols; a++ {
+		for b := a; b < m.cols; b++ {
+			v := cov.At(a, b) / n
+			cov.Set(a, b, v)
+			cov.Set(b, a, v)
+		}
+	}
+	return cov
+}
+
+// Equal reports whether m and b have identical shape and all entries within
+// tol of each other.
+func (m *Matrix) Equal(b *Matrix, tol float64) bool {
+	if m.rows != b.rows || m.cols != b.cols {
+		return false
+	}
+	for i, v := range m.data {
+		if math.Abs(v-b.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders small matrices for debugging.
+func (m *Matrix) String() string {
+	s := fmt.Sprintf("Matrix(%dx%d)", m.rows, m.cols)
+	if m.rows*m.cols <= 64 {
+		s += "["
+		for i := 0; i < m.rows; i++ {
+			s += fmt.Sprintf("%v", m.Row(i))
+			if i != m.rows-1 {
+				s += "; "
+			}
+		}
+		s += "]"
+	}
+	return s
+}

@@ -1,0 +1,42 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"coda/internal/matrix"
+)
+
+func benchForwardBackward(b *testing.B, layer Layer, in *matrix.Matrix) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, err := layer.Forward(in, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := layer.Backward(out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDenseForwardBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	benchForwardBackward(b, NewDense(64, 64, rng), randInput(rng, 32, 64))
+}
+
+func BenchmarkLSTMForwardBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	benchForwardBackward(b, NewLSTM(16, 4, 16, rng), randInput(rng, 32, 64))
+}
+
+func BenchmarkConv1DCausalDilated(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	benchForwardBackward(b, NewConv1D(64, 4, 8, 2, 4, true, rng), randInput(rng, 32, 256))
+}
+
+func BenchmarkGatedResidualBlock(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	benchForwardBackward(b, NewGatedResidualBlock(32, 8, 2, 2, rng), randInput(rng, 16, 256))
+}

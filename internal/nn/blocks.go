@@ -1,0 +1,184 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"coda/internal/matrix"
+)
+
+// GatedResidualBlock is one WaveNet building block: two dilated causal
+// convolutions feed a gated activation tanh(f) * sigmoid(g), a 1x1
+// convolution projects the result back, and the block output adds the
+// input (residual connection). Channel count is preserved so blocks stack.
+type GatedResidualBlock struct {
+	SeqLen   int
+	Channels int
+
+	convF, convG *Conv1D // dilated causal convs
+	proj         *Conv1D // 1x1 projection
+
+	lastA, lastB *matrix.Matrix // pre-activation conv outputs
+	lastGated    *matrix.Matrix
+}
+
+// NewGatedResidualBlock builds a block with the given kernel and dilation.
+func NewGatedResidualBlock(seqLen, channels, kernel, dilation int, rng *rand.Rand) *GatedResidualBlock {
+	return &GatedResidualBlock{
+		SeqLen:   seqLen,
+		Channels: channels,
+		convF:    NewConv1D(seqLen, channels, channels, kernel, dilation, true, rng),
+		convG:    NewConv1D(seqLen, channels, channels, kernel, dilation, true, rng),
+		proj:     NewConv1D(seqLen, channels, channels, 1, 1, true, rng),
+	}
+}
+
+// Forward computes x + proj(tanh(convF(x)) * sigmoid(convG(x))).
+func (b *GatedResidualBlock) Forward(x *matrix.Matrix, training bool) (*matrix.Matrix, error) {
+	a, err := b.convF.Forward(x, training)
+	if err != nil {
+		return nil, fmt.Errorf("nn: gated block filter conv: %w", err)
+	}
+	g, err := b.convG.Forward(x, training)
+	if err != nil {
+		return nil, fmt.Errorf("nn: gated block gate conv: %w", err)
+	}
+	b.lastA, b.lastB = a, g
+	gated := matrix.New(a.Rows(), a.Cols())
+	ad, gd, od := a.Data(), g.Data(), gated.Data()
+	for i := range od {
+		od[i] = math.Tanh(ad[i]) * sigmoidNN(gd[i])
+	}
+	b.lastGated = gated
+	r, err := b.proj.Forward(gated, training)
+	if err != nil {
+		return nil, fmt.Errorf("nn: gated block projection: %w", err)
+	}
+	out, err := x.Add(r)
+	if err != nil {
+		return nil, fmt.Errorf("nn: gated block residual: %w", err)
+	}
+	return out, nil
+}
+
+// Backward propagates through the residual sum, gate, and convolutions.
+func (b *GatedResidualBlock) Backward(grad *matrix.Matrix) (*matrix.Matrix, error) {
+	if b.lastA == nil {
+		return nil, fmt.Errorf("nn: gated block backward before forward")
+	}
+	dGated, err := b.proj.Backward(grad)
+	if err != nil {
+		return nil, fmt.Errorf("nn: gated block projection backward: %w", err)
+	}
+	da := matrix.New(dGated.Rows(), dGated.Cols())
+	db := matrix.New(dGated.Rows(), dGated.Cols())
+	ad, gd := b.lastA.Data(), b.lastB.Data()
+	dgd, dad, dbd := dGated.Data(), da.Data(), db.Data()
+	for i := range dgd {
+		ta := math.Tanh(ad[i])
+		sg := sigmoidNN(gd[i])
+		dad[i] = dgd[i] * sg * (1 - ta*ta)
+		dbd[i] = dgd[i] * ta * sg * (1 - sg)
+	}
+	dxF, err := b.convF.Backward(da)
+	if err != nil {
+		return nil, fmt.Errorf("nn: gated block filter backward: %w", err)
+	}
+	dxG, err := b.convG.Backward(db)
+	if err != nil {
+		return nil, fmt.Errorf("nn: gated block gate backward: %w", err)
+	}
+	// dx = grad (residual path) + filter path + gate path.
+	dx, err := grad.Add(dxF)
+	if err != nil {
+		return nil, fmt.Errorf("nn: gated block residual grad: %w", err)
+	}
+	dx, err = dx.Add(dxG)
+	if err != nil {
+		return nil, fmt.Errorf("nn: gated block gate grad: %w", err)
+	}
+	return dx, nil
+}
+
+// Parameters implements Layer.
+func (b *GatedResidualBlock) Parameters() []*Param {
+	var out []*Param
+	out = append(out, b.convF.Parameters()...)
+	out = append(out, b.convG.Parameters()...)
+	out = append(out, b.proj.Parameters()...)
+	return out
+}
+
+// ResidualConvBlock is the SeriesNet-style block: a dilated causal
+// convolution with ReLU, a 1x1 projection, and a linear residual
+// connection (no gating).
+type ResidualConvBlock struct {
+	SeqLen   int
+	Channels int
+
+	conv *Conv1D
+	proj *Conv1D
+	relu *ReLU
+}
+
+// NewResidualConvBlock builds a block with the given kernel and dilation.
+func NewResidualConvBlock(seqLen, channels, kernel, dilation int, rng *rand.Rand) *ResidualConvBlock {
+	return &ResidualConvBlock{
+		SeqLen:   seqLen,
+		Channels: channels,
+		conv:     NewConv1D(seqLen, channels, channels, kernel, dilation, true, rng),
+		proj:     NewConv1D(seqLen, channels, channels, 1, 1, true, rng),
+		relu:     NewReLU(),
+	}
+}
+
+// Forward computes x + proj(relu(conv(x))).
+func (b *ResidualConvBlock) Forward(x *matrix.Matrix, training bool) (*matrix.Matrix, error) {
+	z, err := b.conv.Forward(x, training)
+	if err != nil {
+		return nil, fmt.Errorf("nn: residual block conv: %w", err)
+	}
+	z, err = b.relu.Forward(z, training)
+	if err != nil {
+		return nil, fmt.Errorf("nn: residual block relu: %w", err)
+	}
+	r, err := b.proj.Forward(z, training)
+	if err != nil {
+		return nil, fmt.Errorf("nn: residual block projection: %w", err)
+	}
+	out, err := x.Add(r)
+	if err != nil {
+		return nil, fmt.Errorf("nn: residual block sum: %w", err)
+	}
+	return out, nil
+}
+
+// Backward propagates through the residual sum and convolutions.
+func (b *ResidualConvBlock) Backward(grad *matrix.Matrix) (*matrix.Matrix, error) {
+	dz, err := b.proj.Backward(grad)
+	if err != nil {
+		return nil, fmt.Errorf("nn: residual block projection backward: %w", err)
+	}
+	dz, err = b.relu.Backward(dz)
+	if err != nil {
+		return nil, fmt.Errorf("nn: residual block relu backward: %w", err)
+	}
+	dxC, err := b.conv.Backward(dz)
+	if err != nil {
+		return nil, fmt.Errorf("nn: residual block conv backward: %w", err)
+	}
+	dx, err := grad.Add(dxC)
+	if err != nil {
+		return nil, fmt.Errorf("nn: residual block grad sum: %w", err)
+	}
+	return dx, nil
+}
+
+// Parameters implements Layer.
+func (b *ResidualConvBlock) Parameters() []*Param {
+	var out []*Param
+	out = append(out, b.conv.Parameters()...)
+	out = append(out, b.proj.Parameters()...)
+	return out
+}

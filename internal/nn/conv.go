@@ -1,0 +1,263 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"coda/internal/matrix"
+)
+
+// Conv1D is a 1-D convolution over time-major sequence rows. With Causal
+// set, the output has the same length as the input and position t sees only
+// inputs at or before t (left zero padding), enabling the WaveNet-style
+// dilated stacks; otherwise the convolution is "valid" and the output
+// shrinks by (Kernel-1)*Dilation timesteps.
+type Conv1D struct {
+	SeqLen     int // input timesteps
+	InChannels int
+	Filters    int
+	Kernel     int
+	Dilation   int  // 1 = ordinary convolution
+	Causal     bool // left-pad so output length == SeqLen
+
+	w, b  *Param // w is (Kernel*InChannels) x Filters
+	lastX *matrix.Matrix
+}
+
+// NewConv1D builds a convolution with He-uniform initialization.
+func NewConv1D(seqLen, inChannels, filters, kernel, dilation int, causal bool, rng *rand.Rand) *Conv1D {
+	if dilation < 1 {
+		dilation = 1
+	}
+	c := &Conv1D{
+		SeqLen: seqLen, InChannels: inChannels, Filters: filters,
+		Kernel: kernel, Dilation: dilation, Causal: causal,
+		w: newParam(kernel*inChannels, filters), b: newParam(1, filters),
+	}
+	limit := math.Sqrt(6.0 / float64(kernel*inChannels))
+	wd := c.w.W.Data()
+	for i := range wd {
+		wd[i] = (2*rng.Float64() - 1) * limit
+	}
+	return c
+}
+
+// OutLen returns the output sequence length.
+func (c *Conv1D) OutLen() int {
+	if c.Causal {
+		return c.SeqLen
+	}
+	return c.SeqLen - (c.Kernel-1)*c.Dilation
+}
+
+// inTime maps (output timestep t, kernel tap k) to the input timestep, or
+// -1 when the tap falls into the causal zero padding.
+func (c *Conv1D) inTime(t, k int) int {
+	if c.Causal {
+		tin := t - (c.Kernel-1-k)*c.Dilation
+		if tin < 0 {
+			return -1
+		}
+		return tin
+	}
+	return t + k*c.Dilation
+}
+
+// Forward applies the convolution to every row.
+func (c *Conv1D) Forward(x *matrix.Matrix, _ bool) (*matrix.Matrix, error) {
+	if x.Cols() != c.SeqLen*c.InChannels {
+		return nil, fmt.Errorf("%w: conv1d expects %d cols (%d x %d), got %d", ErrShape, c.SeqLen*c.InChannels, c.SeqLen, c.InChannels, x.Cols())
+	}
+	outLen := c.OutLen()
+	if outLen < 1 {
+		return nil, fmt.Errorf("%w: conv1d kernel %d dilation %d too large for %d steps", ErrShape, c.Kernel, c.Dilation, c.SeqLen)
+	}
+	c.lastX = x
+	out := matrix.New(x.Rows(), outLen*c.Filters)
+	w := c.w.W
+	bias := c.b.W.Row(0)
+	for i := 0; i < x.Rows(); i++ {
+		in := x.Row(i)
+		dst := out.Row(i)
+		for t := 0; t < outLen; t++ {
+			for f := 0; f < c.Filters; f++ {
+				s := bias[f]
+				for k := 0; k < c.Kernel; k++ {
+					tin := c.inTime(t, k)
+					if tin < 0 {
+						continue
+					}
+					base := tin * c.InChannels
+					for ch := 0; ch < c.InChannels; ch++ {
+						s += w.At(k*c.InChannels+ch, f) * in[base+ch]
+					}
+				}
+				dst[t*c.Filters+f] = s
+			}
+		}
+	}
+	return out, nil
+}
+
+// Backward accumulates weight/bias gradients and returns the input gradient.
+func (c *Conv1D) Backward(grad *matrix.Matrix) (*matrix.Matrix, error) {
+	if c.lastX == nil {
+		return nil, fmt.Errorf("nn: conv1d backward before forward")
+	}
+	outLen := c.OutLen()
+	if grad.Cols() != outLen*c.Filters || grad.Rows() != c.lastX.Rows() {
+		return nil, fmt.Errorf("%w: conv1d backward grad %dx%d", ErrShape, grad.Rows(), grad.Cols())
+	}
+	dx := matrix.New(c.lastX.Rows(), c.lastX.Cols())
+	wGrad := c.w.Grad
+	bGrad := c.b.Grad.Row(0)
+	w := c.w.W
+	for i := 0; i < grad.Rows(); i++ {
+		in := c.lastX.Row(i)
+		dIn := dx.Row(i)
+		g := grad.Row(i)
+		for t := 0; t < outLen; t++ {
+			for f := 0; f < c.Filters; f++ {
+				gv := g[t*c.Filters+f]
+				if gv == 0 {
+					continue
+				}
+				bGrad[f] += gv
+				for k := 0; k < c.Kernel; k++ {
+					tin := c.inTime(t, k)
+					if tin < 0 {
+						continue
+					}
+					base := tin * c.InChannels
+					for ch := 0; ch < c.InChannels; ch++ {
+						wi := k*c.InChannels + ch
+						wGrad.Set(wi, f, wGrad.At(wi, f)+gv*in[base+ch])
+						dIn[base+ch] += gv * w.At(wi, f)
+					}
+				}
+			}
+		}
+	}
+	return dx, nil
+}
+
+// Parameters implements Layer.
+func (c *Conv1D) Parameters() []*Param { return []*Param{c.w, c.b} }
+
+// MaxPool1D downsamples each channel by taking the maximum over
+// non-overlapping windows of Pool timesteps.
+type MaxPool1D struct {
+	SeqLen   int
+	Channels int
+	Pool     int
+
+	argmax []int // per forward: flattened output position -> input col
+	rows   int
+}
+
+// NewMaxPool1D builds a pooling layer; SeqLen must be >= Pool.
+func NewMaxPool1D(seqLen, channels, pool int) *MaxPool1D {
+	return &MaxPool1D{SeqLen: seqLen, Channels: channels, Pool: pool}
+}
+
+// OutLen returns the pooled sequence length.
+func (m *MaxPool1D) OutLen() int { return m.SeqLen / m.Pool }
+
+// Forward pools each row.
+func (m *MaxPool1D) Forward(x *matrix.Matrix, _ bool) (*matrix.Matrix, error) {
+	if m.Pool < 1 || m.OutLen() < 1 {
+		return nil, fmt.Errorf("%w: maxpool pool=%d over %d steps", ErrShape, m.Pool, m.SeqLen)
+	}
+	if x.Cols() != m.SeqLen*m.Channels {
+		return nil, fmt.Errorf("%w: maxpool expects %d cols, got %d", ErrShape, m.SeqLen*m.Channels, x.Cols())
+	}
+	outLen := m.OutLen()
+	out := matrix.New(x.Rows(), outLen*m.Channels)
+	m.rows = x.Rows()
+	m.argmax = make([]int, x.Rows()*outLen*m.Channels)
+	for i := 0; i < x.Rows(); i++ {
+		in := x.Row(i)
+		dst := out.Row(i)
+		for t := 0; t < outLen; t++ {
+			for ch := 0; ch < m.Channels; ch++ {
+				best := math.Inf(-1)
+				bestCol := -1
+				for k := 0; k < m.Pool; k++ {
+					col := (t*m.Pool+k)*m.Channels + ch
+					if in[col] > best {
+						best = in[col]
+						bestCol = col
+					}
+				}
+				outPos := t*m.Channels + ch
+				dst[outPos] = best
+				m.argmax[i*outLen*m.Channels+outPos] = bestCol
+			}
+		}
+	}
+	return out, nil
+}
+
+// Backward routes gradients to the argmax positions.
+func (m *MaxPool1D) Backward(grad *matrix.Matrix) (*matrix.Matrix, error) {
+	outLen := m.OutLen()
+	if m.argmax == nil || grad.Rows() != m.rows || grad.Cols() != outLen*m.Channels {
+		return nil, fmt.Errorf("%w: maxpool backward without matching forward", ErrShape)
+	}
+	dx := matrix.New(m.rows, m.SeqLen*m.Channels)
+	for i := 0; i < grad.Rows(); i++ {
+		g := grad.Row(i)
+		dIn := dx.Row(i)
+		for pos, gv := range g {
+			dIn[m.argmax[i*outLen*m.Channels+pos]] += gv
+		}
+	}
+	return dx, nil
+}
+
+// Parameters implements Layer.
+func (m *MaxPool1D) Parameters() []*Param { return nil }
+
+// LastTimestep extracts the final timestep's channel vector from a sequence
+// row, the standard head for causal stacks: (batch, T*C) -> (batch, C).
+type LastTimestep struct {
+	SeqLen   int
+	Channels int
+	rows     int
+}
+
+// NewLastTimestep builds the extraction layer.
+func NewLastTimestep(seqLen, channels int) *LastTimestep {
+	return &LastTimestep{SeqLen: seqLen, Channels: channels}
+}
+
+// Forward slices out the last timestep.
+func (l *LastTimestep) Forward(x *matrix.Matrix, _ bool) (*matrix.Matrix, error) {
+	if x.Cols() != l.SeqLen*l.Channels {
+		return nil, fmt.Errorf("%w: lasttimestep expects %d cols, got %d", ErrShape, l.SeqLen*l.Channels, x.Cols())
+	}
+	l.rows = x.Rows()
+	out := matrix.New(x.Rows(), l.Channels)
+	off := (l.SeqLen - 1) * l.Channels
+	for i := 0; i < x.Rows(); i++ {
+		copy(out.Row(i), x.Row(i)[off:off+l.Channels])
+	}
+	return out, nil
+}
+
+// Backward scatters the gradient into the last timestep slot.
+func (l *LastTimestep) Backward(grad *matrix.Matrix) (*matrix.Matrix, error) {
+	if grad.Rows() != l.rows || grad.Cols() != l.Channels {
+		return nil, fmt.Errorf("%w: lasttimestep backward grad %dx%d", ErrShape, grad.Rows(), grad.Cols())
+	}
+	dx := matrix.New(l.rows, l.SeqLen*l.Channels)
+	off := (l.SeqLen - 1) * l.Channels
+	for i := 0; i < grad.Rows(); i++ {
+		copy(dx.Row(i)[off:off+l.Channels], grad.Row(i))
+	}
+	return dx, nil
+}
+
+// Parameters implements Layer.
+func (l *LastTimestep) Parameters() []*Param { return nil }

@@ -1,0 +1,210 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"coda/internal/matrix"
+)
+
+// Dense is a fully-connected layer: out = x*W + b.
+type Dense struct {
+	In, Out int
+	w, b    *Param
+	lastX   *matrix.Matrix
+}
+
+// NewDense builds a Dense layer with Glorot-uniform initialization from rng.
+func NewDense(in, out int, rng *rand.Rand) *Dense {
+	d := &Dense{In: in, Out: out, w: newParam(in, out), b: newParam(1, out)}
+	limit := math.Sqrt(6.0 / float64(in+out))
+	wd := d.w.W.Data()
+	for i := range wd {
+		wd[i] = (2*rng.Float64() - 1) * limit
+	}
+	return d
+}
+
+// Forward computes x*W + b.
+func (d *Dense) Forward(x *matrix.Matrix, _ bool) (*matrix.Matrix, error) {
+	if x.Cols() != d.In {
+		return nil, fmt.Errorf("%w: dense expects %d inputs, got %d", ErrShape, d.In, x.Cols())
+	}
+	d.lastX = x
+	out, err := x.Mul(d.w.W)
+	if err != nil {
+		return nil, fmt.Errorf("nn: dense forward: %w", err)
+	}
+	bias := d.b.W.Row(0)
+	for i := 0; i < out.Rows(); i++ {
+		row := out.Row(i)
+		for j := range row {
+			row[j] += bias[j]
+		}
+	}
+	return out, nil
+}
+
+// Backward accumulates dW = x^T*grad, db = colsum(grad), returns grad*W^T.
+func (d *Dense) Backward(grad *matrix.Matrix) (*matrix.Matrix, error) {
+	if d.lastX == nil {
+		return nil, fmt.Errorf("nn: dense backward before forward")
+	}
+	dw, err := d.lastX.T().Mul(grad)
+	if err != nil {
+		return nil, fmt.Errorf("nn: dense backward dW: %w", err)
+	}
+	wd := d.w.Grad.Data()
+	for i, v := range dw.Data() {
+		wd[i] += v
+	}
+	bd := d.b.Grad.Row(0)
+	for i := 0; i < grad.Rows(); i++ {
+		for j, v := range grad.Row(i) {
+			bd[j] += v
+		}
+	}
+	dx, err := grad.Mul(d.w.W.T())
+	if err != nil {
+		return nil, fmt.Errorf("nn: dense backward dX: %w", err)
+	}
+	return dx, nil
+}
+
+// Parameters implements Layer.
+func (d *Dense) Parameters() []*Param { return []*Param{d.w, d.b} }
+
+// ReLU applies max(0, x) elementwise.
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU returns a ReLU activation.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward applies the activation.
+func (r *ReLU) Forward(x *matrix.Matrix, _ bool) (*matrix.Matrix, error) {
+	out := x.Clone()
+	d := out.Data()
+	r.mask = make([]bool, len(d))
+	for i, v := range d {
+		if v > 0 {
+			r.mask[i] = true
+		} else {
+			d[i] = 0
+		}
+	}
+	return out, nil
+}
+
+// Backward gates gradients through the positive mask.
+func (r *ReLU) Backward(grad *matrix.Matrix) (*matrix.Matrix, error) {
+	if r.mask == nil || len(r.mask) != len(grad.Data()) {
+		return nil, fmt.Errorf("%w: relu backward without matching forward", ErrShape)
+	}
+	out := grad.Clone()
+	d := out.Data()
+	for i := range d {
+		if !r.mask[i] {
+			d[i] = 0
+		}
+	}
+	return out, nil
+}
+
+// Parameters implements Layer.
+func (r *ReLU) Parameters() []*Param { return nil }
+
+// Tanh applies tanh elementwise.
+type Tanh struct {
+	lastOut *matrix.Matrix
+}
+
+// NewTanh returns a tanh activation.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Forward applies tanh.
+func (t *Tanh) Forward(x *matrix.Matrix, _ bool) (*matrix.Matrix, error) {
+	out := x.Clone()
+	d := out.Data()
+	for i, v := range d {
+		d[i] = math.Tanh(v)
+	}
+	t.lastOut = out
+	return out, nil
+}
+
+// Backward multiplies by 1 - tanh^2.
+func (t *Tanh) Backward(grad *matrix.Matrix) (*matrix.Matrix, error) {
+	if t.lastOut == nil || len(t.lastOut.Data()) != len(grad.Data()) {
+		return nil, fmt.Errorf("%w: tanh backward without matching forward", ErrShape)
+	}
+	out := grad.Clone()
+	d := out.Data()
+	o := t.lastOut.Data()
+	for i := range d {
+		d[i] *= 1 - o[i]*o[i]
+	}
+	return out, nil
+}
+
+// Parameters implements Layer.
+func (t *Tanh) Parameters() []*Param { return nil }
+
+// Dropout zeroes each activation with probability Rate during training,
+// scaling survivors by 1/(1-Rate) (inverted dropout); inference is identity.
+type Dropout struct {
+	Rate float64
+	rng  *rand.Rand
+	mask []float64
+}
+
+// NewDropout builds a dropout layer; rate must be in [0, 1).
+func NewDropout(rate float64, rng *rand.Rand) *Dropout {
+	return &Dropout{Rate: rate, rng: rng}
+}
+
+// Forward applies the stochastic mask during training.
+func (d *Dropout) Forward(x *matrix.Matrix, training bool) (*matrix.Matrix, error) {
+	if d.Rate < 0 || d.Rate >= 1 {
+		return nil, fmt.Errorf("nn: dropout rate %v outside [0,1)", d.Rate)
+	}
+	if !training || d.Rate == 0 {
+		d.mask = nil
+		return x, nil
+	}
+	out := x.Clone()
+	data := out.Data()
+	d.mask = make([]float64, len(data))
+	keep := 1 - d.Rate
+	for i := range data {
+		if d.rng.Float64() < keep {
+			d.mask[i] = 1 / keep
+			data[i] *= d.mask[i]
+		} else {
+			d.mask[i] = 0
+			data[i] = 0
+		}
+	}
+	return out, nil
+}
+
+// Backward applies the same mask to the gradient.
+func (d *Dropout) Backward(grad *matrix.Matrix) (*matrix.Matrix, error) {
+	if d.mask == nil {
+		return grad, nil
+	}
+	if len(d.mask) != len(grad.Data()) {
+		return nil, fmt.Errorf("%w: dropout backward without matching forward", ErrShape)
+	}
+	out := grad.Clone()
+	data := out.Data()
+	for i := range data {
+		data[i] *= d.mask[i]
+	}
+	return out, nil
+}
+
+// Parameters implements Layer.
+func (d *Dropout) Parameters() []*Param { return nil }

@@ -1,0 +1,226 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"coda/internal/matrix"
+)
+
+// LSTM processes time-major sequence rows through a single LSTM layer.
+// With ReturnSeq false it emits the final hidden state
+// (batch, SeqLen*InSize) -> (batch, Hidden); with ReturnSeq true it emits
+// every hidden state (batch, SeqLen*Hidden), allowing LSTMs to stack for
+// the paper's deep four-layer architecture. Backward runs full
+// backpropagation through time.
+//
+// Gate layout in the packed weight matrices is [input | forget | cell | output],
+// each Hidden wide.
+type LSTM struct {
+	SeqLen    int
+	InSize    int
+	Hidden    int
+	ReturnSeq bool
+
+	wx *Param // InSize x 4*Hidden
+	wh *Param // Hidden x 4*Hidden
+	b  *Param // 1 x 4*Hidden
+
+	// Forward caches for BPTT (per timestep).
+	lastX *matrix.Matrix
+	hs    []*matrix.Matrix // hidden states, hs[t] is batch x Hidden (t = -1 stored at index 0)
+	cs    []*matrix.Matrix // cell states, same indexing
+	gates []*matrix.Matrix // post-activation gates, batch x 4*Hidden
+}
+
+// NewLSTM builds an LSTM with Glorot-uniform weights and forget-gate bias 1.
+func NewLSTM(seqLen, inSize, hidden int, rng *rand.Rand) *LSTM {
+	l := &LSTM{
+		SeqLen: seqLen, InSize: inSize, Hidden: hidden,
+		wx: newParam(inSize, 4*hidden),
+		wh: newParam(hidden, 4*hidden),
+		b:  newParam(1, 4*hidden),
+	}
+	initUniform := func(p *Param, fanIn int) {
+		limit := math.Sqrt(6.0 / float64(fanIn+4*hidden))
+		d := p.W.Data()
+		for i := range d {
+			d[i] = (2*rng.Float64() - 1) * limit
+		}
+	}
+	initUniform(l.wx, inSize)
+	initUniform(l.wh, hidden)
+	// Forget-gate bias of 1 helps gradient flow early in training.
+	for j := hidden; j < 2*hidden; j++ {
+		l.b.W.Set(0, j, 1)
+	}
+	return l
+}
+
+// Forward runs the recurrence and returns the final hidden state.
+func (l *LSTM) Forward(x *matrix.Matrix, _ bool) (*matrix.Matrix, error) {
+	if x.Cols() != l.SeqLen*l.InSize {
+		return nil, fmt.Errorf("%w: lstm expects %d cols (%d x %d), got %d", ErrShape, l.SeqLen*l.InSize, l.SeqLen, l.InSize, x.Cols())
+	}
+	batch := x.Rows()
+	h4 := 4 * l.Hidden
+	l.lastX = x
+	l.hs = make([]*matrix.Matrix, l.SeqLen+1)
+	l.cs = make([]*matrix.Matrix, l.SeqLen+1)
+	l.gates = make([]*matrix.Matrix, l.SeqLen)
+	l.hs[0] = matrix.New(batch, l.Hidden)
+	l.cs[0] = matrix.New(batch, l.Hidden)
+
+	for t := 0; t < l.SeqLen; t++ {
+		g := matrix.New(batch, h4)
+		hPrev := l.hs[t]
+		cPrev := l.cs[t]
+		hNew := matrix.New(batch, l.Hidden)
+		cNew := matrix.New(batch, l.Hidden)
+		bias := l.b.W.Row(0)
+		for i := 0; i < batch; i++ {
+			xt := x.Row(i)[t*l.InSize : (t+1)*l.InSize]
+			grow := g.Row(i)
+			copy(grow, bias)
+			for a, xv := range xt {
+				if xv == 0 {
+					continue
+				}
+				wrow := l.wx.W.Row(a)
+				for j := 0; j < h4; j++ {
+					grow[j] += xv * wrow[j]
+				}
+			}
+			hrow := hPrev.Row(i)
+			for a, hv := range hrow {
+				if hv == 0 {
+					continue
+				}
+				wrow := l.wh.W.Row(a)
+				for j := 0; j < h4; j++ {
+					grow[j] += hv * wrow[j]
+				}
+			}
+			// Activations: i, f -> sigmoid; g (cell candidate) -> tanh; o -> sigmoid.
+			crow := cNew.Row(i)
+			cprow := cPrev.Row(i)
+			hnrow := hNew.Row(i)
+			for j := 0; j < l.Hidden; j++ {
+				ig := sigmoidNN(grow[j])
+				fg := sigmoidNN(grow[l.Hidden+j])
+				cg := math.Tanh(grow[2*l.Hidden+j])
+				og := sigmoidNN(grow[3*l.Hidden+j])
+				grow[j], grow[l.Hidden+j], grow[2*l.Hidden+j], grow[3*l.Hidden+j] = ig, fg, cg, og
+				crow[j] = fg*cprow[j] + ig*cg
+				hnrow[j] = og * math.Tanh(crow[j])
+			}
+		}
+		l.gates[t] = g
+		l.hs[t+1] = hNew
+		l.cs[t+1] = cNew
+	}
+	if !l.ReturnSeq {
+		return l.hs[l.SeqLen].Clone(), nil
+	}
+	out := matrix.New(batch, l.SeqLen*l.Hidden)
+	for t := 0; t < l.SeqLen; t++ {
+		h := l.hs[t+1]
+		for i := 0; i < batch; i++ {
+			copy(out.Row(i)[t*l.Hidden:(t+1)*l.Hidden], h.Row(i))
+		}
+	}
+	return out, nil
+}
+
+// Backward runs BPTT from the final-hidden-state gradient.
+func (l *LSTM) Backward(grad *matrix.Matrix) (*matrix.Matrix, error) {
+	if l.lastX == nil {
+		return nil, fmt.Errorf("nn: lstm backward before forward")
+	}
+	batch := l.lastX.Rows()
+	wantCols := l.Hidden
+	if l.ReturnSeq {
+		wantCols = l.SeqLen * l.Hidden
+	}
+	if grad.Rows() != batch || grad.Cols() != wantCols {
+		return nil, fmt.Errorf("%w: lstm backward grad %dx%d, want %dx%d", ErrShape, grad.Rows(), grad.Cols(), batch, wantCols)
+	}
+	dx := matrix.New(batch, l.lastX.Cols())
+	var dh *matrix.Matrix
+	if l.ReturnSeq {
+		dh = matrix.New(batch, l.Hidden)
+	} else {
+		dh = grad.Clone()
+	}
+	dc := matrix.New(batch, l.Hidden)
+
+	for t := l.SeqLen - 1; t >= 0; t-- {
+		if l.ReturnSeq {
+			// Add the loss gradient arriving directly at this timestep's
+			// hidden output.
+			for i := 0; i < batch; i++ {
+				dst := dh.Row(i)
+				src := grad.Row(i)[t*l.Hidden : (t+1)*l.Hidden]
+				for j, v := range src {
+					dst[j] += v
+				}
+			}
+		}
+		g := l.gates[t]
+		cPrev := l.cs[t]
+		c := l.cs[t+1]
+		hPrev := l.hs[t]
+		dhNext := matrix.New(batch, l.Hidden)
+		for i := 0; i < batch; i++ {
+			grow := g.Row(i)
+			crow := c.Row(i)
+			cprow := cPrev.Row(i)
+			dhrow := dh.Row(i)
+			dcrow := dc.Row(i)
+			xt := l.lastX.Row(i)[t*l.InSize : (t+1)*l.InSize]
+			dxt := dx.Row(i)[t*l.InSize : (t+1)*l.InSize]
+			hprow := hPrev.Row(i)
+			dhprow := dhNext.Row(i)
+			for j := 0; j < l.Hidden; j++ {
+				ig, fg, cg, og := grow[j], grow[l.Hidden+j], grow[2*l.Hidden+j], grow[3*l.Hidden+j]
+				tc := math.Tanh(crow[j])
+				dct := dcrow[j] + dhrow[j]*og*(1-tc*tc)
+				dig := dct * cg * ig * (1 - ig)
+				dfg := dct * cprow[j] * fg * (1 - fg)
+				dcg := dct * ig * (1 - cg*cg)
+				dog := dhrow[j] * tc * og * (1 - og)
+				// Next (earlier) timestep's cell gradient.
+				dcrow[j] = dct * fg
+
+				// Pre-activation gate gradients drive all weight grads.
+				preGrads := [4]float64{dig, dfg, dcg, dog}
+				for gi, dpre := range preGrads {
+					col := gi*l.Hidden + j
+					l.b.Grad.Set(0, col, l.b.Grad.At(0, col)+dpre)
+					for a, xv := range xt {
+						l.wx.Grad.Set(a, col, l.wx.Grad.At(a, col)+dpre*xv)
+						dxt[a] += dpre * l.wx.W.At(a, col)
+					}
+					for a, hv := range hprow {
+						l.wh.Grad.Set(a, col, l.wh.Grad.At(a, col)+dpre*hv)
+						dhprow[a] += dpre * l.wh.W.At(a, col)
+					}
+				}
+			}
+		}
+		dh = dhNext
+	}
+	return dx, nil
+}
+
+// Parameters implements Layer.
+func (l *LSTM) Parameters() []*Param { return []*Param{l.wx, l.wh, l.b} }
+
+func sigmoidNN(z float64) float64 {
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}

@@ -1,0 +1,195 @@
+// Package nn is the pure-Go neural-network substrate standing in for the
+// Keras models in the paper's time-series prediction pipeline (Section
+// IV-C). It provides dense, dropout, 1-D convolution (with causal dilation
+// for the WaveNet/SeriesNet blocks), max-pooling and LSTM layers with full
+// backpropagation, plus SGD and Adam optimizers.
+//
+// Data layout: a batch is a matrix with one sample per row. Sequence layers
+// interpret each row time-major as [t0c0, t0c1, ..., t0cV, t1c0, ...] —
+// exactly the layout produced by tswindow.CascadedWindows — with the
+// sequence length and channel count fixed at layer construction.
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"coda/internal/matrix"
+)
+
+// ErrShape is wrapped by layer shape-mismatch errors.
+var ErrShape = errors.New("nn: shape mismatch")
+
+// Param is one learnable tensor with its accumulated gradient.
+type Param struct {
+	W    *matrix.Matrix
+	Grad *matrix.Matrix
+}
+
+// newParam allocates a weight matrix and its gradient buffer.
+func newParam(rows, cols int) *Param {
+	return &Param{W: matrix.New(rows, cols), Grad: matrix.New(rows, cols)}
+}
+
+// zeroGrad clears the gradient buffer.
+func (p *Param) zeroGrad() {
+	d := p.Grad.Data()
+	for i := range d {
+		d[i] = 0
+	}
+}
+
+// Layer is one differentiable stage of a network. Forward must cache
+// whatever Backward needs; Backward receives dLoss/dOutput and returns
+// dLoss/dInput while accumulating parameter gradients.
+type Layer interface {
+	Forward(x *matrix.Matrix, training bool) (*matrix.Matrix, error)
+	Backward(grad *matrix.Matrix) (*matrix.Matrix, error)
+	Parameters() []*Param
+}
+
+// Network is a sequential stack of layers trained with mini-batch gradient
+// descent on mean-squared error (regression) — the loss all estimators in
+// the time-series pipeline optimize.
+type Network struct {
+	Layers    []Layer
+	Optimizer Optimizer
+}
+
+// NewNetwork builds a sequential network; opt may be nil, defaulting to
+// Adam(1e-2).
+func NewNetwork(opt Optimizer, layers ...Layer) *Network {
+	if opt == nil {
+		opt = NewAdam(0.01)
+	}
+	return &Network{Layers: layers, Optimizer: opt}
+}
+
+// Parameters returns all learnable parameters in layer order.
+func (n *Network) Parameters() []*Param {
+	var out []*Param
+	for _, l := range n.Layers {
+		out = append(out, l.Parameters()...)
+	}
+	return out
+}
+
+// Forward runs the full stack.
+func (n *Network) Forward(x *matrix.Matrix, training bool) (*matrix.Matrix, error) {
+	var err error
+	for i, l := range n.Layers {
+		x, err = l.Forward(x, training)
+		if err != nil {
+			return nil, fmt.Errorf("nn: layer %d forward: %w", i, err)
+		}
+	}
+	return x, nil
+}
+
+// backward runs the full stack in reverse.
+func (n *Network) backward(grad *matrix.Matrix) error {
+	var err error
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		grad, err = n.Layers[i].Backward(grad)
+		if err != nil {
+			return fmt.Errorf("nn: layer %d backward: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// FitConfig controls Network.Fit.
+type FitConfig struct {
+	Epochs    int   // passes over the data (default 50)
+	BatchSize int   // mini-batch rows (default 32)
+	Seed      int64 // shuffling seed
+}
+
+// Fit trains on (x, y) minimizing MSE. y has one value per row.
+func (n *Network) Fit(x *matrix.Matrix, y []float64, cfg FitConfig) error {
+	if x.Rows() != len(y) {
+		return fmt.Errorf("%w: %d rows vs %d targets", ErrShape, x.Rows(), len(y))
+	}
+	if x.Rows() == 0 {
+		return fmt.Errorf("nn: empty training set")
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 50
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	params := n.Parameters()
+	order := make([]int, x.Rows())
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
+		for start := 0; start < len(order); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			idx := order[start:end]
+			bx := x.SelectRows(idx)
+			by := make([]float64, len(idx))
+			for k, i := range idx {
+				by[k] = y[i]
+			}
+			for _, p := range params {
+				p.zeroGrad()
+			}
+			out, err := n.Forward(bx, true)
+			if err != nil {
+				return err
+			}
+			if out.Cols() != 1 {
+				return fmt.Errorf("%w: network output has %d cols, want 1", ErrShape, out.Cols())
+			}
+			// dMSE/dout = 2*(out - y)/batch.
+			grad := matrix.New(out.Rows(), 1)
+			inv := 2.0 / float64(out.Rows())
+			for i := 0; i < out.Rows(); i++ {
+				grad.Set(i, 0, inv*(out.At(i, 0)-by[i]))
+			}
+			if err := n.backward(grad); err != nil {
+				return err
+			}
+			n.Optimizer.Step(params)
+		}
+	}
+	return nil
+}
+
+// Predict runs inference, returning one value per row.
+func (n *Network) Predict(x *matrix.Matrix) ([]float64, error) {
+	out, err := n.Forward(x, false)
+	if err != nil {
+		return nil, err
+	}
+	if out.Cols() != 1 {
+		return nil, fmt.Errorf("%w: network output has %d cols, want 1", ErrShape, out.Cols())
+	}
+	preds := make([]float64, out.Rows())
+	for i := range preds {
+		preds[i] = out.At(i, 0)
+	}
+	return preds, nil
+}
+
+// MSELoss computes mean squared error between a 1-column output and y,
+// exposed for tests and training diagnostics.
+func MSELoss(out *matrix.Matrix, y []float64) (float64, error) {
+	if out.Rows() != len(y) || out.Cols() != 1 {
+		return 0, fmt.Errorf("%w: loss on %dx%d vs %d targets", ErrShape, out.Rows(), out.Cols(), len(y))
+	}
+	s := 0.0
+	for i := range y {
+		d := out.At(i, 0) - y[i]
+		s += d * d
+	}
+	return s / float64(len(y)), nil
+}

@@ -1,0 +1,85 @@
+package nn
+
+import "math"
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	Step(params []*Param)
+}
+
+// SGD is stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	velocity map[*Param][]float64
+}
+
+// NewSGD returns an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, velocity: map[*Param][]float64{}}
+}
+
+// Step applies one update.
+func (s *SGD) Step(params []*Param) {
+	for _, p := range params {
+		g := p.Grad.Data()
+		w := p.W.Data()
+		if s.Momentum == 0 {
+			for i := range w {
+				w[i] -= s.LR * g[i]
+			}
+			continue
+		}
+		v, ok := s.velocity[p]
+		if !ok {
+			v = make([]float64, len(w))
+			s.velocity[p] = v
+		}
+		for i := range w {
+			v[i] = s.Momentum*v[i] - s.LR*g[i]
+			w[i] += v[i]
+		}
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba) with bias correction.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+
+	t int
+	m map[*Param][]float64
+	v map[*Param][]float64
+}
+
+// NewAdam returns Adam with standard betas (0.9, 0.999).
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, m: map[*Param][]float64{}, v: map[*Param][]float64{}}
+}
+
+// Step applies one update.
+func (a *Adam) Step(params []*Param) {
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		g := p.Grad.Data()
+		w := p.W.Data()
+		m, ok := a.m[p]
+		if !ok {
+			m = make([]float64, len(w))
+			a.m[p] = m
+		}
+		v, ok := a.v[p]
+		if !ok {
+			v = make([]float64, len(w))
+			a.v[p] = v
+		}
+		for i := range w {
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g[i]
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g[i]*g[i]
+			mhat := m[i] / c1
+			vhat := v[i] / c2
+			w[i] -= a.LR * mhat / (math.Sqrt(vhat) + a.Eps)
+		}
+	}
+}

@@ -1,0 +1,478 @@
+// Package nnmodels adapts the internal/nn substrate to core.Estimator,
+// providing the paper's Section IV-C model zoo for the time-series
+// prediction pipeline:
+//
+//   - Temporal models: LSTM (simple = 1 layer, deep = 4 stacked layers with
+//     per-layer dropout), CNN (simple and deep 1-D convolutional nets),
+//     WaveNet (stacked gated dilated causal convolutions) and SeriesNet
+//     (WaveNet-derived residual dilated stacks). These consume cascaded
+//     windows (WindowLen/NumVars metadata set by tswindow.CascadedWindows).
+//   - IID models: standard DNNs (simple = 2 hidden layers, deep = 4),
+//     consuming flat windows or TS-as-IID rows.
+//
+// All models train with Adam on mean squared error.
+package nnmodels
+
+import (
+	"fmt"
+	"math/rand"
+
+	"coda/internal/core"
+	"coda/internal/dataset"
+	"coda/internal/nn"
+)
+
+// coreEstimator aliases the interface every adapter's Clone must return.
+type coreEstimator = core.Estimator
+
+// netConfig carries the hyperparameters shared by every network estimator.
+type netConfig struct {
+	Epochs  int     // training epochs (default 60)
+	Batch   int     // mini-batch size (default 32)
+	LR      float64 // Adam learning rate (default 0.01)
+	Hidden  int     // hidden width / filter count (default 16)
+	Dropout float64 // dropout rate (default 0.1)
+	Seed    int64
+}
+
+func defaultConfig() netConfig {
+	return netConfig{Epochs: 60, Batch: 32, LR: 0.01, Hidden: 16, Dropout: 0.1}
+}
+
+// setParam handles the shared hyperparameters; returns false for unknown keys.
+func (c *netConfig) setParam(key string, v float64) bool {
+	switch key {
+	case "epochs":
+		c.Epochs = int(v)
+	case "batch":
+		c.Batch = int(v)
+	case "lr":
+		c.LR = v
+	case "hidden":
+		c.Hidden = int(v)
+	case "dropout":
+		c.Dropout = v
+	case "seed":
+		c.Seed = int64(v)
+	default:
+		return false
+	}
+	return true
+}
+
+func (c *netConfig) params() map[string]float64 {
+	return map[string]float64{
+		"epochs": float64(c.Epochs), "batch": float64(c.Batch), "lr": c.LR,
+		"hidden": float64(c.Hidden), "dropout": c.Dropout, "seed": float64(c.Seed),
+	}
+}
+
+func errUnknownParam(model, key string) error {
+	return fmt.Errorf("nnmodels: %s has no parameter %q", model, key)
+}
+
+// windowDims extracts and validates the (seqLen, channels) metadata that
+// temporal estimators need from a cascaded-windows dataset.
+func windowDims(model string, ds *dataset.Dataset) (seqLen, channels int, err error) {
+	if ds.WindowLen <= 0 || ds.NumVars <= 0 {
+		return 0, 0, fmt.Errorf("nnmodels: %s requires cascaded-window input (WindowLen/NumVars metadata); got a flat dataset — route it through tswindow.CascadedWindows", model)
+	}
+	if ds.NumFeatures() != ds.WindowLen*ds.NumVars {
+		return 0, 0, fmt.Errorf("nnmodels: %s window metadata %dx%d inconsistent with %d columns", model, ds.WindowLen, ds.NumVars, ds.NumFeatures())
+	}
+	return ds.WindowLen, ds.NumVars, nil
+}
+
+func fitNetwork(net *nn.Network, ds *dataset.Dataset, cfg netConfig) error {
+	return net.Fit(ds.X, ds.Y, nn.FitConfig{Epochs: cfg.Epochs, BatchSize: cfg.Batch, Seed: cfg.Seed})
+}
+
+// DNNRegressor is the paper's standard (IID) deep neural network: simple =
+// two hidden layers with dropout, deep = four. It treats rows as flat
+// feature vectors and so pairs with FlatWindowing or TSAsIID.
+type DNNRegressor struct {
+	Deep bool
+	cfg  netConfig
+
+	net *nn.Network
+}
+
+// NewDNNRegressor returns an unfitted DNN (simple or deep).
+func NewDNNRegressor(deep bool) *DNNRegressor {
+	return &DNNRegressor{Deep: deep, cfg: defaultConfig()}
+}
+
+// Name implements core.Component.
+func (d *DNNRegressor) Name() string {
+	if d.Deep {
+		return "deepdnn"
+	}
+	return "dnn"
+}
+
+// SetParam implements core.Component.
+func (d *DNNRegressor) SetParam(key string, v float64) error {
+	if !d.cfg.setParam(key, v) {
+		return errUnknownParam(d.Name(), key)
+	}
+	return nil
+}
+
+// Params implements core.Component.
+func (d *DNNRegressor) Params() map[string]float64 { return d.cfg.params() }
+
+// Clone implements core.Estimator.
+func (d *DNNRegressor) Clone() coreEstimator { return &DNNRegressor{Deep: d.Deep, cfg: d.cfg} }
+
+// Fit builds and trains the network.
+func (d *DNNRegressor) Fit(ds *dataset.Dataset) error {
+	if ds.Y == nil {
+		return fmt.Errorf("nnmodels: %s requires targets", d.Name())
+	}
+	rng := rand.New(rand.NewSource(d.cfg.Seed))
+	in := ds.NumFeatures()
+	h := d.cfg.Hidden
+	hiddenLayers := 2
+	if d.Deep {
+		hiddenLayers = 4
+	}
+	layers := make([]nn.Layer, 0, hiddenLayers*3+1)
+	width := in
+	for i := 0; i < hiddenLayers; i++ {
+		layers = append(layers, nn.NewDense(width, h, rng), nn.NewReLU(), nn.NewDropout(d.cfg.Dropout, rng))
+		width = h
+	}
+	layers = append(layers, nn.NewDense(width, 1, rng))
+	d.net = nn.NewNetwork(nn.NewAdam(d.cfg.LR), layers...)
+	if err := fitNetwork(d.net, ds, d.cfg); err != nil {
+		return fmt.Errorf("nnmodels: %s fit: %w", d.Name(), err)
+	}
+	return nil
+}
+
+// Predict implements core.Estimator.
+func (d *DNNRegressor) Predict(ds *dataset.Dataset) ([]float64, error) {
+	if d.net == nil {
+		return nil, fmt.Errorf("nnmodels: %s not fitted", d.Name())
+	}
+	return d.net.Predict(ds.X)
+}
+
+// LSTMRegressor is the paper's temporal LSTM model: simple = one LSTM layer
+// plus dropout, deep = four stacked LSTM layers each followed by dropout.
+// Both end in a fully-connected linear layer.
+type LSTMRegressor struct {
+	Deep bool
+	cfg  netConfig
+
+	net *nn.Network
+}
+
+// NewLSTMRegressor returns an unfitted LSTM model.
+func NewLSTMRegressor(deep bool) *LSTMRegressor {
+	c := defaultConfig()
+	c.Hidden = 12
+	return &LSTMRegressor{Deep: deep, cfg: c}
+}
+
+// Name implements core.Component.
+func (l *LSTMRegressor) Name() string {
+	if l.Deep {
+		return "deeplstm"
+	}
+	return "lstm"
+}
+
+// SetParam implements core.Component.
+func (l *LSTMRegressor) SetParam(key string, v float64) error {
+	if !l.cfg.setParam(key, v) {
+		return errUnknownParam(l.Name(), key)
+	}
+	return nil
+}
+
+// Params implements core.Component.
+func (l *LSTMRegressor) Params() map[string]float64 { return l.cfg.params() }
+
+// Clone implements core.Estimator.
+func (l *LSTMRegressor) Clone() coreEstimator { return &LSTMRegressor{Deep: l.Deep, cfg: l.cfg} }
+
+// Fit builds the recurrent stack from the window metadata and trains it.
+func (l *LSTMRegressor) Fit(ds *dataset.Dataset) error {
+	if ds.Y == nil {
+		return fmt.Errorf("nnmodels: %s requires targets", l.Name())
+	}
+	seqLen, channels, err := windowDims(l.Name(), ds)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(l.cfg.Seed))
+	h := l.cfg.Hidden
+	var layers []nn.Layer
+	if l.Deep {
+		inSize := channels
+		for i := 0; i < 3; i++ {
+			lstm := nn.NewLSTM(seqLen, inSize, h, rng)
+			lstm.ReturnSeq = true
+			layers = append(layers, lstm, nn.NewDropout(l.cfg.Dropout, rng))
+			inSize = h
+		}
+		layers = append(layers, nn.NewLSTM(seqLen, h, h, rng), nn.NewDropout(l.cfg.Dropout, rng))
+	} else {
+		layers = append(layers, nn.NewLSTM(seqLen, channels, h, rng), nn.NewDropout(l.cfg.Dropout, rng))
+	}
+	layers = append(layers, nn.NewDense(h, 1, rng))
+	l.net = nn.NewNetwork(nn.NewAdam(l.cfg.LR), layers...)
+	if err := fitNetwork(l.net, ds, l.cfg); err != nil {
+		return fmt.Errorf("nnmodels: %s fit: %w", l.Name(), err)
+	}
+	return nil
+}
+
+// Predict implements core.Estimator.
+func (l *LSTMRegressor) Predict(ds *dataset.Dataset) ([]float64, error) {
+	if l.net == nil {
+		return nil, fmt.Errorf("nnmodels: %s not fitted", l.Name())
+	}
+	if _, _, err := windowDims(l.Name(), ds); err != nil {
+		return nil, err
+	}
+	return l.net.Predict(ds.X)
+}
+
+// CNNRegressor is the paper's 1-D convolutional model: a convolution, max
+// pooling, a dense ReLU layer and a linear output; the deep variant stacks
+// a second convolution-pool stage.
+type CNNRegressor struct {
+	Deep bool
+	cfg  netConfig
+
+	net *nn.Network
+}
+
+// NewCNNRegressor returns an unfitted CNN model.
+func NewCNNRegressor(deep bool) *CNNRegressor {
+	c := defaultConfig()
+	c.Hidden = 8
+	return &CNNRegressor{Deep: deep, cfg: c}
+}
+
+// Name implements core.Component.
+func (c *CNNRegressor) Name() string {
+	if c.Deep {
+		return "deepcnn"
+	}
+	return "cnn"
+}
+
+// SetParam implements core.Component.
+func (c *CNNRegressor) SetParam(key string, v float64) error {
+	if !c.cfg.setParam(key, v) {
+		return errUnknownParam(c.Name(), key)
+	}
+	return nil
+}
+
+// Params implements core.Component.
+func (c *CNNRegressor) Params() map[string]float64 { return c.cfg.params() }
+
+// Clone implements core.Estimator.
+func (c *CNNRegressor) Clone() coreEstimator { return &CNNRegressor{Deep: c.Deep, cfg: c.cfg} }
+
+// Fit builds the convolutional stack from the window metadata.
+func (c *CNNRegressor) Fit(ds *dataset.Dataset) error {
+	if ds.Y == nil {
+		return fmt.Errorf("nnmodels: %s requires targets", c.Name())
+	}
+	seqLen, channels, err := windowDims(c.Name(), ds)
+	if err != nil {
+		return err
+	}
+	const kernel = 3
+	if seqLen < kernel+1 {
+		return fmt.Errorf("nnmodels: %s needs history >= %d, got %d", c.Name(), kernel+1, seqLen)
+	}
+	rng := rand.New(rand.NewSource(c.cfg.Seed))
+	f := c.cfg.Hidden
+	var layers []nn.Layer
+	conv1 := nn.NewConv1D(seqLen, channels, f, kernel, 1, false, rng)
+	layers = append(layers, conv1, nn.NewReLU())
+	length := conv1.OutLen()
+	if length >= 2 {
+		pool := nn.NewMaxPool1D(length, f, 2)
+		layers = append(layers, pool)
+		length = pool.OutLen()
+	}
+	if c.Deep && length >= kernel+1 {
+		conv2 := nn.NewConv1D(length, f, f, kernel, 1, false, rng)
+		layers = append(layers, conv2, nn.NewReLU())
+		length = conv2.OutLen()
+		if length >= 2 {
+			pool2 := nn.NewMaxPool1D(length, f, 2)
+			layers = append(layers, pool2)
+			length = pool2.OutLen()
+		}
+	}
+	layers = append(layers,
+		nn.NewDense(length*f, c.cfg.Hidden, rng), nn.NewReLU(),
+		nn.NewDropout(c.cfg.Dropout, rng),
+		nn.NewDense(c.cfg.Hidden, 1, rng),
+	)
+	c.net = nn.NewNetwork(nn.NewAdam(c.cfg.LR), layers...)
+	if err := fitNetwork(c.net, ds, c.cfg); err != nil {
+		return fmt.Errorf("nnmodels: %s fit: %w", c.Name(), err)
+	}
+	return nil
+}
+
+// Predict implements core.Estimator.
+func (c *CNNRegressor) Predict(ds *dataset.Dataset) ([]float64, error) {
+	if c.net == nil {
+		return nil, fmt.Errorf("nnmodels: %s not fitted", c.Name())
+	}
+	if _, _, err := windowDims(c.Name(), ds); err != nil {
+		return nil, err
+	}
+	return c.net.Predict(ds.X)
+}
+
+// WaveNetRegressor stacks gated dilated causal convolutions (dilations 1,
+// 2, 4) with residual connections — the probabilistic-audio architecture
+// the paper adopts for time-series prediction — followed by a linear head
+// on the final timestep.
+type WaveNetRegressor struct {
+	cfg netConfig
+
+	net *nn.Network
+}
+
+// NewWaveNetRegressor returns an unfitted WaveNet model.
+func NewWaveNetRegressor() *WaveNetRegressor {
+	c := defaultConfig()
+	c.Hidden = 8
+	return &WaveNetRegressor{cfg: c}
+}
+
+// Name implements core.Component.
+func (w *WaveNetRegressor) Name() string { return "wavenet" }
+
+// SetParam implements core.Component.
+func (w *WaveNetRegressor) SetParam(key string, v float64) error {
+	if !w.cfg.setParam(key, v) {
+		return errUnknownParam(w.Name(), key)
+	}
+	return nil
+}
+
+// Params implements core.Component.
+func (w *WaveNetRegressor) Params() map[string]float64 { return w.cfg.params() }
+
+// Clone implements core.Estimator.
+func (w *WaveNetRegressor) Clone() coreEstimator { return &WaveNetRegressor{cfg: w.cfg} }
+
+// Fit builds the gated dilated stack.
+func (w *WaveNetRegressor) Fit(ds *dataset.Dataset) error {
+	if ds.Y == nil {
+		return fmt.Errorf("nnmodels: %s requires targets", w.Name())
+	}
+	seqLen, channels, err := windowDims(w.Name(), ds)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(w.cfg.Seed))
+	f := w.cfg.Hidden
+	layers := []nn.Layer{
+		// 1x1 causal conv lifts the input channels to the block width.
+		nn.NewConv1D(seqLen, channels, f, 1, 1, true, rng),
+	}
+	for _, dilation := range []int{1, 2, 4} {
+		layers = append(layers, nn.NewGatedResidualBlock(seqLen, f, 2, dilation, rng))
+	}
+	layers = append(layers, nn.NewLastTimestep(seqLen, f), nn.NewDense(f, 1, rng))
+	w.net = nn.NewNetwork(nn.NewAdam(w.cfg.LR), layers...)
+	if err := fitNetwork(w.net, ds, w.cfg); err != nil {
+		return fmt.Errorf("nnmodels: %s fit: %w", w.Name(), err)
+	}
+	return nil
+}
+
+// Predict implements core.Estimator.
+func (w *WaveNetRegressor) Predict(ds *dataset.Dataset) ([]float64, error) {
+	if w.net == nil {
+		return nil, fmt.Errorf("nnmodels: %s not fitted", w.Name())
+	}
+	if _, _, err := windowDims(w.Name(), ds); err != nil {
+		return nil, err
+	}
+	return w.net.Predict(ds.X)
+}
+
+// SeriesNetRegressor is the WaveNet-derived architecture of Section IV-C2:
+// residual dilated causal convolution blocks (dilations 1, 2, 4, 8) with
+// ReLU activations and linear skip projections, requiring no data
+// preprocessing beyond windowing.
+type SeriesNetRegressor struct {
+	cfg netConfig
+
+	net *nn.Network
+}
+
+// NewSeriesNetRegressor returns an unfitted SeriesNet model.
+func NewSeriesNetRegressor() *SeriesNetRegressor {
+	c := defaultConfig()
+	c.Hidden = 8
+	return &SeriesNetRegressor{cfg: c}
+}
+
+// Name implements core.Component.
+func (s *SeriesNetRegressor) Name() string { return "seriesnet" }
+
+// SetParam implements core.Component.
+func (s *SeriesNetRegressor) SetParam(key string, v float64) error {
+	if !s.cfg.setParam(key, v) {
+		return errUnknownParam(s.Name(), key)
+	}
+	return nil
+}
+
+// Params implements core.Component.
+func (s *SeriesNetRegressor) Params() map[string]float64 { return s.cfg.params() }
+
+// Clone implements core.Estimator.
+func (s *SeriesNetRegressor) Clone() coreEstimator { return &SeriesNetRegressor{cfg: s.cfg} }
+
+// Fit builds the residual dilated stack.
+func (s *SeriesNetRegressor) Fit(ds *dataset.Dataset) error {
+	if ds.Y == nil {
+		return fmt.Errorf("nnmodels: %s requires targets", s.Name())
+	}
+	seqLen, channels, err := windowDims(s.Name(), ds)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(s.cfg.Seed))
+	f := s.cfg.Hidden
+	layers := []nn.Layer{
+		nn.NewConv1D(seqLen, channels, f, 1, 1, true, rng),
+	}
+	for _, dilation := range []int{1, 2, 4, 8} {
+		layers = append(layers, nn.NewResidualConvBlock(seqLen, f, 2, dilation, rng))
+	}
+	layers = append(layers, nn.NewLastTimestep(seqLen, f), nn.NewDense(f, 1, rng))
+	s.net = nn.NewNetwork(nn.NewAdam(s.cfg.LR), layers...)
+	if err := fitNetwork(s.net, ds, s.cfg); err != nil {
+		return fmt.Errorf("nnmodels: %s fit: %w", s.Name(), err)
+	}
+	return nil
+}
+
+// Predict implements core.Estimator.
+func (s *SeriesNetRegressor) Predict(ds *dataset.Dataset) ([]float64, error) {
+	if s.net == nil {
+		return nil, fmt.Errorf("nnmodels: %s not fitted", s.Name())
+	}
+	if _, _, err := windowDims(s.Name(), ds); err != nil {
+		return nil, err
+	}
+	return s.net.Predict(ds.X)
+}

@@ -1,0 +1,219 @@
+package nnmodels
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"coda/internal/core"
+	"coda/internal/dataset"
+	"coda/internal/metrics"
+	"coda/internal/sim"
+	"coda/internal/tswindow"
+)
+
+var (
+	_ core.Estimator = (*DNNRegressor)(nil)
+	_ core.Estimator = (*LSTMRegressor)(nil)
+	_ core.Estimator = (*CNNRegressor)(nil)
+	_ core.Estimator = (*WaveNetRegressor)(nil)
+	_ core.Estimator = (*SeriesNetRegressor)(nil)
+)
+
+// windowedAR builds cascaded-window train/test sets from an AR-regime
+// series, where temporal structure is learnable.
+func windowedAR(t *testing.T, history int) (train, test *dataset.Dataset) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	series, err := sim.GenerateSeries(sim.SeriesSpec{Steps: 400, Vars: 1, Regime: sim.RegimeAR, Noise: 0.1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	windows, err := tswindow.NewCascadedWindows(history, 1, 0).Transform(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := windows.NumSamples() * 3 / 4
+	return windows.SliceRange(0, cut), windows.SliceRange(cut, windows.NumSamples())
+}
+
+// persistenceRMSE scores the "predict the window's final value" baseline.
+func persistenceRMSE(t *testing.T, test *dataset.Dataset) float64 {
+	t.Helper()
+	preds := make([]float64, test.NumSamples())
+	lastCol := (test.WindowLen-1)*test.NumVars + 0
+	for i := range preds {
+		preds[i] = test.X.At(i, lastCol)
+	}
+	r, err := metrics.RMSE(test.Y, preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func fitScore(t *testing.T, m core.Estimator, train, test *dataset.Dataset) float64 {
+	t.Helper()
+	if err := m.Fit(train); err != nil {
+		t.Fatalf("%s fit: %v", m.Name(), err)
+	}
+	preds, err := m.Predict(test)
+	if err != nil {
+		t.Fatalf("%s predict: %v", m.Name(), err)
+	}
+	r, err := metrics.RMSE(test.Y, preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestTemporalModelsBeatPersistenceOnARData(t *testing.T) {
+	train, test := windowedAR(t, 8)
+	base := persistenceRMSE(t, test)
+	models := []core.Estimator{
+		NewLSTMRegressor(false),
+		NewCNNRegressor(false),
+		NewWaveNetRegressor(),
+		NewSeriesNetRegressor(),
+	}
+	for _, m := range models {
+		m := m
+		t.Run(m.Name(), func(t *testing.T) {
+			rmse := fitScore(t, m, train, test)
+			if rmse >= base {
+				t.Fatalf("%s RMSE %v not better than persistence %v on AR data", m.Name(), rmse, base)
+			}
+		})
+	}
+}
+
+func TestDeepVariantsTrain(t *testing.T) {
+	train, test := windowedAR(t, 6)
+	for _, m := range []core.Estimator{NewLSTMRegressor(true), NewCNNRegressor(true)} {
+		m := m
+		t.Run(m.Name(), func(t *testing.T) {
+			if err := m.SetParam("epochs", 10); err != nil {
+				t.Fatal(err)
+			}
+			rmse := fitScore(t, m, train, test)
+			if rmse > 10*persistenceRMSE(t, test) {
+				t.Fatalf("%s diverged: RMSE %v", m.Name(), rmse)
+			}
+		})
+	}
+}
+
+func TestDNNOnFlatWindows(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	series, err := sim.GenerateSeries(sim.SeriesSpec{Steps: 400, Vars: 1, Regime: sim.RegimeAR, Noise: 0.1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := tswindow.NewFlatWindowing(8, 1, 0).Transform(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := flat.NumSamples() * 3 / 4
+	train, test := flat.SliceRange(0, cut), flat.SliceRange(cut, flat.NumSamples())
+	dnn := NewDNNRegressor(false)
+	if err := dnn.SetParam("epochs", 80); err != nil {
+		t.Fatal(err)
+	}
+	rmse := fitScore(t, dnn, train, test)
+	// Flat windows retain history, so the DNN should do far better than
+	// predicting the series mean.
+	mean := 0.0
+	for _, v := range train.Y {
+		mean += v
+	}
+	mean /= float64(len(train.Y))
+	meanPreds := make([]float64, test.NumSamples())
+	for i := range meanPreds {
+		meanPreds[i] = mean
+	}
+	meanRMSE, _ := metrics.RMSE(test.Y, meanPreds)
+	if rmse >= meanRMSE*0.7 {
+		t.Fatalf("DNN RMSE %v vs mean baseline %v", rmse, meanRMSE)
+	}
+}
+
+func TestTemporalModelsRejectFlatInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	series, err := sim.GenerateSeries(sim.SeriesSpec{Steps: 100, Vars: 1, Regime: sim.RegimeAR}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := tswindow.NewFlatWindowing(6, 1, 0).Transform(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []core.Estimator{NewLSTMRegressor(false), NewCNNRegressor(false), NewWaveNetRegressor(), NewSeriesNetRegressor()} {
+		err := m.Fit(flat)
+		if err == nil {
+			t.Fatalf("%s accepted flat input", m.Name())
+		}
+		if !strings.Contains(err.Error(), "cascaded-window") {
+			t.Fatalf("%s error %q should mention cascaded windows", m.Name(), err)
+		}
+	}
+}
+
+func TestSetParamAndClone(t *testing.T) {
+	models := []core.Estimator{
+		NewDNNRegressor(false), NewDNNRegressor(true),
+		NewLSTMRegressor(false), NewLSTMRegressor(true),
+		NewCNNRegressor(false), NewCNNRegressor(true),
+		NewWaveNetRegressor(), NewSeriesNetRegressor(),
+	}
+	seen := map[string]bool{}
+	for _, m := range models {
+		if seen[m.Name()] {
+			t.Fatalf("duplicate model name %s", m.Name())
+		}
+		seen[m.Name()] = true
+		if err := m.SetParam("epochs", 5); err != nil {
+			t.Fatalf("%s SetParam(epochs): %v", m.Name(), err)
+		}
+		if err := m.SetParam("bogus", 1); err == nil {
+			t.Fatalf("%s accepted bogus param", m.Name())
+		}
+		c := m.Clone()
+		if c.Name() != m.Name() {
+			t.Fatalf("clone renamed %s -> %s", m.Name(), c.Name())
+		}
+		if c.Params()["epochs"] != 5 {
+			t.Fatalf("%s clone lost epochs", m.Name())
+		}
+		if _, err := c.Predict(&dataset.Dataset{}); err == nil {
+			t.Fatalf("%s clone should be unfitted", m.Name())
+		}
+	}
+}
+
+func TestFitDeterministicForSeed(t *testing.T) {
+	train, test := windowedAR(t, 6)
+	run := func() []float64 {
+		m := NewLSTMRegressor(false)
+		if err := m.SetParam("epochs", 5); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.SetParam("seed", 7); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Fit(train); err != nil {
+			t.Fatal(err)
+		}
+		p, err := m.Predict(test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("identical seeds must give identical models")
+		}
+	}
+}

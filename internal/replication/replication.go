@@ -1,0 +1,278 @@
+// Package replication implements Section III's update-propagation
+// machinery between home data stores and clients:
+//
+//   - Pull: clients query the home store when they want fresh data.
+//   - Push (lease-based subscriptions, after Gray & Cheriton): the home
+//     store sends updates to subscribed clients until their lease expires;
+//     clients renew to keep receiving, or cancel early.
+//   - Three push payloads: the entire current value, a delta against the
+//     subscriber's version, or a lightweight notification carrying only
+//     the new version number and change magnitude, letting the client
+//     decide if and when to fetch.
+//
+// The package also provides the change-detection triggers that decide when
+// re-running analytics is warranted: update count, update bytes, or an
+// application-specific predicate.
+package replication
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"coda/internal/store"
+)
+
+// PushMode selects the payload a subscription delivers.
+type PushMode int
+
+// Push modes from Section III.
+const (
+	// PushValue sends the entire current value on every update.
+	PushValue PushMode = iota + 1
+	// PushDelta sends a delta against the subscriber's last-acknowledged
+	// version (falling back to the full value when a delta does not pay).
+	PushDelta
+	// PushNotify sends only the new version number and an indication of
+	// how much the object changed.
+	PushNotify
+)
+
+// String names the mode.
+func (m PushMode) String() string {
+	switch m {
+	case PushValue:
+		return "push-value"
+	case PushDelta:
+		return "push-delta"
+	case PushNotify:
+		return "push-notify"
+	default:
+		return fmt.Sprintf("pushmode(%d)", int(m))
+	}
+}
+
+// Update is what a subscriber receives.
+type Update struct {
+	Key     string
+	Version uint64
+	// Reply carries the value or delta for PushValue/PushDelta.
+	Reply *store.Reply
+	// Notify is set for PushNotify: no payload, just metadata.
+	Notify bool
+	// ChangedBytes estimates how much the object changed (delta wire
+	// size), included with notifications per Section III.
+	ChangedBytes int
+}
+
+// WireBytes estimates the network payload of this update; notifications
+// cost a small fixed header.
+func (u *Update) WireBytes() int {
+	if u.Notify {
+		return notifyWireBytes
+	}
+	if u.Reply != nil {
+		return u.Reply.WireBytes()
+	}
+	return 0
+}
+
+const notifyWireBytes = 24 // key hash + version + change size
+
+// Subscriber consumes pushed updates. Deliver runs on the publisher's
+// goroutine and must not block.
+type Subscriber interface {
+	Deliver(u Update)
+}
+
+// SubscriberFunc adapts a function to Subscriber.
+type SubscriberFunc func(u Update)
+
+// Deliver implements Subscriber.
+func (f SubscriberFunc) Deliver(u Update) { f(u) }
+
+// ErrLeaseExpired is returned by Renew/Cancel on an already-expired lease.
+var ErrLeaseExpired = errors.New("replication: lease expired")
+
+// Lease is one client's subscription to an object for a bounded period.
+type Lease struct {
+	Key      string
+	ClientID string
+	Mode     PushMode
+
+	mu          sync.Mutex
+	expires     time.Time
+	cancelled   bool
+	ackVersion  uint64 // last version the subscriber holds (for deltas)
+	deliveries  int
+	bytesPushed int64
+	sub         Subscriber
+}
+
+// Expired reports whether the lease has lapsed at time now.
+func (l *Lease) Expired(now time.Time) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.cancelled || now.After(l.expires)
+}
+
+// AckVersion records the version the subscriber now holds, enabling
+// delta pushes against it.
+func (l *Lease) AckVersion(v uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if v > l.ackVersion {
+		l.ackVersion = v
+	}
+}
+
+// Deliveries returns how many updates this lease received.
+func (l *Lease) Deliveries() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.deliveries
+}
+
+// BytesPushed returns total payload bytes pushed over this lease.
+func (l *Lease) BytesPushed() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bytesPushed
+}
+
+// Manager owns a home store's subscriptions and fans out updates.
+type Manager struct {
+	store *store.HomeStore
+	now   func() time.Time
+
+	mu     sync.Mutex
+	leases map[string][]*Lease // key -> active leases
+}
+
+// NewManager wraps a home store. nowFn may be nil (wall clock); tests and
+// simulations inject virtual clocks.
+func NewManager(hs *store.HomeStore, nowFn func() time.Time) *Manager {
+	if nowFn == nil {
+		nowFn = time.Now
+	}
+	return &Manager{store: hs, now: nowFn, leases: map[string][]*Lease{}}
+}
+
+// Subscribe registers a lease for key with the given duration and mode.
+func (m *Manager) Subscribe(key, clientID string, mode PushMode, ttl time.Duration, sub Subscriber) (*Lease, error) {
+	if sub == nil {
+		return nil, fmt.Errorf("replication: nil subscriber")
+	}
+	if ttl <= 0 {
+		return nil, fmt.Errorf("replication: lease duration %v must be positive", ttl)
+	}
+	switch mode {
+	case PushValue, PushDelta, PushNotify:
+	default:
+		return nil, fmt.Errorf("replication: unknown push mode %v", mode)
+	}
+	l := &Lease{Key: key, ClientID: clientID, Mode: mode, expires: m.now().Add(ttl), sub: sub}
+	m.mu.Lock()
+	m.leases[key] = append(m.leases[key], l)
+	m.mu.Unlock()
+	return l, nil
+}
+
+// Renew extends an unexpired lease by ttl from now.
+func (m *Manager) Renew(l *Lease, ttl time.Duration) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.cancelled || m.now().After(l.expires) {
+		return fmt.Errorf("%w: %s/%s", ErrLeaseExpired, l.ClientID, l.Key)
+	}
+	l.expires = m.now().Add(ttl)
+	return nil
+}
+
+// Cancel ends a lease early, as clients are expected to do when they no
+// longer need update information.
+func (m *Manager) Cancel(l *Lease) {
+	l.mu.Lock()
+	l.cancelled = true
+	l.mu.Unlock()
+}
+
+// ActiveLeases counts unexpired leases for a key.
+func (m *Manager) ActiveLeases(key string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, l := range m.leases[key] {
+		if !l.Expired(m.now()) {
+			n++
+		}
+	}
+	return n
+}
+
+// Publish writes a new version to the home store and pushes it to every
+// active lease according to its mode, pruning expired leases as it goes.
+// It returns the new version number.
+func (m *Manager) Publish(key string, data []byte) (uint64, error) {
+	version := m.store.Put(key, data)
+
+	m.mu.Lock()
+	leases := m.leases[key]
+	active := leases[:0]
+	for _, l := range leases {
+		if !l.Expired(m.now()) {
+			active = append(active, l)
+		}
+	}
+	m.leases[key] = active
+	snapshot := append([]*Lease(nil), active...)
+	m.mu.Unlock()
+
+	for _, l := range snapshot {
+		u, err := m.buildUpdate(l, key, version)
+		if err != nil {
+			return version, fmt.Errorf("replication: building update for %s: %w", l.ClientID, err)
+		}
+		l.mu.Lock()
+		l.deliveries++
+		l.bytesPushed += int64(u.WireBytes())
+		sub := l.sub
+		l.mu.Unlock()
+		sub.Deliver(u)
+	}
+	return version, nil
+}
+
+func (m *Manager) buildUpdate(l *Lease, key string, version uint64) (Update, error) {
+	switch l.Mode {
+	case PushValue:
+		reply, err := m.store.Get(key, 0) // force full value
+		if err != nil {
+			return Update{}, err
+		}
+		return Update{Key: key, Version: version, Reply: reply}, nil
+	case PushDelta:
+		l.mu.Lock()
+		ack := l.ackVersion
+		l.mu.Unlock()
+		reply, err := m.store.Get(key, ack)
+		if err != nil {
+			return Update{}, err
+		}
+		return Update{Key: key, Version: version, Reply: reply}, nil
+	case PushNotify:
+		l.mu.Lock()
+		ack := l.ackVersion
+		l.mu.Unlock()
+		changed := 0
+		if ack != 0 {
+			if reply, err := m.store.Get(key, ack); err == nil && reply.IsDelta() {
+				changed = reply.Delta.WireSize()
+			}
+		}
+		return Update{Key: key, Version: version, Notify: true, ChangedBytes: changed}, nil
+	default:
+		return Update{}, fmt.Errorf("replication: lease has invalid mode %v", l.Mode)
+	}
+}

@@ -1,0 +1,109 @@
+package replication
+
+import (
+	"fmt"
+	"sync"
+)
+
+// UpdateStats summarizes the updates seen since analytics last ran.
+type UpdateStats struct {
+	Count int   // number of updates
+	Bytes int64 // total update payload bytes
+}
+
+// Trigger decides when data has changed enough to warrant re-running
+// analytics calculations (Section III lists three ways).
+type Trigger interface {
+	ShouldRecompute(s UpdateStats) bool
+	Name() string
+}
+
+// CountTrigger fires when the number of updates since the last computation
+// exceeds N.
+type CountTrigger struct{ N int }
+
+// ShouldRecompute implements Trigger.
+func (t CountTrigger) ShouldRecompute(s UpdateStats) bool { return s.Count > t.N }
+
+// Name implements Trigger.
+func (t CountTrigger) Name() string { return fmt.Sprintf("count>%d", t.N) }
+
+// BytesTrigger fires when the total size of updates since the last
+// computation exceeds N bytes.
+type BytesTrigger struct{ N int64 }
+
+// ShouldRecompute implements Trigger.
+func (t BytesTrigger) ShouldRecompute(s UpdateStats) bool { return s.Bytes > t.N }
+
+// Name implements Trigger.
+func (t BytesTrigger) Name() string { return fmt.Sprintf("bytes>%d", t.N) }
+
+// FuncTrigger applies an application-specific predicate — the paper's
+// "best way to determine when to perform updated analytics calculations",
+// at the cost of being harder to implement.
+type FuncTrigger struct {
+	Label string
+	Fn    func(s UpdateStats) bool
+}
+
+// ShouldRecompute implements Trigger.
+func (t FuncTrigger) ShouldRecompute(s UpdateStats) bool { return t.Fn != nil && t.Fn(s) }
+
+// Name implements Trigger.
+func (t FuncTrigger) Name() string {
+	if t.Label == "" {
+		return "app-specific"
+	}
+	return t.Label
+}
+
+// Monitor accumulates update statistics for a data set and answers whether
+// the configured trigger has fired; Reset is called after analytics rerun.
+type Monitor struct {
+	trigger Trigger
+
+	mu         sync.Mutex
+	stats      UpdateStats
+	recomputes int
+}
+
+// NewMonitor wraps a trigger.
+func NewMonitor(t Trigger) *Monitor { return &Monitor{trigger: t} }
+
+// RecordUpdate notes one update of the given payload size.
+func (m *Monitor) RecordUpdate(bytes int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats.Count++
+	m.stats.Bytes += int64(bytes)
+}
+
+// Check reports whether analytics should rerun now.
+func (m *Monitor) Check() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.trigger.ShouldRecompute(m.stats)
+}
+
+// Reset clears the accumulated statistics after a recomputation.
+func (m *Monitor) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats = UpdateStats{}
+	m.recomputes++
+}
+
+// Recomputes counts how many times Reset has been called — the recompute
+// budget the S3 experiment trades against staleness.
+func (m *Monitor) Recomputes() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.recomputes
+}
+
+// Stats returns a snapshot of the pending update statistics.
+func (m *Monitor) Stats() UpdateStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}

@@ -1,0 +1,148 @@
+package scheduler
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"coda/internal/core"
+	"coda/internal/crossval"
+	"coda/internal/darr"
+	"coda/internal/dataset"
+	"coda/internal/metrics"
+	"coda/internal/mlmodels"
+	"coda/internal/preprocess"
+)
+
+func buildGraph() *core.Graph {
+	g := core.NewGraph()
+	g.AddFeatureScalers(preprocess.NewStandardScaler(), preprocess.NewMinMaxScaler(), preprocess.NewNoOp())
+	g.AddRegressionModels(
+		mlmodels.NewLinearRegression(),
+		mlmodels.NewKNN(mlmodels.KNNRegression, 5),
+		mlmodels.NewDecisionTree(mlmodels.TreeRegression),
+	)
+	return g
+}
+
+func regDS(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(31))
+	ds, _, err := dataset.MakeRegression(dataset.RegressionSpec{Samples: 120, Features: 4, Informative: 3, Noise: 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func baseOpts(t *testing.T) core.SearchOptions {
+	t.Helper()
+	scorer, err := metrics.ScorerByName("rmse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.SearchOptions{
+		Splitter:    crossval.KFold{K: 3, Shuffle: true},
+		Scorer:      scorer,
+		Seed:        5,
+		Parallelism: 2,
+	}
+}
+
+func TestCooperativeFleetAvoidsRedundantWork(t *testing.T) {
+	ds := regDS(t)
+	repo := darr.NewRepo(nil, time.Minute)
+	res, err := RunFleet(context.Background(), buildGraph, ds, repo, FleetOptions{
+		Clients:   4,
+		Search:    baseOpts(t),
+		Cooperate: true,
+		Stagger:   20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UniqueUnits != 9 {
+		t.Fatalf("unique units %d, want 9", res.UniqueUnits)
+	}
+	// With cooperation, the fleet computes each unit roughly once.
+	if res.TotalComputed > res.UniqueUnits {
+		t.Fatalf("cooperative fleet computed %d units for %d unique", res.TotalComputed, res.UniqueUnits)
+	}
+	if rf := res.RedundancyFactor(); rf > 1.0 {
+		t.Fatalf("redundancy factor %v > 1 with cooperation", rf)
+	}
+	// All work units are covered by the DARR afterwards.
+	if repo.Len() != res.UniqueUnits {
+		t.Fatalf("DARR has %d records for %d units", repo.Len(), res.UniqueUnits)
+	}
+}
+
+func TestIndependentFleetDuplicatesWork(t *testing.T) {
+	ds := regDS(t)
+	res, err := RunFleet(context.Background(), buildGraph, ds, nil, FleetOptions{
+		Clients:   3,
+		Search:    baseOpts(t),
+		Cooperate: false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalComputed != 3*res.UniqueUnits {
+		t.Fatalf("independent fleet computed %d, want %d", res.TotalComputed, 3*res.UniqueUnits)
+	}
+	if rf := res.RedundancyFactor(); rf != 3 {
+		t.Fatalf("redundancy factor %v, want 3", rf)
+	}
+}
+
+func TestFleetAgreesOnBest(t *testing.T) {
+	ds := regDS(t)
+	repo := darr.NewRepo(nil, time.Minute)
+	res, err := RunFleet(context.Background(), buildGraph, ds, repo, FleetOptions{
+		Clients:   3,
+		Search:    baseOpts(t),
+		Cooperate: true,
+		Stagger:   30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Later clients read everything from the cache, and every client that
+	// saw all results agrees on the winner.
+	last := res.Reports[len(res.Reports)-1]
+	if last.CacheHits == 0 {
+		t.Fatal("staggered later client should hit the cache")
+	}
+	for _, r := range res.Reports {
+		if r.Skipped > 0 {
+			continue // partial view; may differ
+		}
+		if r.BestSpec != last.BestSpec {
+			t.Fatalf("clients disagree on best: %q vs %q", r.BestSpec, last.BestSpec)
+		}
+	}
+}
+
+func TestFleetValidation(t *testing.T) {
+	ds := regDS(t)
+	if _, err := RunFleet(context.Background(), buildGraph, ds, nil, FleetOptions{Clients: 0}); err == nil {
+		t.Fatal("want clients error")
+	}
+	if _, err := RunFleet(context.Background(), buildGraph, ds, nil, FleetOptions{Clients: 1, Cooperate: true}); err == nil {
+		t.Fatal("want repo-required error")
+	}
+	bad := func() *core.Graph { return core.NewGraph() }
+	if _, err := RunFleet(context.Background(), bad, ds, nil, FleetOptions{Clients: 1, Search: baseOpts(t)}); err == nil {
+		t.Fatal("want graph error")
+	}
+}
+
+func TestFleetCancellation(t *testing.T) {
+	ds := regDS(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunFleet(ctx, buildGraph, ds, nil, FleetOptions{Clients: 2, Search: baseOpts(t)}); err == nil {
+		t.Fatal("want cancellation error")
+	}
+}

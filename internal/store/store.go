@@ -1,0 +1,312 @@
+// Package store implements the versioned home data store of Section III.
+// Each object has a monotonically increasing version number; the store
+// retains recent versions and serves requests of the form "I have version
+// e, give me the latest": when a delta d(o, e, k) exists and is
+// considerably smaller than the full object, the delta is sent instead of
+// the whole value. Per-object byte accounting backs the S1 experiment.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"coda/internal/delta"
+)
+
+// ErrNotFound is returned for unknown object keys.
+var ErrNotFound = errors.New("store: object not found")
+
+// Version is one retained object version.
+type Version struct {
+	Num  uint64
+	Data []byte
+}
+
+// Reply answers a Get: the full latest value, a delta against the
+// requester's version, or an unchanged marker when the requester is
+// already current.
+type Reply struct {
+	Key     string
+	Version uint64 // latest version number
+	// Unchanged is set when the requester already holds the latest
+	// version; no payload accompanies it.
+	Unchanged bool
+	// Full is set when the store sends the whole object.
+	Full []byte
+	// Delta is set instead when a delta reply pays off; BaseVersion names
+	// the version it applies to.
+	Delta       *delta.Delta
+	BaseVersion uint64
+}
+
+// IsDelta reports whether the reply carries a delta.
+func (r *Reply) IsDelta() bool { return r.Delta != nil }
+
+// unchangedWireBytes is the fixed header cost of an unchanged reply.
+const unchangedWireBytes = 16
+
+// WireBytes returns the payload size a network transfer of this reply
+// would carry.
+func (r *Reply) WireBytes() int {
+	if r.Unchanged {
+		return unchangedWireBytes
+	}
+	if r.IsDelta() {
+		return r.Delta.WireSize()
+	}
+	return len(r.Full)
+}
+
+// Stats tallies what the store has sent, for the bandwidth experiments.
+type Stats struct {
+	FullReplies  int
+	DeltaReplies int
+	FullBytes    int64
+	DeltaBytes   int64
+	// SavedBytes is the difference between what full replies would have
+	// cost and what delta replies actually cost.
+	SavedBytes int64
+}
+
+// Options configures a HomeStore.
+type Options struct {
+	// Retain is how many past versions (and so delta bases) each object
+	// keeps (default 4) — the paper's "recent versions of o1" window.
+	Retain int
+	// BlockSize is the delta block granularity (default delta.DefaultBlockSize).
+	BlockSize int
+	// FullFraction is the delta-vs-full threshold: a delta is sent only
+	// when its wire size is below FullFraction * len(full). Default 0.5,
+	// a conservative reading of "considerably smaller".
+	FullFraction float64
+}
+
+func (o *Options) setDefaults() {
+	if o.Retain <= 0 {
+		o.Retain = 4
+	}
+	if o.BlockSize <= 0 {
+		o.BlockSize = delta.DefaultBlockSize
+	}
+	if o.FullFraction <= 0 || o.FullFraction > 1 {
+		o.FullFraction = 0.5
+	}
+}
+
+type object struct {
+	versions []Version // ascending version order, at most retain+1 (incl. latest)
+	// deltaCache memoizes d(o, base, latest); invalidated on Put.
+	deltaCache map[uint64]*delta.Delta
+}
+
+// HomeStore is a thread-safe versioned object store.
+type HomeStore struct {
+	mu      sync.Mutex
+	opts    Options
+	objects map[string]*object
+	stats   Stats
+}
+
+// NewHomeStore builds a store with the given options.
+func NewHomeStore(opts Options) *HomeStore {
+	opts.setDefaults()
+	return &HomeStore{opts: opts, objects: map[string]*object{}}
+}
+
+// Put stores a new version of the object and returns its version number
+// (starting at 1 for a new object).
+func (s *HomeStore) Put(key string, data []byte) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	obj := s.objects[key]
+	if obj == nil {
+		obj = &object{deltaCache: map[uint64]*delta.Delta{}}
+		s.objects[key] = obj
+	}
+	var next uint64 = 1
+	if n := len(obj.versions); n > 0 {
+		next = obj.versions[n-1].Num + 1
+	}
+	obj.versions = append(obj.versions, Version{Num: next, Data: append([]byte(nil), data...)})
+	if len(obj.versions) > s.opts.Retain+1 {
+		obj.versions = obj.versions[len(obj.versions)-s.opts.Retain-1:]
+	}
+	// The latest version changed, so all cached deltas are stale.
+	obj.deltaCache = map[uint64]*delta.Delta{}
+	return next
+}
+
+// Current returns the latest version of the object.
+func (s *HomeStore) Current(key string) (Version, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	obj := s.objects[key]
+	if obj == nil || len(obj.versions) == 0 {
+		return Version{}, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	v := obj.versions[len(obj.versions)-1]
+	return Version{Num: v.Num, Data: append([]byte(nil), v.Data...)}, nil
+}
+
+// Get answers a node that has haveVersion (0 = nothing): it returns the
+// latest version, as a delta when one is available against haveVersion and
+// its wire size is below FullFraction of the full object.
+func (s *HomeStore) Get(key string, haveVersion uint64) (*Reply, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	obj := s.objects[key]
+	if obj == nil || len(obj.versions) == 0 {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	latest := obj.versions[len(obj.versions)-1]
+	reply := &Reply{Key: key, Version: latest.Num}
+
+	if haveVersion == latest.Num {
+		reply.Unchanged = true
+		return reply, nil
+	}
+	if haveVersion != 0 && haveVersion < latest.Num {
+		if base, ok := s.findVersion(obj, haveVersion); ok {
+			d := obj.deltaCache[haveVersion]
+			if d == nil {
+				d = delta.Compute(base.Data, latest.Data, s.opts.BlockSize)
+				obj.deltaCache[haveVersion] = d
+			}
+			if float64(d.WireSize()) < s.opts.FullFraction*float64(len(latest.Data)) {
+				reply.Delta = d
+				reply.BaseVersion = haveVersion
+				s.stats.DeltaReplies++
+				s.stats.DeltaBytes += int64(d.WireSize())
+				s.stats.SavedBytes += int64(len(latest.Data) - d.WireSize())
+				return reply, nil
+			}
+		}
+	}
+	reply.Full = append([]byte(nil), latest.Data...)
+	s.stats.FullReplies++
+	s.stats.FullBytes += int64(len(latest.Data))
+	return reply, nil
+}
+
+func (s *HomeStore) findVersion(obj *object, num uint64) (Version, bool) {
+	for _, v := range obj.versions {
+		if v.Num == num {
+			return v, true
+		}
+	}
+	return Version{}, false
+}
+
+// RetainedVersions lists the version numbers currently held for a key.
+func (s *HomeStore) RetainedVersions(key string) ([]uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	obj := s.objects[key]
+	if obj == nil {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	out := make([]uint64, len(obj.versions))
+	for i, v := range obj.versions {
+		out[i] = v.Num
+	}
+	return out, nil
+}
+
+// Stats returns a snapshot of the reply accounting.
+func (s *HomeStore) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Keys lists all object keys.
+func (s *HomeStore) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.objects))
+	for k := range s.objects {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Replica is a client-side cache of objects obtained from a HomeStore: it
+// tracks which version it has and applies delta replies locally.
+type Replica struct {
+	mu      sync.Mutex
+	objects map[string]Version
+	// BytesReceived accumulates payload bytes this replica pulled.
+	bytesReceived int64
+}
+
+// NewReplica returns an empty replica cache.
+func NewReplica() *Replica {
+	return &Replica{objects: map[string]Version{}}
+}
+
+// VersionOf returns the version this replica holds for key (0 = none).
+func (r *Replica) VersionOf(key string) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.objects[key].Num
+}
+
+// Data returns the replica's copy of the object.
+func (r *Replica) Data(key string) ([]byte, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.objects[key]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v.Data...), true
+}
+
+// BytesReceived reports total payload bytes absorbed by this replica.
+func (r *Replica) BytesReceived() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.bytesReceived
+}
+
+// ApplyReply integrates a Reply (full, delta, or unchanged) into the
+// replica.
+func (r *Replica) ApplyReply(reply *Reply) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.bytesReceived += int64(reply.WireBytes())
+	if reply.Unchanged {
+		if cur := r.objects[reply.Key]; cur.Num != reply.Version {
+			return fmt.Errorf("store: unchanged reply for version %d but replica has %d of %q", reply.Version, cur.Num, reply.Key)
+		}
+		return nil
+	}
+	if !reply.IsDelta() {
+		r.objects[reply.Key] = Version{Num: reply.Version, Data: append([]byte(nil), reply.Full...)}
+		return nil
+	}
+	cur, ok := r.objects[reply.Key]
+	if !ok || cur.Num != reply.BaseVersion {
+		return fmt.Errorf("store: replica has version %d of %q, delta needs %d", cur.Num, reply.Key, reply.BaseVersion)
+	}
+	data, err := delta.Apply(cur.Data, reply.Delta)
+	if err != nil {
+		return fmt.Errorf("store: applying delta for %q: %w", reply.Key, err)
+	}
+	r.objects[reply.Key] = Version{Num: reply.Version, Data: data}
+	return nil
+}
+
+// Pull synchronizes one object from the home store into the replica,
+// sending the replica's version number as Section III describes.
+func (r *Replica) Pull(home *HomeStore, key string) error {
+	reply, err := home.Get(key, r.VersionOf(key))
+	if err != nil {
+		return fmt.Errorf("store: pull %q: %w", key, err)
+	}
+	if err := r.ApplyReply(reply); err != nil {
+		return err
+	}
+	return nil
+}

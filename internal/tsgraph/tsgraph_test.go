@@ -1,0 +1,115 @@
+package tsgraph_test
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"coda/internal/core"
+	"coda/internal/crossval"
+	"coda/internal/metrics"
+	"coda/internal/sim"
+	"coda/internal/tsgraph"
+)
+
+func TestGraphStructureMatchesFigure11(t *testing.T) {
+	g, err := tsgraph.New(tsgraph.Config{History: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stages := g.Stages()
+	if len(stages) != 3 {
+		t.Fatalf("stages %d, want 3 (scaling, preprocessing, modelling)", len(stages))
+	}
+	if len(stages[0].Options) != 4 || len(stages[1].Options) != 4 {
+		t.Fatalf("scaling %d, preprocessing %d options, want 4 each",
+			len(stages[0].Options), len(stages[1].Options))
+	}
+	// Full graph: 6 temporal + 2 iid + 2 statistical = 10 models.
+	if len(stages[2].Options) != 10 {
+		t.Fatalf("modelling options %d, want 10", len(stages[2].Options))
+	}
+	// Selective wiring: 4 scalers x (1 cascade x 6 temporal + 2 flat-ish x
+	// 2 dnn + 1 asis x 2 statistical) = 4 x 12 = 48 pipelines.
+	if n := g.NumPipelines(); n != 48 {
+		t.Fatalf("pipelines %d, want 48", n)
+	}
+	for _, p := range g.Paths() {
+		pre, model := p[1].Name, p[2].Name
+		temporal := strings.Contains(model, "lstm") || strings.Contains(model, "cnn") ||
+			model == "wavenet" || model == "seriesnet"
+		iid := strings.Contains(model, "dnn") && !temporal
+		statistical := model == "zeromodel" || model == "armodel"
+		switch pre {
+		case "cascadedwindows":
+			if !temporal {
+				t.Fatalf("cascadedwindows wired to %s", model)
+			}
+		case "flatwindowing", "tsasiid":
+			if !iid {
+				t.Fatalf("%s wired to %s", pre, model)
+			}
+		case "tsasis":
+			if !statistical {
+				t.Fatalf("tsasis wired to %s", model)
+			}
+		default:
+			t.Fatalf("unexpected preprocessing node %s", pre)
+		}
+	}
+}
+
+func TestSlimGraph(t *testing.T) {
+	g, err := tsgraph.New(tsgraph.Config{Slim: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slim: 2 temporal + 1 iid + 2 statistical = 5 models;
+	// 4 x (2 + 2 + 2) = 24 pipelines.
+	if n := g.NumPipelines(); n != 24 {
+		t.Fatalf("slim pipelines %d, want 24", n)
+	}
+}
+
+// TestScoresComparableAcrossScalers pins the denormalization invariant: the
+// Zero model's prediction error must be identical (in original units) no
+// matter which scaler precedes it, since scaling then unscaling is exact
+// for affine scalers.
+func TestScoresComparableAcrossScalers(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	series, err := sim.GenerateSeries(sim.SeriesSpec{Steps: 200, Vars: 2, Regime: sim.RegimeAR}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := tsgraph.New(tsgraph.Config{History: 6, Slim: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scorer, _ := metrics.ScorerByName("rmse")
+	n := series.NumSamples()
+	res, err := core.Search(context.Background(), g, series, core.SearchOptions{
+		Splitter:    crossval.SlidingSplit{K: 2, TrainSize: n / 2, TestSize: n / 5, Buffer: 6},
+		Scorer:      scorer,
+		Parallelism: 4,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var zeroScores []float64
+	for _, u := range res.Units {
+		if u.Err == "" && strings.Contains(u.Spec, "zeromodel") {
+			zeroScores = append(zeroScores, u.Mean)
+		}
+	}
+	if len(zeroScores) != 4 {
+		t.Fatalf("expected 4 zeromodel units (one per scaler), got %d", len(zeroScores))
+	}
+	for _, s := range zeroScores[1:] {
+		if math.Abs(s-zeroScores[0]) > 1e-9 {
+			t.Fatalf("zero-model RMSE differs across scalers: %v — scores are not in comparable units", zeroScores)
+		}
+	}
+}
