@@ -21,7 +21,10 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
+	"time"
 
 	"coda/internal/core"
 	"coda/internal/crossval"
@@ -30,6 +33,7 @@ import (
 	"coda/internal/metrics"
 	"coda/internal/mlmodels"
 	"coda/internal/preprocess"
+	"coda/internal/retry"
 	"coda/internal/sim"
 	"coda/internal/store"
 	"coda/internal/tsgraph"
@@ -41,18 +45,22 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	// Interrupts cancel in-flight DARR and object-store traffic via the
+	// context threaded through every client call.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	var err error
 	switch os.Args[1] {
 	case "search":
-		err = runSearch(os.Args[2:])
+		err = runSearch(ctx, os.Args[2:])
 	case "query":
-		err = runQuery(os.Args[2:])
+		err = runQuery(ctx, os.Args[2:])
 	case "put":
-		err = runPut(os.Args[2:])
+		err = runPut(ctx, os.Args[2:])
 	case "pull":
-		err = runPull(os.Args[2:])
+		err = runPull(ctx, os.Args[2:])
 	case "serve":
-		err = runServe(os.Args[2:])
+		err = runServe(ctx, os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -69,7 +77,7 @@ func usage() {
 
 // runServe trains the best pipeline for a dataset and exposes it as an AI
 // web service (Figure 1's third party): POST {"rows": [[...], ...]} to /score.
-func runServe(args []string) error {
+func runServe(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	var (
 		dataPath = fs.String("data", "", "CSV file with a header row")
@@ -105,7 +113,7 @@ func runServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := core.Search(context.Background(), regressionGraph(), ds, core.SearchOptions{
+	res, err := core.Search(ctx, regressionGraph(), ds, core.SearchOptions{
 		Splitter:    crossval.KFold{K: *k, Shuffle: true},
 		Scorer:      scorer,
 		Seed:        *seed,
@@ -140,7 +148,7 @@ func (pe pipelineEstimator) Predict(ds *dataset.Dataset) ([]float64, error) {
 	return pe.p.Predict(ds)
 }
 
-func runSearch(args []string) error {
+func runSearch(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("search", flag.ExitOnError)
 	var (
 		dataPath  = fs.String("data", "", "CSV file with a header row")
@@ -155,6 +163,7 @@ func runSearch(args []string) error {
 		epochs    = fs.Int("epochs", 20, "network epochs (timeseries graph)")
 		top       = fs.Int("top", 5, "pipelines to print")
 	)
+	ft := addFaultFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -213,19 +222,22 @@ func runSearch(args []string) error {
 		Parallelism: *parallel,
 	}
 	if *server != "" {
-		hc := httpapi.NewClient(*server, *clientID)
+		hc := ft.client(*server, *clientID)
 		hc.Metric = *metric
 		opts.Store = hc
 		opts.SkipClaimed = true
 	}
 
-	res, err := core.Search(context.Background(), g, ds, opts)
+	res, err := core.Search(ctx, g, ds, opts)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("dataset fingerprint: %s\n", ds.Fingerprint())
 	fmt.Printf("units: %d computed, %d from DARR, %d skipped (claimed elsewhere)\n",
 		res.Computed, res.CacheHits, res.Skipped)
+	if res.Degraded > 0 {
+		fmt.Printf("degraded: %d units computed locally because the DARR was unreachable\n", res.Degraded)
+	}
 
 	ok := res.Units[:0:0]
 	for _, u := range res.Units {
@@ -272,17 +284,18 @@ func regressionGraph() *core.Graph {
 	return g
 }
 
-func runQuery(args []string) error {
+func runQuery(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
 	server := fs.String("server", "", "DARR server URL")
 	fp := fs.String("fingerprint", "", "dataset fingerprint")
+	ft := addFaultFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *server == "" || *fp == "" {
 		return fmt.Errorf("query needs -server and -fingerprint")
 	}
-	recs, err := httpapi.NewClient(*server, "cli").QueryByDataset(*fp)
+	recs, err := ft.client(*server, "cli").QueryByDataset(ctx, *fp)
 	if err != nil {
 		return err
 	}
@@ -293,11 +306,12 @@ func runQuery(args []string) error {
 	return nil
 }
 
-func runPut(args []string) error {
+func runPut(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("put", flag.ExitOnError)
 	server := fs.String("server", "", "store server URL")
 	key := fs.String("key", "", "object key")
 	file := fs.String("file", "", "file to upload")
+	ft := addFaultFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -308,7 +322,7 @@ func runPut(args []string) error {
 	if err != nil {
 		return err
 	}
-	version, err := httpapi.NewClient(*server, "cli").PutObject(*key, data)
+	version, err := ft.client(*server, "cli").PutObject(ctx, *key, data)
 	if err != nil {
 		return err
 	}
@@ -316,11 +330,12 @@ func runPut(args []string) error {
 	return nil
 }
 
-func runPull(args []string) error {
+func runPull(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("pull", flag.ExitOnError)
 	server := fs.String("server", "", "store server URL")
 	key := fs.String("key", "", "object key")
 	out := fs.String("out", "", "output file")
+	ft := addFaultFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -328,7 +343,7 @@ func runPull(args []string) error {
 		return fmt.Errorf("pull needs -server, -key and -out")
 	}
 	rep := store.NewReplica()
-	if err := httpapi.NewClient(*server, "cli").PullObject(rep, *key); err != nil {
+	if err := ft.client(*server, "cli").PullObject(ctx, rep, *key); err != nil {
 		return err
 	}
 	data, ok := rep.Data(*key)
@@ -341,4 +356,43 @@ func runPull(args []string) error {
 	fmt.Printf("pulled %q version %d (%d bytes, %d on the wire)\n",
 		*key, rep.VersionOf(*key), len(data), rep.BytesReceived())
 	return nil
+}
+
+// faultFlags is the fault-tolerance flag surface shared by every
+// subcommand that talks to a remote server.
+type faultFlags struct {
+	retries        *int
+	retryBackoff   *time.Duration
+	retryMax       *time.Duration
+	attemptTimeout *time.Duration
+	breakerFails   *int
+	breakerCool    *time.Duration
+}
+
+func addFaultFlags(fs *flag.FlagSet) *faultFlags {
+	return &faultFlags{
+		retries:        fs.Int("retries", retry.DefaultMaxAttempts, "max attempts per request (1 disables retrying)"),
+		retryBackoff:   fs.Duration("retry-backoff", retry.DefaultInitialBackoff, "initial retry backoff (grows exponentially with jitter)"),
+		retryMax:       fs.Duration("retry-max-backoff", retry.DefaultMaxBackoff, "retry backoff cap"),
+		attemptTimeout: fs.Duration("attempt-timeout", httpapi.DefaultPerAttemptTimeout, "per-attempt request timeout"),
+		breakerFails:   fs.Int("breaker-failures", httpapi.DefaultBreakerThreshold, "consecutive failed calls that trip the circuit breaker (0 disables it)"),
+		breakerCool:    fs.Duration("breaker-cooldown", httpapi.DefaultBreakerCooldown, "wait before a tripped breaker probes the server again"),
+	}
+}
+
+// client builds an httpapi.Client honoring the parsed flags.
+func (f *faultFlags) client(server, clientID string) *httpapi.Client {
+	c := httpapi.NewClient(server, clientID)
+	c.Retry = retry.Policy{
+		MaxAttempts:       *f.retries,
+		InitialBackoff:    *f.retryBackoff,
+		MaxBackoff:        *f.retryMax,
+		PerAttemptTimeout: *f.attemptTimeout,
+	}
+	if *f.breakerFails > 0 {
+		c.Breaker = retry.NewBreaker(*f.breakerFails, *f.breakerCool, nil)
+	} else {
+		c.Breaker = nil
+	}
+	return c
 }

@@ -5,6 +5,13 @@
 // Usage:
 //
 //	coda-server -addr :8080 -claim-ttl 1m -retain 4
+//
+// For resilience drills against real clients, -chaos injects faults into
+// a fraction of requests (dropped connections, 500s, delays) so the
+// client-side retry/backoff/circuit-breaker stack can be exercised
+// end-to-end:
+//
+//	coda-server -addr :8080 -chaos 0.3 -chaos-seed 7
 package main
 
 import (
@@ -16,6 +23,7 @@ import (
 	"time"
 
 	"coda/internal/darr"
+	"coda/internal/faultinject"
 	"coda/internal/httpapi"
 	"coda/internal/store"
 )
@@ -27,15 +35,44 @@ func main() {
 		retain   = flag.Int("retain", 4, "object versions retained for delta bases")
 		block    = flag.Int("block", 64, "delta block size in bytes")
 		fullFrac = flag.Float64("full-fraction", 0.5, "send delta only when smaller than this fraction of the full object")
+
+		readTimeout  = flag.Duration("read-timeout", 30*time.Second, "per-request read timeout")
+		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "per-request write timeout")
+		idleTimeout  = flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle timeout")
+
+		chaos      = flag.Float64("chaos", 0, "fraction of requests to fault-inject (0 disables; split evenly between drops and 500s)")
+		chaosDelay = flag.Duration("chaos-delay", 0, "also delay this long on a chaos-sized fraction of requests")
+		chaosSeed  = flag.Int64("chaos-seed", 1, "seed for the deterministic chaos pattern")
 	)
 	flag.Parse()
 
 	repo := darr.NewRepo(nil, *claimTTL)
 	hs := store.NewHomeStore(store.Options{Retain: *retain, BlockSize: *block, FullFraction: *fullFrac})
-	srv := httpapi.NewServer(repo, hs)
+	var handler http.Handler = httpapi.NewServer(repo, hs)
 
+	if *chaos > 0 {
+		cfg := faultinject.Config{
+			Seed:          *chaosSeed,
+			DropFraction:  *chaos / 2,
+			ErrorFraction: *chaos / 2,
+			Delay:         *chaosDelay,
+		}
+		if *chaosDelay > 0 {
+			cfg.DelayFraction = *chaos
+		}
+		handler = faultinject.NewHandler(handler, cfg)
+		log.Printf("coda-server CHAOS MODE: injecting faults into %.0f%% of requests (seed %d)", *chaos*100, *chaosSeed)
+	}
+
+	srv := &http.Server{
+		Addr:         *addr,
+		Handler:      handler,
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
+		IdleTimeout:  *idleTimeout,
+	}
 	log.Printf("coda-server listening on %s (claim TTL %s, retain %d versions)", *addr, *claimTTL, *retain)
-	if err := http.ListenAndServe(*addr, srv); err != nil {
+	if err := srv.ListenAndServe(); err != nil {
 		fmt.Fprintln(os.Stderr, "coda-server:", err)
 		os.Exit(1)
 	}

@@ -7,6 +7,7 @@ package cluster
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 )
@@ -15,6 +16,10 @@ import (
 type Link struct {
 	Latency   time.Duration // per-message propagation delay
 	Bandwidth float64       // bytes per second; <= 0 means infinite
+	// Loss is the probability in [0, 1) that a message sent over the
+	// link is dropped in transit — the wide-area fault model behind
+	// SendReliable's retransmissions.
+	Loss float64
 }
 
 // TransferTime returns the simulated time to move n bytes over the link.
@@ -170,7 +175,8 @@ func (t *Topology) LinkBetween(from, to string) Link {
 }
 
 // Send simulates moving n bytes from one node to another, charging the
-// traffic meter, and returns the transfer's simulated duration.
+// traffic meter, and returns the transfer's simulated duration. Link loss
+// is ignored: Send models a fire-and-forget message.
 func (t *Topology) Send(meter *Traffic, from, to string, n int) time.Duration {
 	link := t.LinkBetween(from, to)
 	d := link.TransferTime(n)
@@ -180,4 +186,36 @@ func (t *Topology) Send(meter *Traffic, from, to string, n int) time.Duration {
 	meter.elapsed += d
 	meter.mu.Unlock()
 	return d
+}
+
+// SendReliable simulates delivering n bytes over a lossy link with up to
+// maxAttempts transmissions. Every attempt — including lost ones — is
+// charged to the meter (the bytes were sent either way), and each lost
+// attempt additionally costs one link latency of timeout detection before
+// the retransmission. rng drives loss deterministically so experiments
+// replay exactly; a nil rng uses the process-wide source. It returns the
+// attempts used, the total simulated time, and whether a transmission got
+// through.
+func (t *Topology) SendReliable(meter *Traffic, rng *rand.Rand, from, to string, n, maxAttempts int) (attempts int, elapsed time.Duration, delivered bool) {
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	link := t.LinkBetween(from, to)
+	draw := rand.Float64
+	if rng != nil {
+		draw = rng.Float64
+	}
+	for attempts = 1; attempts <= maxAttempts; attempts++ {
+		elapsed += t.Send(meter, from, to, n)
+		if draw() >= link.Loss {
+			delivered = true
+			break
+		}
+		// Lost in transit: the sender waits out a timeout before resending.
+		elapsed += link.Latency
+	}
+	if !delivered {
+		attempts = maxAttempts
+	}
+	return attempts, elapsed, delivered
 }

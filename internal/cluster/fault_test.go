@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func lossyTopology(t *testing.T, loss float64) *Topology {
+	t.Helper()
+	topo := NewTopology(Link{Latency: 10 * time.Millisecond, Bandwidth: 1 << 20, Loss: loss})
+	for _, n := range []Node{
+		{ID: "client", Kind: ClientNode, Speed: 1},
+		{ID: "cloud", Kind: CloudServerNode, Speed: 4},
+	} {
+		if err := topo.AddNode(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return topo
+}
+
+// TestSendReliableDeliversUnder30PercentLoss sends a workload's worth of
+// messages over a WAN link dropping 30% of them and checks that bounded
+// retransmission delivers everything, at a measurable retransmission cost.
+func TestSendReliableDeliversUnder30PercentLoss(t *testing.T) {
+	topo := lossyTopology(t, 0.3)
+	meter := &Traffic{}
+	rng := rand.New(rand.NewSource(17))
+
+	const messages = 1000
+	totalAttempts := 0
+	for i := 0; i < messages; i++ {
+		attempts, _, delivered := topo.SendReliable(meter, rng, "client", "cloud", 512, 10)
+		if !delivered {
+			t.Fatalf("message %d lost despite 10 attempts at 30%% loss", i)
+		}
+		totalAttempts += attempts
+	}
+	if meter.Messages() != totalAttempts {
+		t.Fatalf("meter saw %d messages, %d attempts were made", meter.Messages(), totalAttempts)
+	}
+	// Expected attempts per delivery at 30%% loss ≈ 1/0.7 ≈ 1.43.
+	if totalAttempts < messages*125/100 || totalAttempts > messages*165/100 {
+		t.Fatalf("total attempts %d for %d messages, want ~1.43x", totalAttempts, messages)
+	}
+	// Retransmissions are charged on the wire: more bytes than a lossless run.
+	if meter.Bytes() <= int64(messages)*512 {
+		t.Fatalf("meter bytes %d, retransmissions should exceed the lossless %d", meter.Bytes(), messages*512)
+	}
+}
+
+func TestSendReliableIsDeterministic(t *testing.T) {
+	run := func() (int, int64, time.Duration) {
+		topo := lossyTopology(t, 0.3)
+		meter := &Traffic{}
+		rng := rand.New(rand.NewSource(99))
+		var elapsed time.Duration
+		for i := 0; i < 200; i++ {
+			_, d, _ := topo.SendReliable(meter, rng, "client", "cloud", 256, 8)
+			elapsed += d
+		}
+		return meter.Messages(), meter.Bytes(), elapsed
+	}
+	m1, b1, e1 := run()
+	m2, b2, e2 := run()
+	if m1 != m2 || b1 != b2 || e1 != e2 {
+		t.Fatalf("same seed diverged: (%d,%d,%v) vs (%d,%d,%v)", m1, b1, e1, m2, b2, e2)
+	}
+}
+
+func TestSendReliableGivesUpOnDeadLink(t *testing.T) {
+	topo := lossyTopology(t, 1.0)
+	meter := &Traffic{}
+	rng := rand.New(rand.NewSource(1))
+	attempts, _, delivered := topo.SendReliable(meter, rng, "client", "cloud", 128, 5)
+	if delivered {
+		t.Fatal("a fully lossy link cannot deliver")
+	}
+	if attempts != 5 || meter.Messages() != 5 {
+		t.Fatalf("attempts=%d meterMessages=%d, want the full budget of 5", attempts, meter.Messages())
+	}
+}
+
+func TestSendReliableLosslessFastPath(t *testing.T) {
+	topo := lossyTopology(t, 0)
+	meter := &Traffic{}
+	attempts, elapsed, delivered := topo.SendReliable(meter, nil, "client", "cloud", 1024, 3)
+	if !delivered || attempts != 1 {
+		t.Fatalf("lossless link: attempts=%d delivered=%v, want 1 shot", attempts, delivered)
+	}
+	if want := topo.LinkBetween("client", "cloud").TransferTime(1024); elapsed != want {
+		t.Fatalf("elapsed %v, want plain transfer time %v", elapsed, want)
+	}
+}
+
+// TestSendReliableConcurrent exercises the shared meter and topology from
+// many goroutines (each with its own rng), for the race detector.
+func TestSendReliableConcurrent(t *testing.T) {
+	topo := lossyTopology(t, 0.2)
+	meter := &Traffic{}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 100; i++ {
+				if _, _, ok := topo.SendReliable(meter, rng, "client", "cloud", 64, 20); !ok {
+					t.Errorf("worker %d: message lost", w)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if meter.Messages() < 800 {
+		t.Fatalf("meter counted %d messages, want at least the 800 deliveries", meter.Messages())
+	}
+}

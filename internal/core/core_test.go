@@ -401,13 +401,13 @@ func newMemStore() *memStore {
 	return &memStore{scores: map[string]float64{}, claims: map[string]bool{}}
 }
 
-func (m *memStore) Lookup(key string) (float64, bool, error) {
+func (m *memStore) Lookup(_ context.Context, key string) (float64, bool, error) {
 	m.lookups++
 	s, ok := m.scores[key]
 	return s, ok, nil
 }
 
-func (m *memStore) Claim(key string) (bool, error) {
+func (m *memStore) Claim(_ context.Context, key string) (bool, error) {
 	if m.claims[key] {
 		return false, nil
 	}
@@ -415,7 +415,7 @@ func (m *memStore) Claim(key string) (bool, error) {
 	return true, nil
 }
 
-func (m *memStore) Publish(key string, score float64, _ string) error {
+func (m *memStore) Publish(_ context.Context, key string, score float64, _ string) error {
 	m.pubs++
 	m.scores[key] = score
 	return nil
@@ -561,11 +561,11 @@ func TestPipelineCountProductProperty(t *testing.T) {
 // flakyStore fails every operation, simulating a DARR outage.
 type flakyStore struct{}
 
-func (flakyStore) Lookup(string) (float64, bool, error) {
+func (flakyStore) Lookup(context.Context, string) (float64, bool, error) {
 	return 0, false, errBlackout
 }
-func (flakyStore) Claim(string) (bool, error) { return false, errBlackout }
-func (flakyStore) Publish(string, float64, string) error {
+func (flakyStore) Claim(context.Context, string) (bool, error) { return false, errBlackout }
+func (flakyStore) Publish(context.Context, string, float64, string) error {
 	return errBlackout
 }
 

@@ -17,14 +17,19 @@ import (
 // ResultStore is the cooperation hook the search engine uses to avoid
 // redundant computations across clients (Section III, Figure 2). The DARR
 // client implements it; a nil store means every unit is computed locally.
+//
+// Every method takes the search's context so a cancelled Search cancels
+// in-flight DARR traffic. Implementations may fail transiently (a remote
+// DARR over a WAN); Search treats any error as "store unavailable for
+// this unit" and degrades to local computation rather than aborting.
 type ResultStore interface {
 	// Lookup returns a previously published mean score for the key.
-	Lookup(key string) (score float64, ok bool, err error)
+	Lookup(ctx context.Context, key string) (score float64, ok bool, err error)
 	// Claim atomically reserves the key for this client; false means
 	// another client is already computing it.
-	Claim(key string) (bool, error)
+	Claim(ctx context.Context, key string) (bool, error)
 	// Publish stores a finished result with its explanation.
-	Publish(key string, score float64, explanation string) error
+	Publish(ctx context.Context, key string, score float64, explanation string) error
 }
 
 // SearchOptions configures model validation and selection over a graph
@@ -58,6 +63,10 @@ type UnitResult struct {
 	Err       string // non-empty when the pipeline failed on this data
 	FromCache bool   // true when the result came from the ResultStore
 	Skipped   bool   // true when another client had claimed the unit
+	// Degraded is true when the ResultStore failed for this unit and the
+	// search fell back to purely local computation (no cache, no claim,
+	// no publish) — the wide-area fault-tolerance path.
+	Degraded bool
 }
 
 // SearchResult is the outcome of Search.
@@ -69,6 +78,9 @@ type SearchResult struct {
 	BestPipeline *Pipeline
 	// Computed / CacheHits / Skipped count how units were satisfied.
 	Computed, CacheHits, Skipped int
+	// Degraded counts units computed locally because the ResultStore was
+	// failing (they are also included in Computed).
+	Degraded int
 }
 
 // searchUnit is one pipeline x parameter-assignment work item.
@@ -141,6 +153,9 @@ func Search(ctx context.Context, g *Graph, ds *dataset.Dataset, opts SearchOptio
 		case u.Err == "":
 			res.Computed++
 		}
+		if u.Degraded {
+			res.Degraded++
+		}
 		if u.Err != "" || u.Skipped {
 			continue
 		}
@@ -192,15 +207,27 @@ func evaluateUnit(ctx context.Context, u searchUnit, ds *dataset.Dataset, splits
 	key := UnitKey(fp, out.Spec, evalSpec)
 
 	if opts.Store != nil {
-		if score, ok, err := opts.Store.Lookup(key); err == nil && ok {
+		score, ok, err := opts.Store.Lookup(ctx, key)
+		switch {
+		case err != nil:
+			// The store is failing (WAN fault, circuit open, outage):
+			// degrade this unit to local-only computation instead of
+			// erroring out mid-search.
+			out.Degraded = true
+		case ok:
 			out.Mean = score
 			out.FromCache = true
 			return out
 		}
-		claimed, err := opts.Store.Claim(key)
-		if err == nil && !claimed && opts.SkipClaimed {
-			out.Skipped = true
-			return out
+		if !out.Degraded {
+			claimed, err := opts.Store.Claim(ctx, key)
+			switch {
+			case err != nil:
+				out.Degraded = true
+			case !claimed && opts.SkipClaimed:
+				out.Skipped = true
+				return out
+			}
 		}
 	}
 
@@ -236,10 +263,13 @@ func evaluateUnit(ctx context.Context, u searchUnit, ds *dataset.Dataset, splits
 	}
 	out.Mean = sum / float64(len(scores))
 
-	if opts.Store != nil {
+	if opts.Store != nil && !out.Degraded {
 		explanation := fmt.Sprintf("pipeline=%s cv=%s metric=%s folds=%d", out.Spec, evalSpec, opts.Scorer.Name, len(scores))
-		// Best-effort publish: a store outage must not fail the search.
-		_ = opts.Store.Publish(key, out.Mean, explanation)
+		// Best-effort publish: a store outage must not fail the search,
+		// but the unit is marked degraded because peers won't see it.
+		if err := opts.Store.Publish(ctx, key, out.Mean, explanation); err != nil {
+			out.Degraded = true
+		}
 	}
 	return out
 }

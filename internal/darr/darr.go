@@ -11,6 +11,7 @@
 package darr
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -178,8 +179,9 @@ type Client struct {
 	Metric   string
 }
 
-// Lookup implements core.ResultStore.
-func (c *Client) Lookup(key string) (float64, bool, error) {
+// Lookup implements core.ResultStore. The context is unused: the repo is
+// in-process and cannot block.
+func (c *Client) Lookup(_ context.Context, key string) (float64, bool, error) {
 	rec, err := c.Repo.Get(key)
 	if errors.Is(err, ErrNotFound) {
 		return 0, false, nil
@@ -191,12 +193,12 @@ func (c *Client) Lookup(key string) (float64, bool, error) {
 }
 
 // Claim implements core.ResultStore.
-func (c *Client) Claim(key string) (bool, error) {
+func (c *Client) Claim(_ context.Context, key string) (bool, error) {
 	return c.Repo.Claim(key, c.ClientID), nil
 }
 
 // Publish implements core.ResultStore.
-func (c *Client) Publish(key string, score float64, explanation string) error {
+func (c *Client) Publish(_ context.Context, key string, score float64, explanation string) error {
 	fp, spec, eval := SplitKey(key)
 	return c.Repo.Put(Record{
 		Key:          key,

@@ -1,6 +1,7 @@
 package darr
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -139,17 +140,17 @@ func TestClientAdapterImplementsResultStore(t *testing.T) {
 	c := &Client{Repo: repo, ClientID: "c1", Metric: "rmse"}
 
 	key := core.UnitKey("fpX", "input -> noop -> knn(k=3)", "kfold(k=3,shuffle=true)|rmse|seed=7")
-	if _, ok, err := c.Lookup(key); err != nil || ok {
+	if _, ok, err := c.Lookup(context.Background(), key); err != nil || ok {
 		t.Fatalf("lookup empty repo: ok=%v err=%v", ok, err)
 	}
-	claimed, err := c.Claim(key)
+	claimed, err := c.Claim(context.Background(), key)
 	if err != nil || !claimed {
 		t.Fatalf("claim: %v %v", claimed, err)
 	}
-	if err := c.Publish(key, 2.25, "explanation here"); err != nil {
+	if err := c.Publish(context.Background(), key, 2.25, "explanation here"); err != nil {
 		t.Fatal(err)
 	}
-	score, ok, err := c.Lookup(key)
+	score, ok, err := c.Lookup(context.Background(), key)
 	if err != nil || !ok || score != 2.25 {
 		t.Fatalf("lookup after publish: %v %v %v", score, ok, err)
 	}

@@ -1,0 +1,206 @@
+// Package faultinject simulates the unreliable wide-area network between
+// Figure 1's client nodes and cloud servers: an http.RoundTripper wrapper
+// (and a matching server-side middleware) that drops, delays, or answers
+// 500 to a configurable fraction of requests, driven deterministically
+// from a seed so failing runs replay exactly.
+//
+// Tests wrap a client's transport with 30% loss and assert that the
+// retry/breaker layer still completes cooperative searches and
+// replication with correct results.
+package faultinject
+
+import (
+	"context"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Config selects the faults to inject. Fractions are probabilities in
+// [0, 1] evaluated per request, in order: drop, then error, then delay.
+type Config struct {
+	// Seed drives the fault pattern; the same seed and request order
+	// reproduce the same faults.
+	Seed int64
+	// DropFraction of requests never reach the server: the caller sees a
+	// connection reset.
+	DropFraction float64
+	// ErrorFraction of requests are answered with a synthetic 500 without
+	// reaching the server.
+	ErrorFraction float64
+	// DelayFraction of requests are held for Delay before being forwarded.
+	DelayFraction float64
+	// Delay is the hold applied to delayed requests (default 10ms).
+	Delay time.Duration
+}
+
+// Counts reports what a Transport or Handler has done so far.
+type Counts struct {
+	Total, Dropped, Errored, Delayed int
+}
+
+// decider is the shared seeded coin shared by Transport and Handler.
+type decider struct {
+	cfg Config
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	counts Counts
+}
+
+func newDecider(cfg Config) *decider {
+	if cfg.Delay <= 0 {
+		cfg.Delay = 10 * time.Millisecond
+	}
+	return &decider{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+type verdict int
+
+const (
+	pass verdict = iota
+	drop
+	fail
+	delay
+)
+
+func (d *decider) decide() verdict {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.counts.Total++
+	u := d.rng.Float64()
+	switch {
+	case u < d.cfg.DropFraction:
+		d.counts.Dropped++
+		return drop
+	case u < d.cfg.DropFraction+d.cfg.ErrorFraction:
+		d.counts.Errored++
+		return fail
+	case u < d.cfg.DropFraction+d.cfg.ErrorFraction+d.cfg.DelayFraction:
+		d.counts.Delayed++
+		return delay
+	default:
+		return pass
+	}
+}
+
+func (d *decider) snapshot() Counts {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.counts
+}
+
+// errReset mimics what the OS reports when the peer resets the
+// connection; retry.Retryable classifies it as transient.
+func errReset() error {
+	return &net.OpError{Op: "read", Net: "tcp", Err: syscall.ECONNRESET}
+}
+
+// Transport is a fault-injecting http.RoundTripper wrapper for the
+// client side of the WAN.
+type Transport struct {
+	base http.RoundTripper
+	d    *decider
+}
+
+// NewTransport wraps base (nil means http.DefaultTransport).
+func NewTransport(base http.RoundTripper, cfg Config) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &Transport{base: base, d: newDecider(cfg)}
+}
+
+// Counts returns a snapshot of the injected-fault counters.
+func (t *Transport) Counts() Counts { return t.d.snapshot() }
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	switch t.d.decide() {
+	case drop:
+		drainBody(req)
+		return nil, errReset()
+	case fail:
+		drainBody(req)
+		return synthetic500(req), nil
+	case delay:
+		if err := holdFor(req.Context(), t.d.cfg.Delay); err != nil {
+			drainBody(req)
+			return nil, err
+		}
+	}
+	return t.base.RoundTrip(req)
+}
+
+func drainBody(req *http.Request) {
+	if req.Body != nil {
+		_, _ = io.Copy(io.Discard, req.Body)
+		_ = req.Body.Close()
+	}
+}
+
+func holdFor(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func synthetic500(req *http.Request) *http.Response {
+	body := `{"error":"faultinject: injected server error"}`
+	return &http.Response{
+		Status:        "500 Internal Server Error",
+		StatusCode:    http.StatusInternalServerError,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        http.Header{"Content-Type": []string{"application/json"}},
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// Handler is the server-side twin: chaos middleware for coda-server's
+// -chaos flag, used in resilience drills against real clients. Dropped
+// requests abort the connection mid-response (the client sees a reset),
+// errored ones answer 500.
+type Handler struct {
+	next http.Handler
+	d    *decider
+}
+
+// NewHandler wraps next with fault injection.
+func NewHandler(next http.Handler, cfg Config) *Handler {
+	return &Handler{next: next, d: newDecider(cfg)}
+}
+
+// Counts returns a snapshot of the injected-fault counters.
+func (h *Handler) Counts() Counts { return h.d.snapshot() }
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch h.d.decide() {
+	case drop:
+		// Abort the connection without a response; net/http turns this
+		// panic into a closed connection, not a crash.
+		panic(http.ErrAbortHandler)
+	case fail:
+		http.Error(w, `{"error":"faultinject: injected server error"}`, http.StatusInternalServerError)
+		return
+	case delay:
+		if err := holdFor(r.Context(), h.d.cfg.Delay); err != nil {
+			return
+		}
+	}
+	h.next.ServeHTTP(w, r)
+}

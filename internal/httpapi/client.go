@@ -2,6 +2,7 @@ package httpapi
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -10,25 +11,56 @@ import (
 	"time"
 
 	"coda/internal/darr"
+	"coda/internal/retry"
 	"coda/internal/store"
 )
 
 // Client talks to a remote coda server. It implements core.ResultStore for
 // cooperative searches and provides versioned object sync against the
 // remote home data store.
+//
+// All traffic flows through the fault-tolerance layer: transient failures
+// (timeouts, connection resets, 5xx) are retried with exponential backoff
+// under the configured Policy, and an optional circuit breaker fails fast
+// after consecutive failures so callers — core.Search in particular — can
+// degrade to local computation instead of stalling on a dead WAN.
 type Client struct {
 	BaseURL  string
 	ClientID string
 	Metric   string
 	HTTP     *http.Client
+	// Retry governs backoff for transient faults; the zero value uses the
+	// retry package defaults. Set MaxAttempts to 1 to disable retrying.
+	Retry retry.Policy
+	// Breaker, when non-nil, short-circuits calls after consecutive
+	// failures. NewClient installs one; build a Client literal without it
+	// for always-try behavior.
+	Breaker *retry.Breaker
 }
 
-// NewClient builds a client with a sane default timeout.
+// Default client fault-tolerance settings, chosen for wide-area links:
+// a handful of quick retries per call, and a breaker that trips after a
+// burst of failed calls then probes again a few seconds later.
+const (
+	DefaultRequestTimeout    = 30 * time.Second
+	DefaultPerAttemptTimeout = 10 * time.Second
+	DefaultBreakerThreshold  = 5
+	DefaultBreakerCooldown   = 5 * time.Second
+)
+
+// NewClient builds a client with sane wide-area defaults: 30s overall
+// request timeout, 10s per attempt, 4 attempts with jittered exponential
+// backoff, and a circuit breaker (trips after 5 consecutive failed calls,
+// probes again after 5s).
 func NewClient(baseURL, clientID string) *Client {
 	return &Client{
 		BaseURL:  baseURL,
 		ClientID: clientID,
-		HTTP:     &http.Client{Timeout: 30 * time.Second},
+		HTTP:     &http.Client{Timeout: DefaultRequestTimeout},
+		Retry: retry.Policy{
+			PerAttemptTimeout: DefaultPerAttemptTimeout,
+		},
+		Breaker: retry.NewBreaker(DefaultBreakerThreshold, DefaultBreakerCooldown, nil),
 	}
 }
 
@@ -39,39 +71,74 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-func (c *Client) doJSON(method, path string, body any, out any) (int, error) {
-	var rdr io.Reader
+// exec runs op through the breaker and retry policy. op runs once per
+// attempt with the attempt's context.
+func (c *Client) exec(ctx context.Context, op func(ctx context.Context) error) error {
+	if c.Breaker != nil && !c.Breaker.Allow() {
+		return fmt.Errorf("httpapi: %s: %w", c.BaseURL, retry.ErrOpen)
+	}
+	err := retry.Do(ctx, c.Retry, op)
+	if c.Breaker != nil {
+		c.Breaker.Record(err)
+	}
+	return err
+}
+
+// doJSON performs one JSON round-trip with retries. Retryable statuses
+// (5xx, 429) are surfaced as errors so the retry layer re-issues the
+// request; other statuses are returned to the caller for interpretation.
+// The request body is marshalled once and replayed on every attempt.
+func (c *Client) doJSON(ctx context.Context, method, path string, body any, out any) (int, error) {
+	var raw []byte
 	if body != nil {
-		raw, err := json.Marshal(body)
+		var err error
+		raw, err = json.Marshal(body)
 		if err != nil {
 			return 0, fmt.Errorf("httpapi: encoding request: %w", err)
 		}
-		rdr = bytes.NewReader(raw)
 	}
-	req, err := http.NewRequest(method, c.BaseURL+path, rdr)
-	if err != nil {
-		return 0, fmt.Errorf("httpapi: building request: %w", err)
-	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return 0, fmt.Errorf("httpapi: %s %s: %w", method, path, err)
-	}
-	defer resp.Body.Close()
-	if out != nil && resp.StatusCode < 300 {
-		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			return resp.StatusCode, fmt.Errorf("httpapi: decoding response: %w", err)
+	var status int
+	err := c.exec(ctx, func(ctx context.Context) error {
+		var rdr io.Reader
+		if raw != nil {
+			rdr = bytes.NewReader(raw)
 		}
+		req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rdr)
+		if err != nil {
+			return fmt.Errorf("httpapi: building request: %w", err)
+		}
+		if raw != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			return fmt.Errorf("httpapi: %s %s: %w", method, path, err)
+		}
+		defer resp.Body.Close()
+		if retry.RetryableStatus(resp.StatusCode) {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			return &retry.StatusError{Status: resp.StatusCode, Method: method, Path: path}
+		}
+		if out != nil && resp.StatusCode < 300 {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				// A truncated body reads as io.ErrUnexpectedEOF, which the
+				// retry layer classifies as transient.
+				return fmt.Errorf("httpapi: decoding response: %w", err)
+			}
+		}
+		status = resp.StatusCode
+		return nil
+	})
+	if err != nil {
+		return 0, err
 	}
-	return resp.StatusCode, nil
+	return status, nil
 }
 
 // Lookup implements core.ResultStore.
-func (c *Client) Lookup(key string) (float64, bool, error) {
+func (c *Client) Lookup(ctx context.Context, key string) (float64, bool, error) {
 	var rec darr.Record
-	status, err := c.doJSON(http.MethodGet, "/darr/records?key="+url.QueryEscape(key), nil, &rec)
+	status, err := c.doJSON(ctx, http.MethodGet, "/darr/records?key="+url.QueryEscape(key), nil, &rec)
 	if err != nil {
 		return 0, false, err
 	}
@@ -84,12 +151,13 @@ func (c *Client) Lookup(key string) (float64, bool, error) {
 	return rec.Score, true, nil
 }
 
-// Claim implements core.ResultStore.
-func (c *Client) Claim(key string) (bool, error) {
+// Claim implements core.ResultStore. Claims are idempotent per client, so
+// retrying a claim whose response was lost is safe.
+func (c *Client) Claim(ctx context.Context, key string) (bool, error) {
 	var out struct {
 		Granted bool `json:"granted"`
 	}
-	status, err := c.doJSON(http.MethodPost, "/darr/claims", claimRequest{Key: key, ClientID: c.ClientID}, &out)
+	status, err := c.doJSON(ctx, http.MethodPost, "/darr/claims", claimRequest{Key: key, ClientID: c.ClientID}, &out)
 	if err != nil {
 		return false, err
 	}
@@ -100,8 +168,8 @@ func (c *Client) Claim(key string) (bool, error) {
 }
 
 // Release drops this client's claim on key.
-func (c *Client) Release(key string) error {
-	status, err := c.doJSON(http.MethodDelete, "/darr/claims", claimRequest{Key: key, ClientID: c.ClientID}, nil)
+func (c *Client) Release(ctx context.Context, key string) error {
+	status, err := c.doJSON(ctx, http.MethodDelete, "/darr/claims", claimRequest{Key: key, ClientID: c.ClientID}, nil)
 	if err != nil {
 		return err
 	}
@@ -111,14 +179,15 @@ func (c *Client) Release(key string) error {
 	return nil
 }
 
-// Publish implements core.ResultStore.
-func (c *Client) Publish(key string, score float64, explanation string) error {
+// Publish implements core.ResultStore. Records are keyed, so a retried
+// publish overwrites itself rather than duplicating.
+func (c *Client) Publish(ctx context.Context, key string, score float64, explanation string) error {
 	fp, spec, eval := darr.SplitKey(key)
 	rec := darr.Record{
 		Key: key, DatasetFP: fp, PipelineSpec: spec, EvalSpec: eval,
 		Metric: c.Metric, Score: score, Explanation: explanation, ClientID: c.ClientID,
 	}
-	status, err := c.doJSON(http.MethodPost, "/darr/records", rec, nil)
+	status, err := c.doJSON(ctx, http.MethodPost, "/darr/records", rec, nil)
 	if err != nil {
 		return err
 	}
@@ -129,9 +198,9 @@ func (c *Client) Publish(key string, score float64, explanation string) error {
 }
 
 // QueryByDataset lists the remote DARR's records for a dataset fingerprint.
-func (c *Client) QueryByDataset(fp string) ([]darr.Record, error) {
+func (c *Client) QueryByDataset(ctx context.Context, fp string) ([]darr.Record, error) {
 	var recs []darr.Record
-	status, err := c.doJSON(http.MethodGet, "/darr/records?dataset="+url.QueryEscape(fp), nil, &recs)
+	status, err := c.doJSON(ctx, http.MethodGet, "/darr/records?dataset="+url.QueryEscape(fp), nil, &recs)
 	if err != nil {
 		return nil, err
 	}
@@ -142,35 +211,51 @@ func (c *Client) QueryByDataset(fp string) ([]darr.Record, error) {
 }
 
 // PutObject uploads a new version of an object to the remote home store.
-func (c *Client) PutObject(key string, data []byte) (uint64, error) {
-	req, err := http.NewRequest(http.MethodPut, c.BaseURL+"/store/objects/"+url.PathEscape(key), bytes.NewReader(data))
+// Note that a retried put whose lost response had committed assigns a new
+// (identical-content) version; readers converge either way.
+func (c *Client) PutObject(ctx context.Context, key string, data []byte) (uint64, error) {
+	var version uint64
+	err := c.exec(ctx, func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.BaseURL+"/store/objects/"+url.PathEscape(key), bytes.NewReader(data))
+		if err != nil {
+			return fmt.Errorf("httpapi: building put: %w", err)
+		}
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			return fmt.Errorf("httpapi: put object: %w", err)
+		}
+		defer resp.Body.Close()
+		if retry.RetryableStatus(resp.StatusCode) {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			return &retry.StatusError{Status: resp.StatusCode, Method: http.MethodPut, Path: "/store/objects/" + key}
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("httpapi: put status %d", resp.StatusCode)
+		}
+		var out struct {
+			Version uint64 `json:"version"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return fmt.Errorf("httpapi: decoding put response: %w", err)
+		}
+		version = out.Version
+		return nil
+	})
 	if err != nil {
-		return 0, fmt.Errorf("httpapi: building put: %w", err)
+		return 0, err
 	}
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return 0, fmt.Errorf("httpapi: put object: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return 0, fmt.Errorf("httpapi: put status %d", resp.StatusCode)
-	}
-	var out struct {
-		Version uint64 `json:"version"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return 0, fmt.Errorf("httpapi: decoding put response: %w", err)
-	}
-	return out.Version, nil
+	return version, nil
 }
 
 // PullObject synchronizes one object into the replica, sending the
-// replica's current version so the server can answer with a delta.
-func (c *Client) PullObject(rep *store.Replica, key string) error {
+// replica's current version so the server can answer with a delta. Each
+// attempt re-reads the replica version, so a retry after a partially
+// applied pull still converges.
+func (c *Client) PullObject(ctx context.Context, rep *store.Replica, key string) error {
 	have := rep.VersionOf(key)
 	var or objectReply
 	path := fmt.Sprintf("/store/objects/%s?have=%d", url.PathEscape(key), have)
-	status, err := c.doJSON(http.MethodGet, path, nil, &or)
+	status, err := c.doJSON(ctx, http.MethodGet, path, nil, &or)
 	if err != nil {
 		return err
 	}

@@ -44,28 +44,29 @@ func TestHealthz(t *testing.T) {
 
 func TestDARROverHTTP(t *testing.T) {
 	client, _, _, _ := newTestServer(t)
+	ctx := context.Background()
 	key := core.UnitKey("fp1", "input -> noop -> knn(k=5)", "kfold(k=3,shuffle=true)|rmse|seed=1")
 
-	if _, ok, err := client.Lookup(key); err != nil || ok {
+	if _, ok, err := client.Lookup(ctx, key); err != nil || ok {
 		t.Fatalf("lookup on empty repo: ok=%v err=%v", ok, err)
 	}
-	granted, err := client.Claim(key)
+	granted, err := client.Claim(ctx, key)
 	if err != nil || !granted {
 		t.Fatalf("claim: %v %v", granted, err)
 	}
 	other := NewClient(client.BaseURL, "other-client")
-	granted, err = other.Claim(key)
+	granted, err = other.Claim(ctx, key)
 	if err != nil || granted {
 		t.Fatalf("second client claim should be denied: %v %v", granted, err)
 	}
-	if err := client.Publish(key, 3.5, "explained"); err != nil {
+	if err := client.Publish(ctx, key, 3.5, "explained"); err != nil {
 		t.Fatal(err)
 	}
-	score, ok, err := other.Lookup(key)
+	score, ok, err := other.Lookup(ctx, key)
 	if err != nil || !ok || score != 3.5 {
 		t.Fatalf("lookup after publish: %v %v %v", score, ok, err)
 	}
-	recs, err := client.QueryByDataset("fp1")
+	recs, err := client.QueryByDataset(ctx, "fp1")
 	if err != nil || len(recs) != 1 {
 		t.Fatalf("query: %d records, err %v", len(recs), err)
 	}
@@ -74,28 +75,29 @@ func TestDARROverHTTP(t *testing.T) {
 	}
 	// Release path.
 	key2 := core.UnitKey("fp1", "spec2", "eval")
-	if g, _ := client.Claim(key2); !g {
+	if g, _ := client.Claim(ctx, key2); !g {
 		t.Fatal("claim key2")
 	}
-	if err := client.Release(key2); err != nil {
+	if err := client.Release(ctx, key2); err != nil {
 		t.Fatal(err)
 	}
-	if g, _ := other.Claim(key2); !g {
+	if g, _ := other.Claim(ctx, key2); !g {
 		t.Fatal("released claim should be grantable")
 	}
 }
 
 func TestObjectSyncOverHTTP(t *testing.T) {
 	client, _, _, _ := newTestServer(t)
+	ctx := context.Background()
 	rng := rand.New(rand.NewSource(1))
 	v1 := make([]byte, 8192)
 	rng.Read(v1)
-	ver, err := client.PutObject("sensor-data", v1)
+	ver, err := client.PutObject(ctx, "sensor-data", v1)
 	if err != nil || ver != 1 {
 		t.Fatalf("put: %d %v", ver, err)
 	}
 	rep := store.NewReplica()
-	if err := client.PullObject(rep, "sensor-data"); err != nil {
+	if err := client.PullObject(ctx, rep, "sensor-data"); err != nil {
 		t.Fatal(err)
 	}
 	got, ok := rep.Data("sensor-data")
@@ -107,10 +109,10 @@ func TestObjectSyncOverHTTP(t *testing.T) {
 	// Small edit: the second pull should arrive as a delta.
 	v2 := append([]byte(nil), v1...)
 	v2[100] ^= 0xff
-	if _, err := client.PutObject("sensor-data", v2); err != nil {
+	if _, err := client.PutObject(ctx, "sensor-data", v2); err != nil {
 		t.Fatal(err)
 	}
-	if err := client.PullObject(rep, "sensor-data"); err != nil {
+	if err := client.PullObject(ctx, rep, "sensor-data"); err != nil {
 		t.Fatal(err)
 	}
 	got, _ = rep.Data("sensor-data")
@@ -124,7 +126,7 @@ func TestObjectSyncOverHTTP(t *testing.T) {
 		t.Fatalf("replica version %d", rep.VersionOf("sensor-data"))
 	}
 	// Unknown key 404s.
-	if err := client.PullObject(rep, "missing"); err == nil {
+	if err := client.PullObject(ctx, rep, "missing"); err == nil {
 		t.Fatal("want not-found error")
 	}
 }
@@ -215,17 +217,18 @@ func TestSearchThroughHTTPStore(t *testing.T) {
 
 func TestUnchangedPullOverHTTP(t *testing.T) {
 	client, _, _, _ := newTestServer(t)
+	ctx := context.Background()
 	data := bytes.Repeat([]byte("x"), 8192)
-	if _, err := client.PutObject("obj", data); err != nil {
+	if _, err := client.PutObject(ctx, "obj", data); err != nil {
 		t.Fatal(err)
 	}
 	rep := store.NewReplica()
-	if err := client.PullObject(rep, "obj"); err != nil {
+	if err := client.PullObject(ctx, rep, "obj"); err != nil {
 		t.Fatal(err)
 	}
 	before := rep.BytesReceived()
 	// Second pull: already current, must be nearly free.
-	if err := client.PullObject(rep, "obj"); err != nil {
+	if err := client.PullObject(ctx, rep, "obj"); err != nil {
 		t.Fatal(err)
 	}
 	if cost := rep.BytesReceived() - before; cost > 64 {

@@ -1,0 +1,149 @@
+package retry
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrOpen is returned (wrapped) by callers that find their circuit
+// breaker open: the remote side has failed repeatedly and calls are being
+// short-circuited so the layer above can degrade to local computation.
+var ErrOpen = errors.New("retry: circuit open")
+
+// BreakerState is the classic three-state circuit-breaker state.
+type BreakerState int
+
+// Breaker states.
+const (
+	// Closed: traffic flows, failures are counted.
+	Closed BreakerState = iota
+	// Open: traffic is short-circuited until the cooldown elapses.
+	Open
+	// HalfOpen: one probe is in flight; its outcome closes or re-opens.
+	HalfOpen
+)
+
+// String names the state.
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Breaker trips after Threshold consecutive failures, fails fast for
+// Cooldown, then lets a single probe through; a successful probe closes
+// the circuit, a failed one re-opens it. All methods are safe for
+// concurrent use.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int // consecutive failures while closed
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+	trips    int
+}
+
+// NewBreaker builds a breaker. threshold <= 0 defaults to 5 consecutive
+// failures; cooldown <= 0 defaults to 10s. nowFn may be nil (wall clock);
+// tests inject virtual clocks.
+func NewBreaker(threshold int, cooldown time.Duration, nowFn func() time.Time) *Breaker {
+	if threshold <= 0 {
+		threshold = 5
+	}
+	if cooldown <= 0 {
+		cooldown = 10 * time.Second
+	}
+	if nowFn == nil {
+		nowFn = time.Now
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: nowFn}
+}
+
+// Allow reports whether a call may proceed. While open it returns false
+// until the cooldown elapses, then admits exactly one probe (moving to
+// half-open); concurrent callers keep failing fast until the probe
+// reports via Record.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.state = HalfOpen
+			b.probing = true
+			return true
+		}
+		return false
+	case HalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	default:
+		return false
+	}
+}
+
+// Record reports a call outcome. Successes reset the failure count and
+// close a half-open circuit; failures count toward the threshold and
+// re-open a half-open circuit immediately.
+func (b *Breaker) Record(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err == nil {
+		b.state = Closed
+		b.failures = 0
+		b.probing = false
+		return
+	}
+	switch b.state {
+	case HalfOpen:
+		b.trip()
+	case Closed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.trip()
+		}
+	case Open:
+		// A straggler finishing after the trip; nothing to do.
+	}
+}
+
+func (b *Breaker) trip() {
+	b.state = Open
+	b.failures = 0
+	b.probing = false
+	b.openedAt = b.now()
+	b.trips++
+}
+
+// State returns the current state, applying the cooldown transition so
+// callers see half-open once the wait has elapsed.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trips counts how many times the breaker has opened.
+func (b *Breaker) Trips() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
