@@ -18,6 +18,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"os"
@@ -32,6 +33,7 @@ import (
 	"coda/internal/httpapi"
 	"coda/internal/metrics"
 	"coda/internal/mlmodels"
+	"coda/internal/obs"
 	"coda/internal/preprocess"
 	"coda/internal/retry"
 	"coda/internal/sim"
@@ -75,6 +77,41 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "usage: coda-client <search|query|put|pull|serve> [flags]")
 }
 
+// logFlags is the observability flag surface shared by every subcommand:
+// structured-log level/format and an optional pprof/metrics listener.
+type logFlags struct {
+	level     *string
+	format    *string
+	debugAddr *string
+}
+
+func addLogFlags(fs *flag.FlagSet) *logFlags {
+	return &logFlags{
+		level:     fs.String("log-level", "info", "log level: debug|info|warn|error (debug logs every remote call)"),
+		format:    fs.String("log-format", "text", "log format: text|json"),
+		debugAddr: fs.String("debug-addr", "", "optional listener for net/http/pprof, /metrics and /healthz (e.g. :6061)"),
+	}
+}
+
+// setup configures the process logger and, when requested, starts the
+// pprof/metrics debug listener.
+func (lf *logFlags) setup() error {
+	if err := obs.SetupDefaultLogger(*lf.level, *lf.format); err != nil {
+		return err
+	}
+	if *lf.debugAddr != "" {
+		addr := *lf.debugAddr
+		go func() {
+			slog.Info("debug server listening", "addr", addr,
+				"endpoints", "/debug/pprof/ /metrics /healthz")
+			if err := http.ListenAndServe(addr, obs.DebugMux()); err != nil {
+				slog.Error("debug server failed", "err", err)
+			}
+		}()
+	}
+	return nil
+}
+
 // runServe trains the best pipeline for a dataset and exposes it as an AI
 // web service (Figure 1's third party): POST {"rows": [[...], ...]} to /score.
 func runServe(ctx context.Context, args []string) error {
@@ -87,7 +124,11 @@ func runServe(ctx context.Context, args []string) error {
 		k        = fs.Int("k", 5, "cross-validation folds")
 		seed     = fs.Int64("seed", 1, "search seed")
 	)
+	lf := addLogFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := lf.setup(); err != nil {
 		return err
 	}
 	var ds *dataset.Dataset
@@ -129,7 +170,11 @@ func runServe(ctx context.Context, args []string) error {
 	fmt.Println(`POST {"rows": [[...feature values...], ...]} to /score`)
 	mux := http.NewServeMux()
 	mux.Handle("/score", webservice.Handler(pipelineEstimator{res.BestPipeline}))
-	return http.ListenAndServe(*addr, mux)
+	mux.Handle("/metrics", obs.MetricsHandler())
+	mux.Handle("/healthz", obs.HealthHandler(nil))
+	// The middleware assigns each scoring request an X-Coda-Request-Id
+	// and threads it into the handler's logs.
+	return http.ListenAndServe(*addr, obs.Middleware(mux, nil))
 }
 
 // pipelineEstimator adapts a fitted Pipeline to core.Estimator for the
@@ -164,9 +209,18 @@ func runSearch(ctx context.Context, args []string) error {
 		top       = fs.Int("top", 5, "pipelines to print")
 	)
 	ft := addFaultFlags(fs)
+	lf := addLogFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := lf.setup(); err != nil {
+		return err
+	}
+
+	// One request id covers the whole cooperative search: every DARR call
+	// it makes carries this id in X-Coda-Request-Id, so client and server
+	// logs correlate end to end.
+	ctx, requestID := obs.EnsureRequestID(ctx)
 
 	var (
 		ds  *dataset.Dataset
@@ -226,11 +280,18 @@ func runSearch(ctx context.Context, args []string) error {
 		hc.Metric = *metric
 		opts.Store = hc
 		opts.SkipClaimed = true
+		slog.Info("cooperative search starting",
+			"request_id", requestID, "server", *server, "client", *clientID, "metric", *metric)
 	}
 
 	res, err := core.Search(ctx, g, ds, opts)
 	if err != nil {
 		return err
+	}
+	if *server != "" {
+		slog.Info("cooperative search finished",
+			"request_id", requestID, "computed", res.Computed, "cache_hits", res.CacheHits,
+			"skipped", res.Skipped, "degraded", res.Degraded)
 	}
 	fmt.Printf("dataset fingerprint: %s\n", ds.Fingerprint())
 	fmt.Printf("units: %d computed, %d from DARR, %d skipped (claimed elsewhere)\n",
@@ -289,7 +350,11 @@ func runQuery(ctx context.Context, args []string) error {
 	server := fs.String("server", "", "DARR server URL")
 	fp := fs.String("fingerprint", "", "dataset fingerprint")
 	ft := addFaultFlags(fs)
+	lf := addLogFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := lf.setup(); err != nil {
 		return err
 	}
 	if *server == "" || *fp == "" {
@@ -312,7 +377,11 @@ func runPut(ctx context.Context, args []string) error {
 	key := fs.String("key", "", "object key")
 	file := fs.String("file", "", "file to upload")
 	ft := addFaultFlags(fs)
+	lf := addLogFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := lf.setup(); err != nil {
 		return err
 	}
 	if *server == "" || *key == "" || *file == "" {
@@ -336,7 +405,11 @@ func runPull(ctx context.Context, args []string) error {
 	key := fs.String("key", "", "object key")
 	out := fs.String("out", "", "output file")
 	ft := addFaultFlags(fs)
+	lf := addLogFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := lf.setup(); err != nil {
 		return err
 	}
 	if *server == "" || *key == "" || *out == "" {
@@ -391,6 +464,7 @@ func (f *faultFlags) client(server, clientID string) *httpapi.Client {
 	}
 	if *f.breakerFails > 0 {
 		c.Breaker = retry.NewBreaker(*f.breakerFails, *f.breakerCool, nil)
+		retry.RegisterBreaker(server, c.Breaker)
 	} else {
 		c.Breaker = nil
 	}

@@ -6,6 +6,14 @@
 //
 //	coda-server -addr :8080 -claim-ttl 1m -retain 4
 //
+// Observability: structured logs go to stderr (-log-level debug shows
+// per-request lines with X-Coda-Request-Id), /metrics serves a
+// Prometheus text scrape, /healthz reports uptime/build/breaker state,
+// and -debug-addr exposes net/http/pprof plus the same scrape on a
+// separate listener:
+//
+//	coda-server -addr :8080 -log-level debug -log-format json -debug-addr :6060
+//
 // For resilience drills against real clients, -chaos injects faults into
 // a fraction of requests (dropped connections, 500s, delays) so the
 // client-side retry/backoff/circuit-breaker stack can be exercised
@@ -17,14 +25,21 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"time"
 
+	// Linked for its metric registrations only: the search-unit latency
+	// histogram and outcome counters appear in this server's /metrics
+	// schema from boot, so dashboards see the full coda metric set even
+	// before any in-process search runs.
+	_ "coda/internal/core"
+
 	"coda/internal/darr"
 	"coda/internal/faultinject"
 	"coda/internal/httpapi"
+	"coda/internal/obs"
 	"coda/internal/store"
 )
 
@@ -40,11 +55,21 @@ func main() {
 		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "per-request write timeout")
 		idleTimeout  = flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle timeout")
 
+		logLevel  = flag.String("log-level", "info", "log level: debug|info|warn|error (debug logs every request)")
+		logFormat = flag.String("log-format", "text", "log format: text|json")
+		debugAddr = flag.String("debug-addr", "", "optional listener for net/http/pprof, /metrics and /healthz (e.g. :6060)")
+
 		chaos      = flag.Float64("chaos", 0, "fraction of requests to fault-inject (0 disables; split evenly between drops and 500s)")
 		chaosDelay = flag.Duration("chaos-delay", 0, "also delay this long on a chaos-sized fraction of requests")
 		chaosSeed  = flag.Int64("chaos-seed", 1, "seed for the deterministic chaos pattern")
 	)
 	flag.Parse()
+
+	if err := obs.SetupDefaultLogger(*logLevel, *logFormat); err != nil {
+		fmt.Fprintln(os.Stderr, "coda-server:", err)
+		os.Exit(2)
+	}
+	logger := slog.Default()
 
 	repo := darr.NewRepo(nil, *claimTTL)
 	hs := store.NewHomeStore(store.Options{Retain: *retain, BlockSize: *block, FullFraction: *fullFrac})
@@ -61,7 +86,18 @@ func main() {
 			cfg.DelayFraction = *chaos
 		}
 		handler = faultinject.NewHandler(handler, cfg)
-		log.Printf("coda-server CHAOS MODE: injecting faults into %.0f%% of requests (seed %d)", *chaos*100, *chaosSeed)
+		logger.Warn("CHAOS MODE: injecting faults",
+			"fraction", *chaos, "seed", *chaosSeed, "delay", *chaosDelay)
+	}
+
+	if *debugAddr != "" {
+		go func() {
+			logger.Info("debug server listening", "addr", *debugAddr,
+				"endpoints", "/debug/pprof/ /metrics /healthz")
+			if err := http.ListenAndServe(*debugAddr, obs.DebugMux()); err != nil {
+				logger.Error("debug server failed", "err", err)
+			}
+		}()
 	}
 
 	srv := &http.Server{
@@ -71,9 +107,10 @@ func main() {
 		WriteTimeout: *writeTimeout,
 		IdleTimeout:  *idleTimeout,
 	}
-	log.Printf("coda-server listening on %s (claim TTL %s, retain %d versions)", *addr, *claimTTL, *retain)
+	logger.Info("coda-server listening",
+		"addr", *addr, "claim_ttl", *claimTTL, "retain", *retain)
 	if err := srv.ListenAndServe(); err != nil {
-		fmt.Fprintln(os.Stderr, "coda-server:", err)
+		logger.Error("coda-server exiting", "err", err)
 		os.Exit(1)
 	}
 }

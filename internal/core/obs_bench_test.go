@@ -1,0 +1,59 @@
+package core_test
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"math/rand"
+	"testing"
+
+	"coda/internal/core"
+	"coda/internal/crossval"
+	"coda/internal/dataset"
+	"coda/internal/metrics"
+	"coda/internal/mlmodels"
+	"coda/internal/obs"
+	"coda/internal/preprocess"
+)
+
+// benchSearch runs a small but real local search (2 scalers x 2 models =
+// 4 pipelines over a 120-sample regression set) so per-unit telemetry is
+// a measurable fraction of the work.
+func benchSearch(b *testing.B) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(17))
+	ds, _, err := dataset.MakeRegression(dataset.RegressionSpec{Samples: 120, Features: 4, Informative: 3, Noise: 1}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scorer, _ := metrics.ScorerByName("rmse")
+	discard := slog.New(slog.NewTextHandler(io.Discard, nil))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := core.NewGraph()
+		g.AddFeatureScalers(preprocess.NewStandardScaler(), preprocess.NewNoOp())
+		g.AddRegressionModels(mlmodels.NewLinearRegression(), mlmodels.NewKNN(mlmodels.KNNRegression, 5))
+		if _, err := core.Search(context.Background(), g, ds, core.SearchOptions{
+			Splitter: crossval.KFold{K: 3, Shuffle: true},
+			Scorer:   scorer,
+			Seed:     11,
+			Logger:   discard,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkObsOverhead compares the instrumented core.Search hot path
+// against the same path with telemetry disabled via obs.SetEnabled. Run
+// both sub-benchmarks and diff ns/op to price the instrumentation.
+func BenchmarkObsOverhead(b *testing.B) {
+	b.Run("instrumented", func(b *testing.B) {
+		benchSearch(b)
+	})
+	b.Run("uninstrumented", func(b *testing.B) {
+		obs.SetEnabled(false)
+		defer obs.SetEnabled(true)
+		benchSearch(b)
+	})
+}

@@ -3,15 +3,30 @@ package core
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"coda/internal/crossval"
 	"coda/internal/dataset"
 	"coda/internal/metrics"
+	"coda/internal/obs"
+)
+
+// Search telemetry: how long each evaluation unit takes to compute
+// locally, and how units were satisfied — the scoreboard for the paper's
+// cooperative-reuse claim.
+var (
+	mUnitSeconds   = obs.GetHistogram("coda_search_unit_seconds", nil)
+	mUnitsComputed = obs.GetCounter(`coda_search_units_total{outcome="computed"}`)
+	mUnitsCached   = obs.GetCounter(`coda_search_units_total{outcome="cache_hit"}`)
+	mUnitsSkipped  = obs.GetCounter(`coda_search_units_total{outcome="skipped"}`)
+	mUnitsFailed   = obs.GetCounter(`coda_search_units_total{outcome="error"}`)
+	mUnitsDegraded = obs.GetCounter("coda_search_degraded_units_total")
 )
 
 // ResultStore is the cooperation hook the search engine uses to avoid
@@ -52,6 +67,9 @@ type SearchOptions struct {
 	// SkipClaimed, with a Store, skips units another client has claimed
 	// instead of computing them redundantly.
 	SkipClaimed bool
+	// Logger receives structured search telemetry (completion summary at
+	// debug, degradation warnings). Nil uses slog.Default().
+	Logger *slog.Logger
 }
 
 // UnitResult is the outcome of evaluating one (path, parameter set) unit.
@@ -143,18 +161,26 @@ func Search(ctx context.Context, g *Graph, ds *dataset.Dataset, opts SearchOptio
 	}
 
 	res := &SearchResult{Units: results}
+	failed := 0
 	for i := range results {
 		u := &results[i]
 		switch {
 		case u.Skipped:
 			res.Skipped++
+			mUnitsSkipped.Inc()
 		case u.FromCache:
 			res.CacheHits++
+			mUnitsCached.Inc()
 		case u.Err == "":
 			res.Computed++
+			mUnitsComputed.Inc()
+		default:
+			failed++
+			mUnitsFailed.Inc()
 		}
 		if u.Degraded {
 			res.Degraded++
+			mUnitsDegraded.Inc()
 		}
 		if u.Err != "" || u.Skipped {
 			continue
@@ -162,6 +188,18 @@ func Search(ctx context.Context, g *Graph, ds *dataset.Dataset, opts SearchOptio
 		if res.Best == nil || opts.Scorer.Better(u.Mean, res.Best.Mean) {
 			res.Best = u
 		}
+	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	logger.Debug("search complete",
+		"request_id", obs.RequestID(ctx), "dataset_fp", fp, "units", len(results),
+		"computed", res.Computed, "cache_hits", res.CacheHits,
+		"skipped", res.Skipped, "failed", failed, "degraded", res.Degraded)
+	if res.Degraded > 0 {
+		logger.Warn("search degraded: result store unavailable for some units",
+			"request_id", obs.RequestID(ctx), "degraded", res.Degraded, "units", len(results))
 	}
 	if res.Best != nil {
 		best := units[indexOfSpec(results, res.Best.Spec, res.Best.Params)]
@@ -231,6 +269,7 @@ func evaluateUnit(ctx context.Context, u searchUnit, ds *dataset.Dataset, splits
 		}
 	}
 
+	start := time.Now()
 	scores := make([]float64, 0, len(splits))
 	for _, sp := range splits {
 		if ctx.Err() != nil {
@@ -262,6 +301,7 @@ func evaluateUnit(ctx context.Context, u searchUnit, ds *dataset.Dataset, splits
 		sum += s
 	}
 	out.Mean = sum / float64(len(scores))
+	mUnitSeconds.ObserveSince(start)
 
 	if opts.Store != nil && !out.Degraded {
 		explanation := fmt.Sprintf("pipeline=%s cv=%s metric=%s folds=%d", out.Spec, evalSpec, opts.Scorer.Name, len(scores))

@@ -18,6 +18,19 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"coda/internal/obs"
+)
+
+// DARR telemetry: cooperative reuse shows up as the hit/miss ratio, and
+// claim grants/denials show how well clients partition the work.
+var (
+	mLookups       = obs.GetCounter("coda_darr_lookups_total")
+	mHits          = obs.GetCounter("coda_darr_hits_total")
+	mMisses        = obs.GetCounter("coda_darr_misses_total")
+	mPuts          = obs.GetCounter("coda_darr_puts_total")
+	mClaimsGranted = obs.GetCounter(`coda_darr_claims_total{granted="true"}`)
+	mClaimsDenied  = obs.GetCounter(`coda_darr_claims_total{granted="false"}`)
 )
 
 // ErrNotFound is returned when a record key is unknown.
@@ -84,6 +97,7 @@ func (r *Repo) Put(rec Record) error {
 	r.records[rec.Key] = rec
 	delete(r.claims, rec.Key)
 	r.puts++
+	mPuts.Inc()
 	return nil
 }
 
@@ -92,11 +106,14 @@ func (r *Repo) Get(key string) (Record, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.lookups++
+	mLookups.Inc()
 	rec, ok := r.records[key]
 	if !ok {
+		mMisses.Inc()
 		return Record{}, fmt.Errorf("%w: %q", ErrNotFound, key)
 	}
 	r.hits++
+	mHits.Inc()
 	return rec, nil
 }
 
@@ -123,14 +140,17 @@ func (r *Repo) Claim(key, clientID string) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, done := r.records[key]; done {
+		mClaimsDenied.Inc()
 		return false
 	}
 	c, held := r.claims[key]
 	now := r.now()
 	if held && c.clientID != clientID && now.Before(c.expires) {
+		mClaimsDenied.Inc()
 		return false
 	}
 	r.claims[key] = claim{clientID: clientID, expires: now.Add(r.claimTTL)}
+	mClaimsGranted.Inc()
 	return true
 }
 

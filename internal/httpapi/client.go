@@ -6,13 +6,23 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/url"
+	"strings"
 	"time"
 
 	"coda/internal/darr"
+	"coda/internal/obs"
 	"coda/internal/retry"
 	"coda/internal/store"
+)
+
+// Client-call telemetry: logical calls (after retries) by outcome.
+var (
+	mCallsOK   = obs.GetCounter(`coda_client_calls_total{outcome="ok"}`)
+	mCallsErr  = obs.GetCounter(`coda_client_calls_total{outcome="error"}`)
+	mCallsOpen = obs.GetCounter(`coda_client_calls_total{outcome="breaker_open"}`)
 )
 
 // Client talks to a remote coda server. It implements core.ResultStore for
@@ -36,6 +46,10 @@ type Client struct {
 	// failures. NewClient installs one; build a Client literal without it
 	// for always-try behavior.
 	Breaker *retry.Breaker
+	// Logger receives per-call debug logs and failure warnings, each
+	// carrying the request id sent to the server in X-Coda-Request-Id.
+	// Nil uses slog.Default().
+	Logger *slog.Logger
 }
 
 // Default client fault-tolerance settings, chosen for wide-area links:
@@ -53,6 +67,8 @@ const (
 // backoff, and a circuit breaker (trips after 5 consecutive failed calls,
 // probes again after 5s).
 func NewClient(baseURL, clientID string) *Client {
+	breaker := retry.NewBreaker(DefaultBreakerThreshold, DefaultBreakerCooldown, nil)
+	retry.RegisterBreaker(baseURL, breaker)
 	return &Client{
 		BaseURL:  baseURL,
 		ClientID: clientID,
@@ -60,8 +76,15 @@ func NewClient(baseURL, clientID string) *Client {
 		Retry: retry.Policy{
 			PerAttemptTimeout: DefaultPerAttemptTimeout,
 		},
-		Breaker: retry.NewBreaker(DefaultBreakerThreshold, DefaultBreakerCooldown, nil),
+		Breaker: breaker,
 	}
+}
+
+func (c *Client) logger() *slog.Logger {
+	if c.Logger != nil {
+		return c.Logger
+	}
+	return slog.Default()
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -72,16 +95,43 @@ func (c *Client) httpClient() *http.Client {
 }
 
 // exec runs op through the breaker and retry policy. op runs once per
-// attempt with the attempt's context.
-func (c *Client) exec(ctx context.Context, op func(ctx context.Context) error) error {
+// attempt with the attempt's context. The context carries the request id
+// sent in X-Coda-Request-Id: an ambient id (e.g. one per cooperative
+// search, set by the caller) is reused so every call of the operation
+// correlates, otherwise a fresh per-call id is generated here.
+func (c *Client) exec(ctx context.Context, call string, op func(ctx context.Context) error) error {
+	ctx, id := obs.EnsureRequestID(ctx)
+	start := time.Now()
 	if c.Breaker != nil && !c.Breaker.Allow() {
+		mCallsOpen.Inc()
+		c.logger().Warn("call short-circuited: breaker open",
+			"request_id", id, "call", call, "server", c.BaseURL)
 		return fmt.Errorf("httpapi: %s: %w", c.BaseURL, retry.ErrOpen)
 	}
 	err := retry.Do(ctx, c.Retry, op)
 	if c.Breaker != nil {
 		c.Breaker.Record(err)
 	}
-	return err
+	if err != nil {
+		mCallsErr.Inc()
+		c.logger().Warn("call failed",
+			"request_id", id, "call", call, "server", c.BaseURL,
+			"elapsed", time.Since(start), "err", err)
+		return err
+	}
+	mCallsOK.Inc()
+	c.logger().Debug("call ok",
+		"request_id", id, "call", call, "server", c.BaseURL, "elapsed", time.Since(start))
+	return nil
+}
+
+// callLabel trims query parameters (which carry whole unit keys) so logs
+// stay readable.
+func callLabel(method, path string) string {
+	if i := strings.IndexByte(path, '?'); i >= 0 {
+		path = path[:i]
+	}
+	return method + " " + path
 }
 
 // doJSON performs one JSON round-trip with retries. Retryable statuses
@@ -98,7 +148,7 @@ func (c *Client) doJSON(ctx context.Context, method, path string, body any, out 
 		}
 	}
 	var status int
-	err := c.exec(ctx, func(ctx context.Context) error {
+	err := c.exec(ctx, callLabel(method, path), func(ctx context.Context) error {
 		var rdr io.Reader
 		if raw != nil {
 			rdr = bytes.NewReader(raw)
@@ -107,6 +157,7 @@ func (c *Client) doJSON(ctx context.Context, method, path string, body any, out 
 		if err != nil {
 			return fmt.Errorf("httpapi: building request: %w", err)
 		}
+		req.Header.Set(obs.RequestIDHeader, obs.RequestID(ctx))
 		if raw != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
@@ -215,11 +266,12 @@ func (c *Client) QueryByDataset(ctx context.Context, fp string) ([]darr.Record, 
 // (identical-content) version; readers converge either way.
 func (c *Client) PutObject(ctx context.Context, key string, data []byte) (uint64, error) {
 	var version uint64
-	err := c.exec(ctx, func(ctx context.Context) error {
+	err := c.exec(ctx, "PUT /store/objects/"+key, func(ctx context.Context) error {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.BaseURL+"/store/objects/"+url.PathEscape(key), bytes.NewReader(data))
 		if err != nil {
 			return fmt.Errorf("httpapi: building put: %w", err)
 		}
+		req.Header.Set(obs.RequestIDHeader, obs.RequestID(ctx))
 		resp, err := c.httpClient().Do(req)
 		if err != nil {
 			return fmt.Errorf("httpapi: put object: %w", err)

@@ -10,42 +10,124 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"coda/internal/darr"
 	"coda/internal/delta"
+	"coda/internal/obs"
 	"coda/internal/store"
 )
 
-// Server wires a DARR repository and a home data store into an http.Handler.
+// Server wires a DARR repository and a home data store into an
+// http.Handler. Every request flows through the telemetry middleware:
+// the caller's X-Coda-Request-Id is adopted (or a fresh one generated),
+// stashed in the request context, echoed on the response, and attached
+// to logs; per-route counters and latency histograms land in the
+// Prometheus scrape at /metrics, and /healthz reports uptime, build
+// info, breaker states, and component stats.
 type Server struct {
 	Repo  *darr.Repo
 	Store *store.HomeStore
+	// Logger receives request logs (debug) and error logs (warn/error);
+	// nil uses slog.Default().
+	Logger *slog.Logger
 
-	mux *http.ServeMux
+	mux    *http.ServeMux
+	health map[string]func() any
 }
 
 // NewServer builds the handler; either component may be nil to disable its
 // endpoints.
 func NewServer(repo *darr.Repo, hs *store.HomeStore) *Server {
-	s := &Server{Repo: repo, Store: hs, mux: http.NewServeMux()}
-	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+	s := &Server{Repo: repo, Store: hs, mux: http.NewServeMux(), health: map[string]func() any{}}
+	s.mux.Handle("/metrics", obs.MetricsHandler())
+	s.mux.Handle("/healthz", obs.HealthHandler(s.health))
 	if repo != nil {
 		s.mux.HandleFunc("/darr/records", s.handleRecords)
 		s.mux.HandleFunc("/darr/claims", s.handleClaims)
+		s.health["darr"] = func() any {
+			lookups, hits, puts := repo.Stats()
+			return map[string]any{
+				"records": repo.Len(), "active_claims": repo.ActiveClaims(),
+				"lookups": lookups, "hits": hits, "puts": puts,
+			}
+		}
 	}
 	if hs != nil {
 		s.mux.HandleFunc("/store/objects/", s.handleObjects)
+		s.health["store"] = func() any { return hs.Stats() }
 	}
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) logger() *slog.Logger {
+	if s.Logger != nil {
+		return s.Logger
+	}
+	return slog.Default()
+}
+
+// statusRecorder captures the response status and size for telemetry.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// routeLabel maps a request path to a bounded metrics label.
+func routeLabel(path string) string {
+	switch {
+	case path == "/healthz":
+		return "healthz"
+	case path == "/metrics":
+		return "metrics"
+	case path == "/darr/records":
+		return "darr-records"
+	case path == "/darr/claims":
+		return "darr-claims"
+	case strings.HasPrefix(path, "/store/objects/"):
+		return "store-objects"
+	default:
+		return "other"
+	}
+}
+
+// ServeHTTP implements http.Handler, wrapping the mux in the telemetry
+// middleware.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	id := r.Header.Get(obs.RequestIDHeader)
+	if id == "" {
+		id = obs.NewRequestID()
+	}
+	w.Header().Set(obs.RequestIDHeader, id)
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	s.mux.ServeHTTP(rec, r.WithContext(obs.WithRequestID(r.Context(), id)))
+	elapsed := time.Since(start)
+	route := routeLabel(r.URL.Path)
+	obs.GetCounter(fmt.Sprintf(`coda_http_requests_total{route=%q,method=%q,code="%d"}`,
+		route, r.Method, rec.status)).Inc()
+	obs.GetHistogram(fmt.Sprintf(`coda_http_request_seconds{route=%q}`, route), nil).
+		Observe(elapsed.Seconds())
+	s.logger().Debug("http request",
+		"request_id", id, "method", r.Method, "path", r.URL.Path,
+		"code", rec.status, "bytes", rec.bytes, "elapsed", elapsed)
+}
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -53,8 +135,25 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+// errorReply is the structured JSON error body every endpoint returns.
+type errorReply struct {
+	Error     string `json:"error"`
+	Status    int    `json:"status"`
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// writeError logs the failure (warn for client errors, error for server
+// errors) and answers with a structured JSON body carrying the request id.
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, err error) {
+	id := obs.RequestID(r.Context())
+	level := slog.LevelWarn
+	if status >= 500 {
+		level = slog.LevelError
+	}
+	s.logger().Log(r.Context(), level, "request failed",
+		"request_id", id, "method", r.Method, "path", r.URL.Path,
+		"status", status, "err", err)
+	writeJSON(w, status, errorReply{Error: err.Error(), Status: status, RequestID: id})
 }
 
 func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
@@ -62,11 +161,11 @@ func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 	case http.MethodPost:
 		var rec darr.Record
 		if err := json.NewDecoder(r.Body).Decode(&rec); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding record: %w", err))
+			s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("decoding record: %w", err))
 			return
 		}
 		if err := s.Repo.Put(rec); err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			s.writeError(w, r, http.StatusBadRequest, err)
 			return
 		}
 		writeJSON(w, http.StatusCreated, map[string]string{"status": "stored"})
@@ -74,11 +173,11 @@ func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 		if key := r.URL.Query().Get("key"); key != "" {
 			rec, err := s.Repo.Get(key)
 			if errors.Is(err, darr.ErrNotFound) {
-				writeError(w, http.StatusNotFound, err)
+				s.writeError(w, r, http.StatusNotFound, err)
 				return
 			}
 			if err != nil {
-				writeError(w, http.StatusInternalServerError, err)
+				s.writeError(w, r, http.StatusInternalServerError, err)
 				return
 			}
 			writeJSON(w, http.StatusOK, rec)
@@ -88,9 +187,9 @@ func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusOK, s.Repo.QueryByDataset(fp))
 			return
 		}
-		writeError(w, http.StatusBadRequest, fmt.Errorf("need key or dataset query parameter"))
+		s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("need key or dataset query parameter"))
 	default:
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		s.writeError(w, r, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
 	}
 }
 
@@ -103,11 +202,11 @@ type claimRequest struct {
 func (s *Server) handleClaims(w http.ResponseWriter, r *http.Request) {
 	var req claimRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding claim: %w", err))
+		s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("decoding claim: %w", err))
 		return
 	}
 	if req.Key == "" || req.ClientID == "" {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("claim needs key and client_id"))
+		s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("claim needs key and client_id"))
 		return
 	}
 	switch r.Method {
@@ -118,7 +217,7 @@ func (s *Server) handleClaims(w http.ResponseWriter, r *http.Request) {
 		s.Repo.Release(req.Key, req.ClientID)
 		writeJSON(w, http.StatusOK, map[string]string{"status": "released"})
 	default:
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		s.writeError(w, r, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
 	}
 }
 
@@ -135,14 +234,14 @@ type objectReply struct {
 func (s *Server) handleObjects(w http.ResponseWriter, r *http.Request) {
 	key := strings.TrimPrefix(r.URL.Path, "/store/objects/")
 	if key == "" {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("missing object key"))
+		s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("missing object key"))
 		return
 	}
 	switch r.Method {
 	case http.MethodPut:
 		data, err := io.ReadAll(r.Body)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+			s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
 			return
 		}
 		version := s.Store.Put(key, data)
@@ -152,18 +251,18 @@ func (s *Server) handleObjects(w http.ResponseWriter, r *http.Request) {
 		if hs := r.URL.Query().Get("have"); hs != "" {
 			v, err := strconv.ParseUint(hs, 10, 64)
 			if err != nil {
-				writeError(w, http.StatusBadRequest, fmt.Errorf("bad have parameter: %w", err))
+				s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("bad have parameter: %w", err))
 				return
 			}
 			have = v
 		}
 		reply, err := s.Store.Get(key, have)
 		if errors.Is(err, store.ErrNotFound) {
-			writeError(w, http.StatusNotFound, err)
+			s.writeError(w, r, http.StatusNotFound, err)
 			return
 		}
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
+			s.writeError(w, r, http.StatusInternalServerError, err)
 			return
 		}
 		out := objectReply{Key: reply.Key, Version: reply.Version, BaseVersion: reply.BaseVersion, Unchanged: reply.Unchanged}
@@ -177,7 +276,7 @@ func (s *Server) handleObjects(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, http.StatusOK, out)
 	default:
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		s.writeError(w, r, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
 	}
 }
 

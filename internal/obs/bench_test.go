@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// Micro-benchmarks for the metric hot paths: these run on every DARR
+// lookup and every evaluated search unit, so they must stay in the
+// nanosecond range.
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_total")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", nil)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(0.042)
+		}
+	})
+}
+
+func BenchmarkHistogramObserveSince(b *testing.B) {
+	h := NewRegistry().Histogram("bench_since_seconds", nil)
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		h.ObserveSince(start)
+	}
+}
+
+func BenchmarkCounterIncDisabled(b *testing.B) {
+	c := NewRegistry().Counter("bench_disabled_total")
+	SetEnabled(false)
+	defer SetEnabled(true)
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkRegistryLookup(b *testing.B) {
+	r := NewRegistry()
+	r.Counter(`bench_lookup_total{route="a"}`)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			r.Counter(`bench_lookup_total{route="a"}`).Inc()
+		}
+	})
+}

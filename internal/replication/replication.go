@@ -16,12 +16,24 @@
 package replication
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
+	"coda/internal/obs"
 	"coda/internal/store"
+)
+
+// Replication telemetry: fan-out volume and wire cost per push mode.
+var (
+	mPushValue     = obs.GetCounter(`coda_replication_pushes_total{mode="push-value"}`)
+	mPushDelta     = obs.GetCounter(`coda_replication_pushes_total{mode="push-delta"}`)
+	mPushNotify    = obs.GetCounter(`coda_replication_pushes_total{mode="push-notify"}`)
+	mPushBytes     = obs.GetCounter("coda_replication_push_bytes_total")
+	mLeasesExpired = obs.GetCounter("coda_replication_leases_pruned_total")
 )
 
 // PushMode selects the payload a subscription delivers.
@@ -145,9 +157,18 @@ func (l *Lease) BytesPushed() int64 {
 type Manager struct {
 	store *store.HomeStore
 	now   func() time.Time
+	// Logger receives per-publish debug logs; nil uses slog.Default().
+	Logger *slog.Logger
 
 	mu     sync.Mutex
 	leases map[string][]*Lease // key -> active leases
+}
+
+func (m *Manager) logger() *slog.Logger {
+	if m.Logger != nil {
+		return m.Logger
+	}
+	return slog.Default()
 }
 
 // NewManager wraps a home store. nowFn may be nil (wall clock); tests and
@@ -225,10 +246,12 @@ func (m *Manager) Publish(key string, data []byte) (uint64, error) {
 			active = append(active, l)
 		}
 	}
+	mLeasesExpired.Add(int64(len(leases) - len(active)))
 	m.leases[key] = active
 	snapshot := append([]*Lease(nil), active...)
 	m.mu.Unlock()
 
+	var pushedBytes int64
 	for _, l := range snapshot {
 		u, err := m.buildUpdate(l, key, version)
 		if err != nil {
@@ -239,7 +262,21 @@ func (m *Manager) Publish(key string, data []byte) (uint64, error) {
 		l.bytesPushed += int64(u.WireBytes())
 		sub := l.sub
 		l.mu.Unlock()
+		switch l.Mode {
+		case PushValue:
+			mPushValue.Inc()
+		case PushDelta:
+			mPushDelta.Inc()
+		case PushNotify:
+			mPushNotify.Inc()
+		}
+		pushedBytes += int64(u.WireBytes())
 		sub.Deliver(u)
+	}
+	mPushBytes.Add(pushedBytes)
+	if lg := m.logger(); lg.Enabled(context.Background(), slog.LevelDebug) {
+		lg.Debug("published object version",
+			"key", key, "version", version, "subscribers", len(snapshot), "pushed_bytes", pushedBytes)
 	}
 	return version, nil
 }

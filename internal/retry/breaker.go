@@ -5,6 +5,16 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"coda/internal/obs"
+)
+
+// Breaker telemetry: state transitions and calls rejected while open.
+var (
+	mBreakerOpened        = obs.GetCounter(`coda_breaker_transitions_total{to="open"}`)
+	mBreakerClosed        = obs.GetCounter(`coda_breaker_transitions_total{to="closed"}`)
+	mBreakerHalfOpen      = obs.GetCounter(`coda_breaker_transitions_total{to="half-open"}`)
+	mBreakerShortCircuits = obs.GetCounter("coda_breaker_short_circuits_total")
 )
 
 // ErrOpen is returned (wrapped) by callers that find their circuit
@@ -86,11 +96,14 @@ func (b *Breaker) Allow() bool {
 		if b.now().Sub(b.openedAt) >= b.cooldown {
 			b.state = HalfOpen
 			b.probing = true
+			mBreakerHalfOpen.Inc()
 			return true
 		}
+		mBreakerShortCircuits.Inc()
 		return false
 	case HalfOpen:
 		if b.probing {
+			mBreakerShortCircuits.Inc()
 			return false
 		}
 		b.probing = true
@@ -107,6 +120,9 @@ func (b *Breaker) Record(err error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if err == nil {
+		if b.state != Closed {
+			mBreakerClosed.Inc()
+		}
 		b.state = Closed
 		b.failures = 0
 		b.probing = false
@@ -131,6 +147,7 @@ func (b *Breaker) trip() {
 	b.probing = false
 	b.openedAt = b.now()
 	b.trips++
+	mBreakerOpened.Inc()
 }
 
 // State returns the current state, applying the cooldown transition so
@@ -146,4 +163,42 @@ func (b *Breaker) Trips() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.trips
+}
+
+// BreakerStatus is one breaker's health-report entry.
+type BreakerStatus struct {
+	State string `json:"state"`
+	Trips int    `json:"trips"`
+}
+
+var (
+	breakerRegMu sync.Mutex
+	breakerReg   = map[string]*Breaker{}
+)
+
+// RegisterBreaker names a breaker in the process-wide status map that
+// /healthz reports. Re-registering a name (e.g. one client per server
+// URL) replaces the previous entry.
+func RegisterBreaker(name string, b *Breaker) {
+	if b == nil {
+		return
+	}
+	breakerRegMu.Lock()
+	defer breakerRegMu.Unlock()
+	breakerReg[name] = b
+}
+
+// BreakerStatuses snapshots every registered breaker's state.
+func BreakerStatuses() map[string]BreakerStatus {
+	breakerRegMu.Lock()
+	defer breakerRegMu.Unlock()
+	out := make(map[string]BreakerStatus, len(breakerReg))
+	for name, b := range breakerReg {
+		out[name] = BreakerStatus{State: b.State().String(), Trips: b.Trips()}
+	}
+	return out
+}
+
+func init() {
+	obs.RegisterHealth("breakers", func() any { return BreakerStatuses() })
 }

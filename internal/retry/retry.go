@@ -20,6 +20,18 @@ import (
 	"sync"
 	"syscall"
 	"time"
+
+	"coda/internal/obs"
+)
+
+// Telemetry for the fault-tolerance layer: attempt volume, how often the
+// backoff path engages, and abandoned calls. Scraped at /metrics.
+var (
+	mAttempts        = obs.GetCounter("coda_retry_attempts_total")
+	mRetries         = obs.GetCounter("coda_retry_retries_total")
+	mGiveups         = obs.GetCounter("coda_retry_giveups_total")
+	mBudgetExhausted = obs.GetCounter("coda_retry_budget_exhausted_total")
+	mBackoffSeconds  = obs.GetHistogram("coda_retry_backoff_seconds", nil)
 )
 
 // Default policy values, used when the corresponding Policy field is zero.
@@ -133,12 +145,17 @@ func Do(ctx context.Context, p Policy, op func(ctx context.Context) error) error
 	for attempt := 0; attempt < p.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			if p.Budget != nil && !p.Budget.Spend() {
+				mBudgetExhausted.Inc()
 				return fmt.Errorf("%w: after %d attempts: %v", ErrBudgetExhausted, attempt, err)
 			}
-			if serr := p.Sleep(ctx, p.Backoff(attempt-1, nil)); serr != nil {
+			backoff := p.Backoff(attempt-1, nil)
+			mRetries.Inc()
+			mBackoffSeconds.Observe(backoff.Seconds())
+			if serr := p.Sleep(ctx, backoff); serr != nil {
 				return serr
 			}
 		}
+		mAttempts.Inc()
 		if cerr := ctx.Err(); cerr != nil {
 			return cerr
 		}
@@ -163,6 +180,7 @@ func Do(ctx context.Context, p Policy, op func(ctx context.Context) error) error
 			return err
 		}
 	}
+	mGiveups.Inc()
 	return fmt.Errorf("retry: %d attempts: %w", p.MaxAttempts, err)
 }
 

@@ -12,6 +12,20 @@ import (
 	"sync"
 
 	"coda/internal/delta"
+	"coda/internal/obs"
+)
+
+// Home-store telemetry: the delta-vs-full reply split and the bytes each
+// kind put on the wire, which is the S1 bandwidth-saving experiment as a
+// live scrape.
+var (
+	mStorePuts       = obs.GetCounter("coda_store_puts_total")
+	mRepliesFull     = obs.GetCounter(`coda_store_replies_total{kind="full"}`)
+	mRepliesDelta    = obs.GetCounter(`coda_store_replies_total{kind="delta"}`)
+	mRepliesUnchg    = obs.GetCounter(`coda_store_replies_total{kind="unchanged"}`)
+	mReplyBytesFull  = obs.GetCounter(`coda_store_reply_bytes_total{kind="full"}`)
+	mReplyBytesDelta = obs.GetCounter(`coda_store_reply_bytes_total{kind="delta"}`)
+	mSavedBytes      = obs.GetCounter("coda_store_saved_bytes_total")
 )
 
 // ErrNotFound is returned for unknown object keys.
@@ -134,6 +148,7 @@ func (s *HomeStore) Put(key string, data []byte) uint64 {
 	}
 	// The latest version changed, so all cached deltas are stale.
 	obj.deltaCache = map[uint64]*delta.Delta{}
+	mStorePuts.Inc()
 	return next
 }
 
@@ -164,6 +179,7 @@ func (s *HomeStore) Get(key string, haveVersion uint64) (*Reply, error) {
 
 	if haveVersion == latest.Num {
 		reply.Unchanged = true
+		mRepliesUnchg.Inc()
 		return reply, nil
 	}
 	if haveVersion != 0 && haveVersion < latest.Num {
@@ -179,6 +195,9 @@ func (s *HomeStore) Get(key string, haveVersion uint64) (*Reply, error) {
 				s.stats.DeltaReplies++
 				s.stats.DeltaBytes += int64(d.WireSize())
 				s.stats.SavedBytes += int64(len(latest.Data) - d.WireSize())
+				mRepliesDelta.Inc()
+				mReplyBytesDelta.Add(int64(d.WireSize()))
+				mSavedBytes.Add(int64(len(latest.Data) - d.WireSize()))
 				return reply, nil
 			}
 		}
@@ -186,6 +205,8 @@ func (s *HomeStore) Get(key string, haveVersion uint64) (*Reply, error) {
 	reply.Full = append([]byte(nil), latest.Data...)
 	s.stats.FullReplies++
 	s.stats.FullBytes += int64(len(latest.Data))
+	mRepliesFull.Inc()
+	mReplyBytesFull.Add(int64(len(latest.Data)))
 	return reply, nil
 }
 

@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sync"
 	"time"
@@ -24,6 +25,16 @@ import (
 	"coda/internal/core"
 	"coda/internal/dataset"
 	"coda/internal/matrix"
+	"coda/internal/obs"
+)
+
+// Scoring-endpoint telemetry, labeled by response class.
+var (
+	mScoreOK        = obs.GetCounter(`coda_webservice_requests_total{code="2xx"}`)
+	mScoreBadInput  = obs.GetCounter(`coda_webservice_requests_total{code="4xx"}`)
+	mScoreFailed    = obs.GetCounter(`coda_webservice_requests_total{code="5xx"}`)
+	mScoreSeconds   = obs.GetHistogram("coda_webservice_request_seconds", nil)
+	mScoredRowCount = obs.GetCounter("coda_webservice_rows_scored_total")
 )
 
 // Service scores feature rows remotely.
@@ -97,41 +108,73 @@ type scoreRequest struct {
 type scoreResponse struct {
 	Predictions []float64 `json:"predictions"`
 	Error       string    `json:"error,omitempty"`
+	Status      int       `json:"status,omitempty"`
+	RequestID   string    `json:"request_id,omitempty"`
 }
 
 // Handler serves a fitted estimator as an AI web service: POST a JSON
 // feature matrix, receive predictions — the role the paper's cloud vendors
-// play in Figure 1.
+// play in Figure 1. Errors come back as structured JSON carrying the
+// status and the request id (when the request passed through
+// obs.Middleware), and are logged through slog.
 func Handler(est core.Estimator) http.Handler {
+	return HandlerWithLogger(est, nil)
+}
+
+// HandlerWithLogger is Handler with an explicit logger (nil uses
+// slog.Default()).
+func HandlerWithLogger(est core.Estimator, logger *slog.Logger) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if logger == nil {
+			logger = slog.Default()
+		}
+		start := time.Now()
+		id := obs.RequestID(r.Context())
+		fail := func(status int, msg string) {
+			level := slog.LevelWarn
+			counter := mScoreBadInput
+			if status >= 500 {
+				level = slog.LevelError
+				counter = mScoreFailed
+			}
+			counter.Inc()
+			logger.Log(r.Context(), level, "score request failed",
+				"request_id", id, "status", status, "err", msg)
+			writeJSON(w, status, scoreResponse{Error: msg, Status: status, RequestID: id})
+		}
 		if r.Method != http.MethodPost {
-			writeJSON(w, http.StatusMethodNotAllowed, scoreResponse{Error: "POST only"})
+			fail(http.StatusMethodNotAllowed, "POST only")
 			return
 		}
 		var req scoreRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeJSON(w, http.StatusBadRequest, scoreResponse{Error: "decoding request: " + err.Error()})
+			fail(http.StatusBadRequest, "decoding request: "+err.Error())
 			return
 		}
 		if len(req.Rows) == 0 {
-			writeJSON(w, http.StatusBadRequest, scoreResponse{Error: "no rows"})
+			fail(http.StatusBadRequest, "no rows")
 			return
 		}
 		x, err := matrix.NewFromRows(req.Rows)
 		if err != nil {
-			writeJSON(w, http.StatusBadRequest, scoreResponse{Error: err.Error()})
+			fail(http.StatusBadRequest, err.Error())
 			return
 		}
 		ds, err := dataset.New(x, nil)
 		if err != nil {
-			writeJSON(w, http.StatusBadRequest, scoreResponse{Error: err.Error()})
+			fail(http.StatusBadRequest, err.Error())
 			return
 		}
 		preds, err := est.Predict(ds)
 		if err != nil {
-			writeJSON(w, http.StatusInternalServerError, scoreResponse{Error: err.Error()})
+			fail(http.StatusInternalServerError, err.Error())
 			return
 		}
+		mScoreOK.Inc()
+		mScoredRowCount.Add(int64(len(req.Rows)))
+		mScoreSeconds.ObserveSince(start)
+		logger.Debug("scored rows",
+			"request_id", id, "rows", len(req.Rows), "elapsed", time.Since(start))
 		writeJSON(w, http.StatusOK, scoreResponse{Predictions: preds})
 	})
 }
