@@ -203,6 +203,9 @@ func runSearch(ctx context.Context, args []string) error {
 		k         = fs.Int("k", 5, "cross-validation folds")
 		server    = fs.String("server", "", "DARR server URL for cooperative search")
 		clientID  = fs.String("client", "cli", "client id for DARR claims")
+		noBatch   = fs.Bool("no-batch", false, "disable batched DARR cooperation (per-unit lookup/claim/publish round trips)")
+		pubBatch  = fs.Int("publish-batch", httpapi.DefaultPublishBatchSize, "queued publishes per coalesced batch upload")
+		pubFlush  = fs.Duration("publish-flush", httpapi.DefaultPublishFlushInterval, "max age of a queued publish before an async flush")
 		seed      = fs.Int64("seed", 1, "search seed")
 		parallel  = fs.Int("parallel", 4, "concurrent pipeline evaluations")
 		epochs    = fs.Int("epochs", 20, "network epochs (timeseries graph)")
@@ -278,10 +281,17 @@ func runSearch(ctx context.Context, args []string) error {
 	if *server != "" {
 		hc := ft.client(*server, *clientID)
 		hc.Metric = *metric
-		opts.Store = hc
+		if *noBatch {
+			opts.Store = httpapi.PerUnitStore{C: hc}
+		} else {
+			hc.EnablePublishQueue(*pubBatch, *pubFlush)
+			defer hc.Close()
+			opts.Store = hc
+		}
 		opts.SkipClaimed = true
 		slog.Info("cooperative search starting",
-			"request_id", requestID, "server", *server, "client", *clientID, "metric", *metric)
+			"request_id", requestID, "server", *server, "client", *clientID,
+			"metric", *metric, "batched", !*noBatch)
 	}
 
 	res, err := core.Search(ctx, g, ds, opts)

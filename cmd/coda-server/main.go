@@ -50,6 +50,7 @@ func main() {
 		retain   = flag.Int("retain", 4, "object versions retained for delta bases")
 		block    = flag.Int("block", 64, "delta block size in bytes")
 		fullFrac = flag.Float64("full-fraction", 0.5, "send delta only when smaller than this fraction of the full object")
+		batchMax = flag.Int("batch-max-keys", httpapi.DefaultMaxBatchKeys, "max keys/records per batched DARR request")
 
 		readTimeout  = flag.Duration("read-timeout", 30*time.Second, "per-request read timeout")
 		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "per-request write timeout")
@@ -73,7 +74,9 @@ func main() {
 
 	repo := darr.NewRepo(nil, *claimTTL)
 	hs := store.NewHomeStore(store.Options{Retain: *retain, BlockSize: *block, FullFraction: *fullFrac})
-	var handler http.Handler = httpapi.NewServer(repo, hs)
+	api := httpapi.NewServer(repo, hs)
+	api.MaxBatchKeys = *batchMax
+	var handler http.Handler = api
 
 	if *chaos > 0 {
 		cfg := faultinject.Config{

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"log/slog"
+	"math"
 	"math/rand"
 	"sort"
 	"strconv"
@@ -47,6 +48,43 @@ type ResultStore interface {
 	Publish(ctx context.Context, key string, score float64, explanation string) error
 }
 
+// BatchResultStore extends ResultStore with bulk operations. A
+// cooperative search over N units costs up to 3N sequential round trips
+// on the per-unit protocol (Lookup, Claim, Publish each); a batch-capable
+// store lets Search resolve every unit's cache and claim state in two
+// bulk calls before spawning workers, and lets the store coalesce
+// Publishes, so the whole search needs a handful of requests. Search
+// uses these methods whenever the configured Store implements them and
+// falls back to the per-unit protocol otherwise.
+type BatchResultStore interface {
+	ResultStore
+	// LookupBatch resolves many keys at once; the result holds entries
+	// only for keys with published scores.
+	LookupBatch(ctx context.Context, keys []string) (map[string]float64, error)
+	// ClaimBatch attempts to reserve every key for this client and
+	// reports the per-key grant decisions.
+	ClaimBatch(ctx context.Context, keys []string) (map[string]bool, error)
+	// Release drops this client's claim on key so a claimed-but-failed
+	// unit becomes immediately re-claimable by peers instead of blocking
+	// them until the claim TTL expires.
+	Release(ctx context.Context, key string) error
+}
+
+// ClaimReleaser is the optional Release hook Search uses (via type
+// assertion) on claimed-but-unpublished exit paths — unit failure,
+// non-finite scores, cancellation. Plain ResultStore implementations
+// without it keep working; their claims simply age out by TTL.
+type ClaimReleaser interface {
+	Release(ctx context.Context, key string) error
+}
+
+// Flusher is implemented by stores that buffer Publishes (the batched
+// HTTP client's async publish queue). Search flushes on exit so every
+// queued record reaches the repository before results are reported.
+type Flusher interface {
+	Flush(ctx context.Context) error
+}
+
 // SearchOptions configures model validation and selection over a graph
 // (Section IV-B; Listing 2's set_cross_validation / set_accuracy).
 type SearchOptions struct {
@@ -74,6 +112,10 @@ type SearchOptions struct {
 
 // UnitResult is the outcome of evaluating one (path, parameter set) unit.
 type UnitResult struct {
+	// Index is this unit's position in SearchResult.Units. It maps the
+	// winner back to its pipeline even when duplicate graph paths
+	// produce identical specs and parameter assignments.
+	Index     int
 	Spec      string             // pipeline spec with parameters applied
 	Params    map[string]float64 // grid assignment used
 	Scores    []float64          // per-fold scores
@@ -139,6 +181,17 @@ func Search(ctx context.Context, g *Graph, ds *dataset.Dataset, opts SearchOptio
 	fp := ds.Fingerprint()
 	evalSpec := fmt.Sprintf("%s|%s|seed=%d", opts.Splitter.Spec(), opts.Scorer.Name, opts.Seed)
 
+	// Batch-capable stores resolve every unit's cache/claim state up
+	// front in two bulk round trips instead of 2×units sequential ones.
+	var batch *batchState
+	if bs, ok := opts.Store.(BatchResultStore); ok && len(units) > 0 {
+		keys := make([]string, len(units))
+		for i, u := range units {
+			keys[i] = UnitKey(fp, u.pipeline.Spec(), evalSpec)
+		}
+		batch = prefetchBatch(ctx, bs, keys, opts)
+	}
+
 	results := make([]UnitResult, len(units))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, opts.Parallelism)
@@ -152,11 +205,14 @@ func Search(ctx context.Context, g *Graph, ds *dataset.Dataset, opts SearchOptio
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			results[u.index] = evaluateUnit(ctx, u, ds, splits, fp, evalSpec, opts)
+			results[u.index] = evaluateUnit(ctx, u, ds, splits, fp, evalSpec, opts, batch)
 		}()
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
+		// Bulk-acquired claims for units that never ran (or queued
+		// publishes that never flushed) must not leak until TTL.
+		abandonBatch(ctx, opts, batch)
 		return nil, fmt.Errorf("core: search cancelled: %w", err)
 	}
 
@@ -185,6 +241,11 @@ func Search(ctx context.Context, g *Graph, ds *dataset.Dataset, opts SearchOptio
 		if u.Err != "" || u.Skipped {
 			continue
 		}
+		// A non-finite mean (e.g. a peer published NaN) compares as
+		// better-than-nothing and would become an unbeatable Best.
+		if math.IsNaN(u.Mean) || math.IsInf(u.Mean, 0) {
+			continue
+		}
 		if res.Best == nil || opts.Scorer.Better(u.Mean, res.Best.Mean) {
 			res.Best = u
 		}
@@ -192,6 +253,12 @@ func Search(ctx context.Context, g *Graph, ds *dataset.Dataset, opts SearchOptio
 	logger := opts.Logger
 	if logger == nil {
 		logger = slog.Default()
+	}
+	if f, ok := opts.Store.(Flusher); ok {
+		if err := f.Flush(ctx); err != nil {
+			logger.Warn("search publish flush failed",
+				"request_id", obs.RequestID(ctx), "err", err)
+		}
 	}
 	logger.Debug("search complete",
 		"request_id", obs.RequestID(ctx), "dataset_fp", fp, "units", len(results),
@@ -202,35 +269,16 @@ func Search(ctx context.Context, g *Graph, ds *dataset.Dataset, opts SearchOptio
 			"request_id", obs.RequestID(ctx), "degraded", res.Degraded, "units", len(results))
 	}
 	if res.Best != nil {
-		best := units[indexOfSpec(results, res.Best.Spec, res.Best.Params)]
-		refit := best.pipeline.Clone()
+		// Each UnitResult carries its own unit index: a spec lookup here
+		// could silently pick (and refit) the wrong pipeline when
+		// duplicate graph paths share a spec.
+		refit := units[res.Best.Index].pipeline.Clone()
 		if err := refit.Fit(ds); err != nil {
 			return nil, fmt.Errorf("core: refitting best pipeline %s: %w", res.Best.Spec, err)
 		}
 		res.BestPipeline = refit
 	}
 	return res, nil
-}
-
-func indexOfSpec(results []UnitResult, spec string, params map[string]float64) int {
-	for i := range results {
-		if results[i].Spec == spec && equalParams(results[i].Params, params) {
-			return i
-		}
-	}
-	return 0
-}
-
-func equalParams(a, b map[string]float64) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for k, v := range a {
-		if b[k] != v {
-			return false
-		}
-	}
-	return true
 }
 
 // UnitKey builds the canonical DARR key for one evaluation unit. Clients
@@ -240,32 +288,156 @@ func UnitKey(datasetFP, pipelineSpec, evalSpec string) string {
 	return datasetFP + "|" + pipelineSpec + "|" + evalSpec
 }
 
-func evaluateUnit(ctx context.Context, u searchUnit, ds *dataset.Dataset, splits []crossval.Split, fp, evalSpec string, opts SearchOptions) UnitResult {
-	out := UnitResult{Spec: u.pipeline.Spec(), Params: u.params}
+// batchState is the outcome of the bulk Lookup/Claim pass a
+// BatchResultStore enables: every unit's cached score and claim grant,
+// fetched in two round trips before workers spawn.
+type batchState struct {
+	cached  map[string]float64
+	granted map[string]bool
+	// lookupFailed / claimFailed record a failed bulk call; affected
+	// units degrade to local-only computation, matching the per-unit
+	// protocol's fault-tolerance contract.
+	lookupFailed bool
+	claimFailed  bool
+}
+
+// prefetchBatch runs the bulk Lookup and (for the cache misses) the bulk
+// Claim. Bulk-call failures are recorded, not fatal — the search
+// degrades instead of hammering a failing store once per unit.
+func prefetchBatch(ctx context.Context, bs BatchResultStore, keys []string, opts SearchOptions) *batchState {
+	st := &batchState{granted: map[string]bool{}}
+	scores, err := bs.LookupBatch(ctx, keys)
+	if err != nil {
+		st.lookupFailed = true
+		return st
+	}
+	st.cached = scores
+	toClaim := keys[:0:0]
+	for _, k := range keys {
+		if _, ok := scores[k]; !ok {
+			toClaim = append(toClaim, k)
+		}
+	}
+	if len(toClaim) == 0 {
+		return st
+	}
+	granted, err := bs.ClaimBatch(ctx, toClaim)
+	if err != nil {
+		st.claimFailed = true
+		return st
+	}
+	st.granted = granted
+	return st
+}
+
+// abandonBatch cleans up after a search that exits without evaluating
+// every unit (cancellation): queued publishes are flushed so finished
+// work still reaches the repository, then every bulk-granted claim is
+// released — a released-but-published key is a harmless no-op, while an
+// unreleased claim would block peers until TTL. Runs on a detached
+// context because the search's own context is already cancelled.
+func abandonBatch(ctx context.Context, opts SearchOptions, batch *batchState) {
+	if batch == nil {
+		return
+	}
+	dctx := context.WithoutCancel(ctx)
+	if f, ok := opts.Store.(Flusher); ok {
+		_ = f.Flush(dctx)
+	}
+	r, ok := opts.Store.(ClaimReleaser)
+	if !ok {
+		return
+	}
+	for key, granted := range batch.granted {
+		if granted {
+			_ = r.Release(dctx, key)
+		}
+	}
+}
+
+// releaseClaim frees a held work claim on the claimed-but-unpublished
+// exit paths (pipeline failure, non-finite score, cancellation, publish
+// failure) so peers can re-claim the key immediately instead of waiting
+// out the TTL. Best-effort on a detached context: the store may be the
+// thing that failed, and a cancelled search must still free its claims.
+func releaseClaim(ctx context.Context, opts SearchOptions, key string, held bool) {
+	if !held {
+		return
+	}
+	if r, ok := opts.Store.(ClaimReleaser); ok {
+		_ = r.Release(context.WithoutCancel(ctx), key)
+	}
+}
+
+// resolveFromBatch applies the prefetched bulk state to one unit. done
+// means the unit is fully resolved (cache hit or skip); claimHeld means
+// this client holds the key's claim and must publish or release it.
+func resolveFromBatch(out *UnitResult, key string, batch *batchState, opts SearchOptions) (done, claimHeld bool) {
+	if batch.lookupFailed {
+		out.Degraded = true
+		return false, false
+	}
+	if score, ok := batch.cached[key]; ok {
+		out.Mean = score
+		out.FromCache = true
+		return true, false
+	}
+	if batch.claimFailed {
+		out.Degraded = true
+		return false, false
+	}
+	if !batch.granted[key] {
+		if opts.SkipClaimed {
+			out.Skipped = true
+			return true, false
+		}
+		return false, false
+	}
+	return false, true
+}
+
+// resolvePerUnit is the original sequential protocol: one Lookup and one
+// Claim round trip for this unit.
+func resolvePerUnit(ctx context.Context, out *UnitResult, key string, opts SearchOptions) (done, claimHeld bool) {
+	score, ok, err := opts.Store.Lookup(ctx, key)
+	switch {
+	case err != nil:
+		// The store is failing (WAN fault, circuit open, outage):
+		// degrade this unit to local-only computation instead of
+		// erroring out mid-search.
+		out.Degraded = true
+		return false, false
+	case ok:
+		out.Mean = score
+		out.FromCache = true
+		return true, false
+	}
+	claimed, err := opts.Store.Claim(ctx, key)
+	switch {
+	case err != nil:
+		out.Degraded = true
+		return false, false
+	case !claimed && opts.SkipClaimed:
+		out.Skipped = true
+		return true, false
+	}
+	return false, claimed
+}
+
+func evaluateUnit(ctx context.Context, u searchUnit, ds *dataset.Dataset, splits []crossval.Split, fp, evalSpec string, opts SearchOptions, batch *batchState) UnitResult {
+	out := UnitResult{Index: u.index, Spec: u.pipeline.Spec(), Params: u.params}
 	key := UnitKey(fp, out.Spec, evalSpec)
 
+	claimHeld := false
 	if opts.Store != nil {
-		score, ok, err := opts.Store.Lookup(ctx, key)
-		switch {
-		case err != nil:
-			// The store is failing (WAN fault, circuit open, outage):
-			// degrade this unit to local-only computation instead of
-			// erroring out mid-search.
-			out.Degraded = true
-		case ok:
-			out.Mean = score
-			out.FromCache = true
-			return out
+		var done bool
+		if batch != nil {
+			done, claimHeld = resolveFromBatch(&out, key, batch, opts)
+		} else {
+			done, claimHeld = resolvePerUnit(ctx, &out, key, opts)
 		}
-		if !out.Degraded {
-			claimed, err := opts.Store.Claim(ctx, key)
-			switch {
-			case err != nil:
-				out.Degraded = true
-			case !claimed && opts.SkipClaimed:
-				out.Skipped = true
-				return out
-			}
+		if done {
+			return out
 		}
 	}
 
@@ -274,6 +446,7 @@ func evaluateUnit(ctx context.Context, u searchUnit, ds *dataset.Dataset, splits
 	for _, sp := range splits {
 		if ctx.Err() != nil {
 			out.Err = ctx.Err().Error()
+			releaseClaim(ctx, opts, key, claimHeld)
 			return out
 		}
 		p := u.pipeline.Clone()
@@ -281,26 +454,41 @@ func evaluateUnit(ctx context.Context, u searchUnit, ds *dataset.Dataset, splits
 		test := ds.Subset(sp.Test)
 		if err := p.Fit(train); err != nil {
 			out.Err = err.Error()
+			releaseClaim(ctx, opts, key, claimHeld)
 			return out
 		}
 		yhat, ytrue, err := p.PredictWithTruth(test)
 		if err != nil {
 			out.Err = err.Error()
+			releaseClaim(ctx, opts, key, claimHeld)
 			return out
 		}
 		score, err := opts.Scorer.Fn(ytrue, yhat)
 		if err != nil {
 			out.Err = err.Error()
+			releaseClaim(ctx, opts, key, claimHeld)
 			return out
 		}
 		scores = append(scores, score)
 	}
 	out.Scores = scores
-	sum := 0.0
-	for _, s := range scores {
-		sum += s
+	mean := math.NaN()
+	if len(scores) > 0 {
+		sum := 0.0
+		for _, s := range scores {
+			sum += s
+		}
+		mean = sum / float64(len(scores))
 	}
-	out.Mean = sum / float64(len(scores))
+	if math.IsNaN(mean) || math.IsInf(mean, 0) {
+		// A misbehaving scorer or an empty split set must record a
+		// failure, not poison best-unit selection or the shared DARR
+		// with an unbeatable non-finite "score".
+		out.Err = fmt.Sprintf("non-finite mean score %g over %d folds", mean, len(scores))
+		releaseClaim(ctx, opts, key, claimHeld)
+		return out
+	}
+	out.Mean = mean
 	mUnitSeconds.ObserveSince(start)
 
 	if opts.Store != nil && !out.Degraded {
@@ -309,6 +497,7 @@ func evaluateUnit(ctx context.Context, u searchUnit, ds *dataset.Dataset, splits
 		// but the unit is marked degraded because peers won't see it.
 		if err := opts.Store.Publish(ctx, key, out.Mean, explanation); err != nil {
 			out.Degraded = true
+			releaseClaim(ctx, opts, key, claimHeld)
 		}
 	}
 	return out

@@ -1,0 +1,277 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"coda/internal/core"
+	"coda/internal/crossval"
+	"coda/internal/metrics"
+)
+
+var errBatchDown = errors.New("batch endpoint unreachable")
+
+// memBatchStore is a BatchResultStore + Flusher double recording which
+// protocol the search used and how often each entry point ran.
+type memBatchStore struct {
+	mu      sync.Mutex
+	scores  map[string]float64
+	claimed map[string]string // key -> client holding the claim
+
+	clientID string
+	failLookupBatch,
+	failClaimBatch bool
+
+	lookupBatches, claimBatches int
+	unitLookups, unitClaims     int
+	pubs, releases, flushes     int
+}
+
+func newMemBatchStore(clientID string) *memBatchStore {
+	return &memBatchStore{
+		scores: map[string]float64{}, claimed: map[string]string{}, clientID: clientID,
+	}
+}
+
+func (m *memBatchStore) Lookup(_ context.Context, key string) (float64, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.unitLookups++
+	s, ok := m.scores[key]
+	return s, ok, nil
+}
+
+func (m *memBatchStore) Claim(_ context.Context, key string) (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.unitClaims++
+	return m.claimLocked(key), nil
+}
+
+func (m *memBatchStore) claimLocked(key string) bool {
+	if owner, held := m.claimed[key]; held && owner != m.clientID {
+		return false
+	}
+	m.claimed[key] = m.clientID
+	return true
+}
+
+func (m *memBatchStore) Publish(_ context.Context, key string, score float64, _ string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.pubs++
+	m.scores[key] = score
+	delete(m.claimed, key)
+	return nil
+}
+
+func (m *memBatchStore) LookupBatch(_ context.Context, keys []string) (map[string]float64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.lookupBatches++
+	if m.failLookupBatch {
+		return nil, errBatchDown
+	}
+	out := map[string]float64{}
+	for _, k := range keys {
+		if s, ok := m.scores[k]; ok {
+			out[k] = s
+		}
+	}
+	return out, nil
+}
+
+func (m *memBatchStore) ClaimBatch(_ context.Context, keys []string) (map[string]bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.claimBatches++
+	if m.failClaimBatch {
+		return nil, errBatchDown
+	}
+	out := map[string]bool{}
+	for _, k := range keys {
+		out[k] = m.claimLocked(k)
+	}
+	return out, nil
+}
+
+func (m *memBatchStore) Release(_ context.Context, key string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.releases++
+	if m.claimed[key] == m.clientID {
+		delete(m.claimed, key)
+	}
+	return nil
+}
+
+func (m *memBatchStore) Flush(context.Context) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.flushes++
+	return nil
+}
+
+func batchOpts(store core.ResultStore) core.SearchOptions {
+	scorer, _ := metrics.ScorerByName("rmse")
+	return core.SearchOptions{
+		Splitter:    crossval.KFold{K: 3, Shuffle: true},
+		Scorer:      scorer,
+		Seed:        5,
+		Store:       store,
+		SkipClaimed: true,
+	}
+}
+
+// TestSearchPrefersBatchProtocol pins the round-trip collapse: a
+// batch-capable store sees exactly one bulk lookup and one bulk claim
+// per search instead of one of each per unit, and is flushed on exit.
+func TestSearchPrefersBatchProtocol(t *testing.T) {
+	ds := regDS(t, 100)
+	st := newMemBatchStore("alice")
+	res, err := core.Search(context.Background(), degradedGraph(), ds, batchOpts(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Computed != 4 || res.CacheHits != 0 || res.Skipped != 0 {
+		t.Fatalf("first run computed=%d cache=%d skipped=%d", res.Computed, res.CacheHits, res.Skipped)
+	}
+	if st.lookupBatches != 1 || st.claimBatches != 1 {
+		t.Fatalf("bulk calls lookup=%d claim=%d, want exactly 1 each", st.lookupBatches, st.claimBatches)
+	}
+	if st.unitLookups != 0 || st.unitClaims != 0 {
+		t.Fatalf("per-unit calls lookup=%d claim=%d, want 0: batch store must not fall back", st.unitLookups, st.unitClaims)
+	}
+	if st.pubs != 4 {
+		t.Fatalf("pubs=%d, want one per computed unit", st.pubs)
+	}
+	if st.flushes == 0 {
+		t.Fatal("search exit must flush the publish queue")
+	}
+	if len(st.claimed) != 0 {
+		t.Fatalf("%d claims outstanding after a clean search", len(st.claimed))
+	}
+
+	// Second cooperating client against the same repository: everything
+	// is a bulk cache hit, and no claim batch is needed at all.
+	st.clientID = "bob"
+	second, err := core.Search(context.Background(), degradedGraph(), ds, batchOpts(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.CacheHits != 4 || second.Computed != 0 {
+		t.Fatalf("second run computed=%d cache=%d, want all cached", second.Computed, second.CacheHits)
+	}
+	if st.claimBatches != 1 {
+		t.Fatalf("claimBatches=%d, want no claim batch when every key is cached", st.claimBatches)
+	}
+	if second.Best == nil || second.Best.Mean != res.Best.Mean {
+		t.Fatal("cached best score differs from computed one")
+	}
+}
+
+// TestSearchBatchSkipClaimed: keys bulk-claimed by a peer are skipped,
+// not recomputed.
+func TestSearchBatchSkipClaimed(t *testing.T) {
+	ds := regDS(t, 100)
+	peer := newMemBatchStore("peer")
+	// The peer claims everything first.
+	if _, err := core.Search(context.Background(), degradedGraph(), ds, batchOpts(peer)); err != nil {
+		t.Fatal(err)
+	}
+	// Wipe scores but re-claim the keys as the peer, so the second
+	// client finds them claimed-but-unpublished.
+	peer.mu.Lock()
+	for k := range peer.scores {
+		peer.claimed[k] = "peer"
+		delete(peer.scores, k)
+	}
+	peer.mu.Unlock()
+	st := peer
+	st.clientID = "me"
+	res, err := core.Search(context.Background(), degradedGraph(), ds, batchOpts(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Skipped != 4 || res.Computed != 0 {
+		t.Fatalf("skipped=%d computed=%d, want all units skipped", res.Skipped, res.Computed)
+	}
+}
+
+// TestSearchBatchLookupFailureDegrades: a failed bulk lookup degrades
+// the whole search to local computation — one failed call, not 3×units.
+func TestSearchBatchLookupFailureDegrades(t *testing.T) {
+	ds := regDS(t, 80)
+	st := newMemBatchStore("alice")
+	st.failLookupBatch = true
+	res, err := core.Search(context.Background(), degradedGraph(), ds, batchOpts(st))
+	if err != nil {
+		t.Fatalf("search must degrade, not fail: %v", err)
+	}
+	if res.Computed != 4 || res.Degraded != 4 || res.Best == nil {
+		t.Fatalf("computed=%d degraded=%d best=%v, want full local degradation", res.Computed, res.Degraded, res.Best)
+	}
+	if st.lookupBatches != 1 || st.claimBatches != 0 || st.unitLookups != 0 {
+		t.Fatalf("calls lookupBatch=%d claimBatch=%d unitLookup=%d, want one failed bulk call total",
+			st.lookupBatches, st.claimBatches, st.unitLookups)
+	}
+	if st.pubs != 0 {
+		t.Fatalf("pubs=%d, degraded units must not publish", st.pubs)
+	}
+}
+
+// TestSearchBatchClaimFailureDegrades: cached units still come from the
+// bulk lookup; the rest degrade when the bulk claim fails.
+func TestSearchBatchClaimFailureDegrades(t *testing.T) {
+	ds := regDS(t, 80)
+	st := newMemBatchStore("alice")
+	if _, err := core.Search(context.Background(), degradedGraph(), ds, batchOpts(st)); err != nil {
+		t.Fatal(err)
+	}
+	// Drop half the cache and fail future claim batches.
+	st.mu.Lock()
+	dropped := 0
+	for k := range st.scores {
+		if dropped < 2 {
+			delete(st.scores, k)
+			dropped++
+		}
+	}
+	st.failClaimBatch = true
+	st.mu.Unlock()
+
+	res, err := core.Search(context.Background(), degradedGraph(), ds, batchOpts(st))
+	if err != nil {
+		t.Fatalf("search must degrade, not fail: %v", err)
+	}
+	if res.CacheHits != 2 || res.Computed != 2 || res.Degraded != 2 {
+		t.Fatalf("cache=%d computed=%d degraded=%d, want cached units intact and the rest degraded",
+			res.CacheHits, res.Computed, res.Degraded)
+	}
+}
+
+// TestSearchCancelledReleasesBatchClaims: a cancelled batched search
+// must not leak its bulk-granted claims until TTL.
+func TestSearchCancelledReleasesBatchClaims(t *testing.T) {
+	ds := regDS(t, 80)
+	st := newMemBatchStore("alice")
+	ctx, cancel := context.WithCancel(context.Background())
+	opts := batchOpts(st)
+	// Cancel from inside the first scorer call so claims are already
+	// bulk-granted but most units never publish.
+	base := opts.Scorer.Fn
+	opts.Scorer.Fn = func(y, yhat []float64) (float64, error) {
+		cancel()
+		return base(y, yhat)
+	}
+	if _, err := core.Search(ctx, degradedGraph(), ds, opts); err == nil {
+		t.Fatal("want cancellation error")
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.claimed) != 0 {
+		t.Fatalf("%d claims leaked by a cancelled search", len(st.claimed))
+	}
+}

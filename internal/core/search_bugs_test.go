@@ -1,0 +1,212 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"coda/internal/core"
+	"coda/internal/crossval"
+	"coda/internal/darr"
+	"coda/internal/metrics"
+	"coda/internal/mlmodels"
+	"coda/internal/preprocess"
+)
+
+// perUnitOnly hides a darr.Client's batch methods so the search takes
+// the per-unit protocol while claim release stays available.
+type perUnitOnly struct{ c *darr.Client }
+
+func (p perUnitOnly) Lookup(ctx context.Context, key string) (float64, bool, error) {
+	return p.c.Lookup(ctx, key)
+}
+func (p perUnitOnly) Claim(ctx context.Context, key string) (bool, error) {
+	return p.c.Claim(ctx, key)
+}
+func (p perUnitOnly) Publish(ctx context.Context, key string, score float64, explanation string) error {
+	return p.c.Publish(ctx, key, score, explanation)
+}
+func (p perUnitOnly) Release(ctx context.Context, key string) error {
+	return p.c.Release(ctx, key)
+}
+
+var errBadScorer = errors.New("scorer exploded")
+
+// TestFailedUnitReleasesClaim pins the claim-leak fix on both protocols:
+// a unit that claims its key and then fails must release the claim so a
+// second client can take the work immediately — not after the TTL.
+func TestFailedUnitReleasesClaim(t *testing.T) {
+	failing := metrics.Scorer{Name: "rmse", Lower: true,
+		Fn: func(y, yhat []float64) (float64, error) { return 0, errBadScorer }}
+
+	for _, tc := range []struct {
+		name  string
+		store func(repo *darr.Repo, id string) core.ResultStore
+	}{
+		{"batched", func(repo *darr.Repo, id string) core.ResultStore {
+			return &darr.Client{Repo: repo, ClientID: id, Metric: "rmse"}
+		}},
+		{"per-unit", func(repo *darr.Repo, id string) core.ResultStore {
+			return perUnitOnly{&darr.Client{Repo: repo, ClientID: id, Metric: "rmse"}}
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ds := regDS(t, 80)
+			repo := darr.NewRepo(nil, time.Hour) // TTL long enough to expose any leak
+			opts := core.SearchOptions{
+				Splitter:    crossval.KFold{K: 3, Shuffle: true},
+				Scorer:      failing,
+				Seed:        2,
+				Store:       tc.store(repo, "alice"),
+				SkipClaimed: true,
+			}
+			res, err := core.Search(context.Background(), degradedGraph(), ds, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, u := range res.Units {
+				if u.Err == "" || u.Skipped {
+					t.Fatalf("unit %s err=%q skipped=%v, want every unit failed", u.Spec, u.Err, u.Skipped)
+				}
+			}
+			if n := repo.ActiveClaims(); n != 0 {
+				t.Fatalf("%d claims leaked by failed units", n)
+			}
+			// A second client gets the work immediately: nothing skipped.
+			opts.Store = tc.store(repo, "bob")
+			second, err := core.Search(context.Background(), degradedGraph(), ds, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if second.Skipped != 0 {
+				t.Fatalf("second client skipped %d units: failed claims were not released", second.Skipped)
+			}
+			if n := repo.ActiveClaims(); n != 0 {
+				t.Fatalf("%d claims leaked by the second client", n)
+			}
+		})
+	}
+}
+
+// TestNaNScorerNeverBest pins the non-finite guard: a scorer that
+// returns NaN must yield failed units, never an unbeatable Best, and
+// must publish nothing to the shared repository.
+func TestNaNScorerNeverBest(t *testing.T) {
+	nan := metrics.Scorer{Name: "rmse", Lower: true,
+		Fn: func(y, yhat []float64) (float64, error) { return math.NaN(), nil }}
+	ds := regDS(t, 80)
+	store := newMemStore()
+	res, err := core.Search(context.Background(), degradedGraph(), ds, core.SearchOptions{
+		Splitter: crossval.KFold{K: 3, Shuffle: true},
+		Scorer:   nan,
+		Store:    store,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best != nil || res.BestPipeline != nil {
+		t.Fatalf("NaN-scoring unit became Best: %+v", res.Best)
+	}
+	for _, u := range res.Units {
+		if !strings.Contains(u.Err, "non-finite") {
+			t.Fatalf("unit %s err=%q, want non-finite failure", u.Spec, u.Err)
+		}
+	}
+	if store.pubs != 0 {
+		t.Fatalf("%d NaN scores published to the shared store", store.pubs)
+	}
+}
+
+// TestCachedNaNNeverBest: a poisoned repository entry (a peer published
+// NaN) is served as a cache hit but must not win best-unit selection.
+func TestCachedNaNNeverBest(t *testing.T) {
+	ds := regDS(t, 80)
+	scorer, _ := metrics.ScorerByName("rmse")
+	store := newMemStore()
+	opts := core.SearchOptions{
+		Splitter: crossval.KFold{K: 3, Shuffle: true},
+		Scorer:   scorer,
+		Store:    store,
+	}
+	if _, err := core.Search(context.Background(), degradedGraph(), ds, opts); err != nil {
+		t.Fatal(err)
+	}
+	for k := range store.scores {
+		store.scores[k] = math.NaN()
+	}
+	res, err := core.Search(context.Background(), degradedGraph(), ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHits != 4 {
+		t.Fatalf("cache hits %d, want all units cached", res.CacheHits)
+	}
+	if res.Best != nil {
+		t.Fatalf("poisoned NaN cache entry became Best: %+v", res.Best)
+	}
+}
+
+// emptySplitter returns no folds, the empty-fold poisoning case: the
+// mean over zero scores is 0/0 = NaN.
+type emptySplitter struct{}
+
+func (emptySplitter) Splits(int, *rand.Rand) ([]crossval.Split, error) { return nil, nil }
+func (emptySplitter) Spec() string                                     { return "empty" }
+
+// TestEmptyFoldSetRecordsFailure: zero cross-validation folds must fail
+// every unit instead of crowning a NaN-mean Best.
+func TestEmptyFoldSetRecordsFailure(t *testing.T) {
+	ds := regDS(t, 40)
+	scorer, _ := metrics.ScorerByName("rmse")
+	res, err := core.Search(context.Background(), degradedGraph(), ds, core.SearchOptions{
+		Splitter: emptySplitter{},
+		Scorer:   scorer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best != nil {
+		t.Fatalf("empty-fold unit became Best with mean %v", res.Best.Mean)
+	}
+	for _, u := range res.Units {
+		if !strings.Contains(u.Err, "non-finite") {
+			t.Fatalf("unit %s err=%q, want non-finite failure", u.Spec, u.Err)
+		}
+	}
+}
+
+// TestDuplicateSpecsRefitByIndex pins the indexOfSpec fix: units from
+// duplicate graph paths share spec and params, so only the carried unit
+// index can map the winner back to its pipeline.
+func TestDuplicateSpecsRefitByIndex(t *testing.T) {
+	g := core.NewGraph()
+	g.AddFeatureScalers(preprocess.NewNoOp(), preprocess.NewNoOp())
+	g.AddRegressionModels(mlmodels.NewLinearRegression())
+	ds := regDS(t, 80)
+	scorer, _ := metrics.ScorerByName("rmse")
+	res, err := core.Search(context.Background(), g, ds, core.SearchOptions{
+		Splitter: crossval.KFold{K: 3, Shuffle: true},
+		Scorer:   scorer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Units) != 2 || res.Units[0].Spec != res.Units[1].Spec {
+		t.Fatalf("want two duplicate-spec units, got %+v", res.Units)
+	}
+	for i, u := range res.Units {
+		if u.Index != i {
+			t.Fatalf("unit %d carries index %d", i, u.Index)
+		}
+	}
+	if res.Best == nil || res.BestPipeline == nil {
+		t.Fatal("search over duplicate specs must still produce a refitted winner")
+	}
+	if res.Best.Index != res.Units[res.Best.Index].Index {
+		t.Fatalf("best index %d does not match its unit", res.Best.Index)
+	}
+}

@@ -31,7 +31,21 @@ var (
 	mPuts          = obs.GetCounter("coda_darr_puts_total")
 	mClaimsGranted = obs.GetCounter(`coda_darr_claims_total{granted="true"}`)
 	mClaimsDenied  = obs.GetCounter(`coda_darr_claims_total{granted="false"}`)
+
+	// Batched-protocol telemetry: one batch call replaces many per-unit
+	// round trips, so the interesting numbers are how many batch calls
+	// arrive and how many keys each carries. The per-key counters above
+	// still tick inside batches, so hit/miss ratios see through both
+	// protocols.
+	mBatchLookups = obs.GetCounter("coda_darr_batch_lookups_total")
+	mBatchClaims  = obs.GetCounter("coda_darr_batch_claims_total")
+	mBatchPuts    = obs.GetCounter("coda_darr_batch_puts_total")
+	mBatchKeys    = obs.GetHistogram("coda_darr_batch_size_keys", BatchSizeBuckets)
 )
+
+// BatchSizeBuckets is the histogram layout for batch sizes (keys or
+// records per batched DARR call).
+var BatchSizeBuckets = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000}
 
 // ErrNotFound is returned when a record key is unknown.
 var ErrNotFound = errors.New("darr: record not found")
@@ -139,12 +153,15 @@ func (r *Repo) QueryByDataset(fp string) []Record {
 func (r *Repo) Claim(key, clientID string) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	return r.claimLocked(key, clientID, r.now())
+}
+
+func (r *Repo) claimLocked(key, clientID string, now time.Time) bool {
 	if _, done := r.records[key]; done {
 		mClaimsDenied.Inc()
 		return false
 	}
 	c, held := r.claims[key]
-	now := r.now()
 	if held && c.clientID != clientID && now.Before(c.expires) {
 		mClaimsDenied.Inc()
 		return false
@@ -152,6 +169,72 @@ func (r *Repo) Claim(key, clientID string) bool {
 	r.claims[key] = claim{clientID: clientID, expires: now.Add(r.claimTTL)}
 	mClaimsGranted.Inc()
 	return true
+}
+
+// GetBatch resolves many keys under one lock acquisition, returning
+// records only for the keys that exist. Backs the batched lookup
+// endpoint and the in-process batch client.
+func (r *Repo) GetBatch(keys []string) map[string]Record {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	mBatchLookups.Inc()
+	mBatchKeys.Observe(float64(len(keys)))
+	out := make(map[string]Record, len(keys))
+	for _, k := range keys {
+		r.lookups++
+		mLookups.Inc()
+		rec, ok := r.records[k]
+		if !ok {
+			mMisses.Inc()
+			continue
+		}
+		r.hits++
+		mHits.Inc()
+		out[k] = rec
+	}
+	return out
+}
+
+// ClaimBatch attempts to reserve every key for clientID atomically —
+// all decisions are made under one lock against one clock reading — and
+// reports the per-key grants with Claim's exact semantics.
+func (r *Repo) ClaimBatch(keys []string, clientID string) map[string]bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	mBatchClaims.Inc()
+	mBatchKeys.Observe(float64(len(keys)))
+	now := r.now()
+	out := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		out[k] = r.claimLocked(k, clientID, now)
+	}
+	return out
+}
+
+// PutBatch stores many records under one lock acquisition, releasing
+// their claims like Put. It validates every record before storing any,
+// so a bad record rejects the whole batch.
+func (r *Repo) PutBatch(recs []Record) error {
+	for i, rec := range recs {
+		if rec.Key == "" {
+			return fmt.Errorf("darr: batch record %d has empty key", i)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	mBatchPuts.Inc()
+	mBatchKeys.Observe(float64(len(recs)))
+	now := r.now()
+	for _, rec := range recs {
+		if rec.CreatedAt.IsZero() {
+			rec.CreatedAt = now
+		}
+		r.records[rec.Key] = rec
+		delete(r.claims, rec.Key)
+		r.puts++
+		mPuts.Inc()
+	}
+	return nil
 }
 
 // Release drops clientID's claim on key (a no-op for other clients' claims).
@@ -215,6 +298,28 @@ func (c *Client) Lookup(_ context.Context, key string) (float64, bool, error) {
 // Claim implements core.ResultStore.
 func (c *Client) Claim(_ context.Context, key string) (bool, error) {
 	return c.Repo.Claim(key, c.ClientID), nil
+}
+
+// LookupBatch implements core.BatchResultStore.
+func (c *Client) LookupBatch(_ context.Context, keys []string) (map[string]float64, error) {
+	recs := c.Repo.GetBatch(keys)
+	out := make(map[string]float64, len(recs))
+	for k, rec := range recs {
+		out[k] = rec.Score
+	}
+	return out, nil
+}
+
+// ClaimBatch implements core.BatchResultStore.
+func (c *Client) ClaimBatch(_ context.Context, keys []string) (map[string]bool, error) {
+	return c.Repo.ClaimBatch(keys, c.ClientID), nil
+}
+
+// Release implements core.BatchResultStore: a claimed-but-failed unit
+// frees its key immediately instead of blocking peers until TTL.
+func (c *Client) Release(_ context.Context, key string) error {
+	c.Repo.Release(key, c.ClientID)
+	return nil
 }
 
 // Publish implements core.ResultStore.

@@ -178,13 +178,154 @@ func TestClientAdapterImplementsResultStore(t *testing.T) {
 }
 
 func TestSplitKey(t *testing.T) {
-	fp, spec, eval := SplitKey("abc|input -> x -> y|kfold(k=5)|rmse|seed=1")
-	if fp != "abc" || spec != "input -> x -> y" || eval != "kfold(k=5)|rmse|seed=1" {
-		t.Fatalf("split = %q %q %q", fp, spec, eval)
+	for _, tc := range []struct {
+		key, fp, spec, eval string
+	}{
+		{"abc|input -> x -> y|kfold(k=5)|rmse|seed=1", "abc", "input -> x -> y", "kfold(k=5)|rmse|seed=1"},
+		// No separators: everything lands in the spec position.
+		{"nokey", "", "nokey", ""},
+		{"", "", "", ""},
+		// One separator: no eval spec.
+		{"fp|spec", "fp", "spec", ""},
+		{"|", "", "", ""},
+		// Empty fields survive round the separators.
+		{"||", "", "", ""},
+		{"fp||eval", "fp", "", "eval"},
+		{"|spec|eval", "", "spec", "eval"},
+		{"fp|spec|", "fp", "spec", ""},
+	} {
+		fp, spec, eval := SplitKey(tc.key)
+		if fp != tc.fp || spec != tc.spec || eval != tc.eval {
+			t.Errorf("SplitKey(%q) = %q %q %q, want %q %q %q",
+				tc.key, fp, spec, eval, tc.fp, tc.spec, tc.eval)
+		}
 	}
-	fp, spec, eval = SplitKey("nokey")
-	if fp != "" || spec != "nokey" || eval != "" {
-		t.Fatalf("degenerate split = %q %q %q", fp, spec, eval)
+}
+
+// TestClaimExpiryBoundary drives the TTL edge with a fake clock: a
+// claim is held strictly before its expiry instant and free at it.
+func TestClaimExpiryBoundary(t *testing.T) {
+	ck := newClock()
+	r := NewRepo(ck.Now, time.Minute)
+	if !r.Claim("k", "alice") {
+		t.Fatal("first claim should succeed")
+	}
+	ck.Advance(time.Minute - time.Nanosecond)
+	if r.Claim("k", "bob") {
+		t.Fatal("claim stolen one nanosecond before expiry")
+	}
+	ck.Advance(time.Nanosecond)
+	if !r.Claim("k", "bob") {
+		t.Fatal("claim not reclaimable exactly at expiry")
+	}
+	// Bob's fresh claim restarts the TTL from his grant time.
+	ck.Advance(time.Minute - time.Nanosecond)
+	if r.Claim("k", "carol") {
+		t.Fatal("refreshed claim expired too early")
+	}
+	if r.ActiveClaims() != 1 {
+		t.Fatalf("active claims %d, want 1", r.ActiveClaims())
+	}
+}
+
+// TestOwnerReclaimRefreshesTTL: an owner re-claim pushes expiry forward,
+// so a heartbeating client keeps its work.
+func TestOwnerReclaimRefreshesTTL(t *testing.T) {
+	ck := newClock()
+	r := NewRepo(ck.Now, time.Minute)
+	r.Claim("k", "alice")
+	ck.Advance(45 * time.Second)
+	if !r.Claim("k", "alice") {
+		t.Fatal("owner re-claim must succeed")
+	}
+	// 30s later the original TTL would have lapsed; the refresh holds.
+	ck.Advance(30 * time.Second)
+	if r.Claim("k", "bob") {
+		t.Fatal("refreshed claim lost before its new expiry")
+	}
+}
+
+func TestRepoBatchOps(t *testing.T) {
+	ck := newClock()
+	r := NewRepo(ck.Now, time.Minute)
+	if err := r.PutBatch([]Record{
+		{Key: "a", DatasetFP: "fp", Score: 1},
+		{Key: "b", DatasetFP: "fp", Score: 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got := r.GetBatch([]string{"a", "b", "missing"})
+	if len(got) != 2 || got["a"].Score != 1 || got["b"].Score != 2 {
+		t.Fatalf("GetBatch = %+v", got)
+	}
+	if got["a"].CreatedAt.IsZero() {
+		t.Fatal("PutBatch must stamp CreatedAt")
+	}
+	lookups, hits, puts := r.Stats()
+	if lookups != 3 || hits != 2 || puts != 2 {
+		t.Fatalf("stats lookups=%d hits=%d puts=%d; batches must feed the per-key accounting", lookups, hits, puts)
+	}
+
+	// Claims: existing records are denied, fresh keys granted, and a
+	// peer's unexpired claim blocks.
+	r.Claim("held", "peer")
+	granted := r.ClaimBatch([]string{"a", "new1", "new2", "held"}, "alice")
+	want := map[string]bool{"a": false, "new1": true, "new2": true, "held": false}
+	for k, w := range want {
+		if granted[k] != w {
+			t.Fatalf("ClaimBatch[%q] = %v, want %v (all: %+v)", k, granted[k], w, granted)
+		}
+	}
+	// PutBatch clears the claims it fulfills.
+	if err := r.PutBatch([]Record{{Key: "new1", Score: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Claim("new1", "bob") {
+		t.Fatal("published key must not be claimable")
+	}
+	if !r.Claim("new2", "alice") {
+		t.Fatal("alice still owns new2")
+	}
+
+	// A bad record rejects the whole batch atomically.
+	if err := r.PutBatch([]Record{{Key: "ok", Score: 9}, {Key: ""}}); err == nil {
+		t.Fatal("want empty-key error")
+	}
+	if _, err := r.Get("ok"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("rejected batch must store nothing")
+	}
+}
+
+func TestClientBatchAdapter(t *testing.T) {
+	var _ core.BatchResultStore = (*Client)(nil)
+	repo := NewRepo(nil, time.Minute)
+	alice := &Client{Repo: repo, ClientID: "alice", Metric: "rmse"}
+	bob := &Client{Repo: repo, ClientID: "bob", Metric: "rmse"}
+	ctx := context.Background()
+
+	keys := []string{"fp|s1|e", "fp|s2|e"}
+	scores, err := alice.LookupBatch(ctx, keys)
+	if err != nil || len(scores) != 0 {
+		t.Fatalf("empty repo LookupBatch = %v, %v", scores, err)
+	}
+	granted, err := alice.ClaimBatch(ctx, keys)
+	if err != nil || !granted[keys[0]] || !granted[keys[1]] {
+		t.Fatalf("ClaimBatch = %v, %v", granted, err)
+	}
+	// Alice abandons one unit; bob can take it over immediately.
+	if err := alice.Release(ctx, keys[1]); err != nil {
+		t.Fatal(err)
+	}
+	bobGrants, err := bob.ClaimBatch(ctx, keys)
+	if err != nil || bobGrants[keys[0]] || !bobGrants[keys[1]] {
+		t.Fatalf("bob ClaimBatch = %v, %v", bobGrants, err)
+	}
+	if err := alice.Publish(ctx, keys[0], 1.25, "done"); err != nil {
+		t.Fatal(err)
+	}
+	scores, err = bob.LookupBatch(ctx, keys)
+	if err != nil || len(scores) != 1 || scores[keys[0]] != 1.25 {
+		t.Fatalf("LookupBatch after publish = %v, %v", scores, err)
 	}
 }
 

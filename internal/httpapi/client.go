@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"coda/internal/darr"
@@ -50,6 +51,9 @@ type Client struct {
 	// carrying the request id sent to the server in X-Coda-Request-Id.
 	// Nil uses slog.Default().
 	Logger *slog.Logger
+
+	// queue, when enabled, coalesces Publishes into batched uploads.
+	queue atomic.Pointer[publishQueue]
 }
 
 // Default client fault-tolerance settings, chosen for wide-area links:
@@ -230,13 +234,25 @@ func (c *Client) Release(ctx context.Context, key string) error {
 	return nil
 }
 
-// Publish implements core.ResultStore. Records are keyed, so a retried
-// publish overwrites itself rather than duplicating.
-func (c *Client) Publish(ctx context.Context, key string, score float64, explanation string) error {
+// record builds the wire Record for one unit key, parsing the
+// structured fields out of the key.
+func (c *Client) record(key string, score float64, explanation string) darr.Record {
 	fp, spec, eval := darr.SplitKey(key)
-	rec := darr.Record{
+	return darr.Record{
 		Key: key, DatasetFP: fp, PipelineSpec: spec, EvalSpec: eval,
 		Metric: c.Metric, Score: score, Explanation: explanation, ClientID: c.ClientID,
+	}
+}
+
+// Publish implements core.ResultStore. Records are keyed, so a retried
+// publish overwrites itself rather than duplicating. With a publish
+// queue enabled (EnablePublishQueue) the record is enqueued for a
+// coalesced POST /darr/batch/records instead of a per-unit round trip.
+func (c *Client) Publish(ctx context.Context, key string, score float64, explanation string) error {
+	rec := c.record(key, score, explanation)
+	if q := c.queue.Load(); q != nil {
+		q.enqueue(rec)
+		return nil
 	}
 	status, err := c.doJSON(ctx, http.MethodPost, "/darr/records", rec, nil)
 	if err != nil {
@@ -246,6 +262,79 @@ func (c *Client) Publish(ctx context.Context, key string, score float64, explana
 		return fmt.Errorf("httpapi: publish status %d", status)
 	}
 	return nil
+}
+
+// LookupBatch implements core.BatchResultStore: one POST resolves the
+// published scores for every key.
+func (c *Client) LookupBatch(ctx context.Context, keys []string) (map[string]float64, error) {
+	var out batchLookupReply
+	status, err := c.doJSON(ctx, http.MethodPost, "/darr/batch/lookup", batchLookupRequest{Keys: keys}, &out)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("httpapi: batch lookup status %d", status)
+	}
+	if out.Scores == nil {
+		out.Scores = map[string]float64{}
+	}
+	return out.Scores, nil
+}
+
+// ClaimBatch implements core.BatchResultStore: one POST claims every
+// key this client wants to compute. Like Claim, it is idempotent per
+// client, so a retried batch whose response was lost is safe.
+func (c *Client) ClaimBatch(ctx context.Context, keys []string) (map[string]bool, error) {
+	var out batchClaimReply
+	status, err := c.doJSON(ctx, http.MethodPost, "/darr/batch/claims", batchClaimRequest{Keys: keys, ClientID: c.ClientID}, &out)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("httpapi: batch claim status %d", status)
+	}
+	if out.Granted == nil {
+		out.Granted = map[string]bool{}
+	}
+	return out.Granted, nil
+}
+
+// PublishBatch uploads many records in one request. Records are keyed,
+// so retries overwrite rather than duplicate.
+func (c *Client) PublishBatch(ctx context.Context, recs []darr.Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	status, err := c.doJSON(ctx, http.MethodPost, "/darr/batch/records", batchRecordsRequest{Records: recs}, nil)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusCreated {
+		return fmt.Errorf("httpapi: batch publish status %d", status)
+	}
+	return nil
+}
+
+// PerUnitStore restricts a Client to the per-unit cooperation protocol,
+// hiding the batch methods so core.Search issues one Lookup/Claim/
+// Publish round trip per unit — the A/B baseline for benchmarks and the
+// -no-batch escape hatch. Claims are still released on failure.
+type PerUnitStore struct{ C *Client }
+
+func (p PerUnitStore) Lookup(ctx context.Context, key string) (float64, bool, error) {
+	return p.C.Lookup(ctx, key)
+}
+
+func (p PerUnitStore) Claim(ctx context.Context, key string) (bool, error) {
+	return p.C.Claim(ctx, key)
+}
+
+func (p PerUnitStore) Publish(ctx context.Context, key string, score float64, explanation string) error {
+	return p.C.Publish(ctx, key, score, explanation)
+}
+
+func (p PerUnitStore) Release(ctx context.Context, key string) error {
+	return p.C.Release(ctx, key)
 }
 
 // QueryByDataset lists the remote DARR's records for a dataset fingerprint.

@@ -137,12 +137,14 @@ func TestSearchUnderFaultInjection(t *testing.T) {
 
 // TestSearchDegradesWhenServerIsGone pins the breaker path: with the
 // remote side black-holed, the search completes locally, marks every unit
-// degraded, and the breaker ends up open so later calls fail fast.
+// degraded, and the breaker ends up open so later calls fail fast. The
+// batched protocol makes exactly one bulk call against a dead server (the
+// bulk lookup) before degrading, so the breaker threshold is 1 here.
 func TestSearchDegradesWhenServerIsGone(t *testing.T) {
 	c, _, _ := newFaultyClient(t, faultinject.Config{Seed: 5, DropFraction: 1.0})
 	c.Metric = "rmse"
 	c.Retry = retry.Policy{MaxAttempts: 2, InitialBackoff: time.Millisecond, MaxBackoff: time.Millisecond}
-	c.Breaker = retry.NewBreaker(2, time.Minute, nil)
+	c.Breaker = retry.NewBreaker(1, time.Minute, nil)
 
 	rng := rand.New(rand.NewSource(3))
 	ds, _, err := dataset.MakeRegression(dataset.RegressionSpec{Samples: 80, Features: 4, Informative: 2, Noise: 1}, rng)

@@ -35,10 +35,18 @@ type Server struct {
 	// Logger receives request logs (debug) and error logs (warn/error);
 	// nil uses slog.Default().
 	Logger *slog.Logger
+	// MaxBatchKeys bounds the keys/records one batched DARR request may
+	// carry; oversized batches get a 400. <= 0 uses DefaultMaxBatchKeys.
+	MaxBatchKeys int
 
 	mux    *http.ServeMux
 	health map[string]func() any
 }
+
+// DefaultMaxBatchKeys is the default cap on keys/records per batched
+// DARR request — generous for real search graphs while keeping a single
+// request body bounded.
+const DefaultMaxBatchKeys = 1024
 
 // NewServer builds the handler; either component may be nil to disable its
 // endpoints.
@@ -49,6 +57,9 @@ func NewServer(repo *darr.Repo, hs *store.HomeStore) *Server {
 	if repo != nil {
 		s.mux.HandleFunc("/darr/records", s.handleRecords)
 		s.mux.HandleFunc("/darr/claims", s.handleClaims)
+		s.mux.HandleFunc("/darr/batch/lookup", s.handleBatchLookup)
+		s.mux.HandleFunc("/darr/batch/claims", s.handleBatchClaims)
+		s.mux.HandleFunc("/darr/batch/records", s.handleBatchRecords)
 		s.health["darr"] = func() any {
 			lookups, hits, puts := repo.Stats()
 			return map[string]any{
@@ -100,6 +111,12 @@ func routeLabel(path string) string {
 		return "darr-records"
 	case path == "/darr/claims":
 		return "darr-claims"
+	case path == "/darr/batch/lookup":
+		return "darr-batch-lookup"
+	case path == "/darr/batch/claims":
+		return "darr-batch-claims"
+	case path == "/darr/batch/records":
+		return "darr-batch-records"
 	case strings.HasPrefix(path, "/store/objects/"):
 		return "store-objects"
 	default:
@@ -219,6 +236,111 @@ func (s *Server) handleClaims(w http.ResponseWriter, r *http.Request) {
 	default:
 		s.writeError(w, r, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
 	}
+}
+
+// Wire types of the batched DARR protocol: one request carries every
+// key (or record) of a cooperative search phase, collapsing up to
+// 3×units sequential round trips into three.
+type batchLookupRequest struct {
+	Keys []string `json:"keys"`
+}
+
+type batchLookupReply struct {
+	// Scores maps only the keys that have published results.
+	Scores map[string]float64 `json:"scores"`
+}
+
+type batchClaimRequest struct {
+	Keys     []string `json:"keys"`
+	ClientID string   `json:"client_id"`
+}
+
+type batchClaimReply struct {
+	Granted map[string]bool `json:"granted"`
+}
+
+type batchRecordsRequest struct {
+	Records []darr.Record `json:"records"`
+}
+
+func (s *Server) maxBatchKeys() int {
+	if s.MaxBatchKeys > 0 {
+		return s.MaxBatchKeys
+	}
+	return DefaultMaxBatchKeys
+}
+
+// checkBatch enforces the method and batch-size bounds shared by every
+// batch endpoint; it reports whether the request may proceed.
+func (s *Server) checkBatch(w http.ResponseWriter, r *http.Request, n int, what string) bool {
+	if r.Method != http.MethodPost {
+		s.writeError(w, r, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return false
+	}
+	if n == 0 {
+		s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("batch needs at least one %s", what))
+		return false
+	}
+	if limit := s.maxBatchKeys(); n > limit {
+		s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("batch of %d %ss exceeds limit %d", n, what, limit))
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleBatchLookup(w http.ResponseWriter, r *http.Request) {
+	var req batchLookupRequest
+	if r.Method == http.MethodPost {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("decoding batch lookup: %w", err))
+			return
+		}
+	}
+	if !s.checkBatch(w, r, len(req.Keys), "key") {
+		return
+	}
+	recs := s.Repo.GetBatch(req.Keys)
+	scores := make(map[string]float64, len(recs))
+	for k, rec := range recs {
+		scores[k] = rec.Score
+	}
+	writeJSON(w, http.StatusOK, batchLookupReply{Scores: scores})
+}
+
+func (s *Server) handleBatchClaims(w http.ResponseWriter, r *http.Request) {
+	var req batchClaimRequest
+	if r.Method == http.MethodPost {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("decoding batch claim: %w", err))
+			return
+		}
+	}
+	if !s.checkBatch(w, r, len(req.Keys), "key") {
+		return
+	}
+	if req.ClientID == "" {
+		s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("batch claim needs client_id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, batchClaimReply{Granted: s.Repo.ClaimBatch(req.Keys, req.ClientID)})
+}
+
+func (s *Server) handleBatchRecords(w http.ResponseWriter, r *http.Request) {
+	var req batchRecordsRequest
+	if r.Method == http.MethodPost {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("decoding batch records: %w", err))
+			return
+		}
+	}
+	if !s.checkBatch(w, r, len(req.Records), "record") {
+		return
+	}
+	if err := s.Repo.PutBatch(req.Records); err != nil {
+		s.writeError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]int{"stored": len(req.Records)})
 }
 
 // objectReply is the JSON wire form of a store.Reply.

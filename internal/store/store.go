@@ -292,19 +292,22 @@ func (r *Replica) BytesReceived() int64 {
 }
 
 // ApplyReply integrates a Reply (full, delta, or unchanged) into the
-// replica.
+// replica. Only replies that validate and apply count toward
+// BytesReceived — a rejected reply (version-mismatch unchanged or delta)
+// must not inflate the S1 bandwidth accounting.
 func (r *Replica) ApplyReply(reply *Reply) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.bytesReceived += int64(reply.WireBytes())
 	if reply.Unchanged {
 		if cur := r.objects[reply.Key]; cur.Num != reply.Version {
 			return fmt.Errorf("store: unchanged reply for version %d but replica has %d of %q", reply.Version, cur.Num, reply.Key)
 		}
+		r.bytesReceived += int64(reply.WireBytes())
 		return nil
 	}
 	if !reply.IsDelta() {
 		r.objects[reply.Key] = Version{Num: reply.Version, Data: append([]byte(nil), reply.Full...)}
+		r.bytesReceived += int64(reply.WireBytes())
 		return nil
 	}
 	cur, ok := r.objects[reply.Key]
@@ -316,6 +319,7 @@ func (r *Replica) ApplyReply(reply *Reply) error {
 		return fmt.Errorf("store: applying delta for %q: %w", reply.Key, err)
 	}
 	r.objects[reply.Key] = Version{Num: reply.Version, Data: data}
+	r.bytesReceived += int64(reply.WireBytes())
 	return nil
 }
 

@@ -225,6 +225,72 @@ func TestReplicaRejectsMismatchedDelta(t *testing.T) {
 	}
 }
 
+// TestApplyReplyRejectedCountsNoBytes pins the S1 accounting fix:
+// replies the replica rejects (version-mismatch unchanged or delta)
+// must leave BytesReceived untouched, so bandwidth numbers count only
+// payloads that were actually applied.
+func TestApplyReplyRejectedCountsNoBytes(t *testing.T) {
+	s := NewHomeStore(Options{BlockSize: 32})
+	v1 := bytes.Repeat([]byte("abcdefgh"), 128)
+	s.Put("o", v1)
+	v2 := append(append([]byte(nil), v1...), 'x')
+	s.Put("o", v2)
+
+	rep := NewReplica()
+	full, err := s.Get("o", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.ApplyReply(full); err != nil {
+		t.Fatal(err)
+	}
+	applied := rep.BytesReceived()
+	if applied != int64(len(v2)) {
+		t.Fatalf("applied full reply counted %d bytes, want %d", applied, len(v2))
+	}
+
+	// A delta against a base the replica does not hold is rejected and
+	// must not count.
+	deltaReply, err := s.Get("o", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !deltaReply.IsDelta() {
+		t.Skip("delta did not pay off; nothing to test")
+	}
+	ghost := NewReplica()
+	if err := ghost.ApplyReply(deltaReply); err == nil {
+		t.Fatal("delta against missing base must fail")
+	}
+	if got := ghost.BytesReceived(); got != 0 {
+		t.Fatalf("rejected delta inflated BytesReceived to %d", got)
+	}
+
+	// An unchanged reply for a version the replica does not have is
+	// rejected and must not count either.
+	if err := rep.ApplyReply(&Reply{Key: "o", Version: 99, Unchanged: true}); err == nil {
+		t.Fatal("unchanged reply for wrong version must fail")
+	}
+	if got := rep.BytesReceived(); got != applied {
+		t.Fatalf("rejected unchanged reply moved BytesReceived %d -> %d", applied, got)
+	}
+
+	// A valid unchanged reply still counts its fixed header cost.
+	cur, err := s.Get("o", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cur.Unchanged {
+		t.Fatalf("reply for current version not unchanged: %+v", cur)
+	}
+	if err := rep.ApplyReply(cur); err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.BytesReceived(); got != applied+int64(cur.WireBytes()) {
+		t.Fatalf("unchanged reply accounting %d, want %d", got, applied+int64(cur.WireBytes()))
+	}
+}
+
 func TestConcurrentAccess(t *testing.T) {
 	s := NewHomeStore(Options{})
 	var wg sync.WaitGroup
