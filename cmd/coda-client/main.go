@@ -155,10 +155,9 @@ func runServe(ctx context.Context, args []string) error {
 		return err
 	}
 	res, err := core.Search(ctx, regressionGraph(), ds, core.SearchOptions{
-		Splitter:    crossval.KFold{K: *k, Shuffle: true},
-		Scorer:      scorer,
-		Seed:        *seed,
-		Parallelism: 4,
+		Splitter: crossval.KFold{K: *k, Shuffle: true},
+		Scorer:   scorer,
+		Seed:     *seed,
 	})
 	if err != nil {
 		return err
@@ -207,10 +206,13 @@ func runSearch(ctx context.Context, args []string) error {
 		pubBatch  = fs.Int("publish-batch", httpapi.DefaultPublishBatchSize, "queued publishes per coalesced batch upload")
 		pubFlush  = fs.Duration("publish-flush", httpapi.DefaultPublishFlushInterval, "max age of a queued publish before an async flush")
 		seed      = fs.Int64("seed", 1, "search seed")
-		parallel  = fs.Int("parallel", 4, "concurrent pipeline evaluations")
+		parallel  = fs.Int("parallelism", 0, "concurrent pipeline evaluations (0 = one per CPU)")
 		epochs    = fs.Int("epochs", 20, "network epochs (timeseries graph)")
 		top       = fs.Int("top", 5, "pipelines to print")
+		cacheMB   = fs.Int("prefix-cache-mb", core.DefaultPrefixCacheMB, "shared-prefix cache capacity in MiB")
+		noCache   = fs.Bool("no-prefix-cache", false, "disable the shared-prefix cache (re-fit every transformer prefix per unit, for A/B runs)")
 	)
+	fs.IntVar(parallel, "parallel", 0, "deprecated alias for -parallelism")
 	ft := addFaultFlags(fs)
 	lf := addLogFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -273,10 +275,12 @@ func runSearch(ctx context.Context, args []string) error {
 		splitter = crossval.SlidingSplit{K: *k, TrainSize: n / 2, TestSize: n / 6, Buffer: 8}
 	}
 	opts := core.SearchOptions{
-		Splitter:    splitter,
-		Scorer:      scorer,
-		Seed:        *seed,
-		Parallelism: *parallel,
+		Splitter:           splitter,
+		Scorer:             scorer,
+		Seed:               *seed,
+		Parallelism:        *parallel,
+		PrefixCacheMB:      *cacheMB,
+		DisablePrefixCache: *noCache,
 	}
 	if *server != "" {
 		hc := ft.client(*server, *clientID)
@@ -306,6 +310,11 @@ func runSearch(ctx context.Context, args []string) error {
 	fmt.Printf("dataset fingerprint: %s\n", ds.Fingerprint())
 	fmt.Printf("units: %d computed, %d from DARR, %d skipped (claimed elsewhere)\n",
 		res.Computed, res.CacheHits, res.Skipped)
+	if !*noCache {
+		p := res.Prefix
+		fmt.Printf("prefix cache: %d hits, %d misses, %d evictions (%d prefix fits for %d distinct fold-prefix pairs)\n",
+			p.Hits, p.Misses, p.Evictions, p.Fits, p.DistinctPrefixes)
+	}
 	if res.Degraded > 0 {
 		fmt.Printf("degraded: %d units computed locally because the DARR was unreachable\n", res.Degraded)
 	}

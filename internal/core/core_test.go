@@ -5,6 +5,7 @@ import (
 	"errors"
 	"math/rand"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -389,8 +390,10 @@ func TestSearchCancellation(t *testing.T) {
 	}
 }
 
-// memStore is a ResultStore double recording interactions.
+// memStore is a ResultStore double recording interactions. It is
+// mutex-guarded because searches default to one worker per CPU.
 type memStore struct {
+	mu      sync.Mutex
 	scores  map[string]float64
 	claims  map[string]bool
 	lookups int
@@ -402,12 +405,16 @@ func newMemStore() *memStore {
 }
 
 func (m *memStore) Lookup(_ context.Context, key string) (float64, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.lookups++
 	s, ok := m.scores[key]
 	return s, ok, nil
 }
 
 func (m *memStore) Claim(_ context.Context, key string) (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.claims[key] {
 		return false, nil
 	}
@@ -416,9 +423,21 @@ func (m *memStore) Claim(_ context.Context, key string) (bool, error) {
 }
 
 func (m *memStore) Publish(_ context.Context, key string, score float64, _ string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.pubs++
 	m.scores[key] = score
 	return nil
+}
+
+func (m *memStore) snapshotScores() map[string]float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]float64, len(m.scores))
+	for k, v := range m.scores {
+		out[k] = v
+	}
+	return out
 }
 
 func TestSearchCooperationAvoidsRedundantWork(t *testing.T) {

@@ -39,8 +39,16 @@ func NewPipeline(path Path) (*Pipeline, error) {
 
 // Clone returns an unfitted copy carrying all current parameters.
 func (p *Pipeline) Clone() *Pipeline {
-	out := &Pipeline{Nodes: make([]*Node, len(p.Nodes))}
-	for i, n := range p.Nodes {
+	return p.CloneFrom(0)
+}
+
+// CloneFrom returns an unfitted pipeline holding clones of Nodes[start:]
+// only. The search engine uses it to evaluate just the suffix below a
+// prefix-cache hit without paying to clone transformer nodes it will
+// never fit; CloneFrom(0) is Clone.
+func (p *Pipeline) CloneFrom(start int) *Pipeline {
+	out := &Pipeline{Nodes: make([]*Node, len(p.Nodes)-start)}
+	for i, n := range p.Nodes[start:] {
 		out.Nodes[i] = n.clone()
 	}
 	return out
@@ -92,9 +100,19 @@ func (p *Pipeline) HasNode(name string) bool {
 // Fit trains the pipeline per Figure 5: every internal transformer node is
 // fitted then applied to refresh the data for subsequent modelling, and the
 // final estimator is fitted on the fully transformed data.
-func (p *Pipeline) Fit(ds *dataset.Dataset) error {
+func (p *Pipeline) Fit(ds *dataset.Dataset) error { return p.FitFrom(0, ds) }
+
+// FitFrom trains the pipeline suffix Nodes[start:], treating ds as data
+// already transformed through Nodes[:start]. The search engine uses it to
+// resume below the deepest prefix-cache hit; FitFrom(0, ds) is Fit. The
+// skipped prefix nodes stay unfitted in this pipeline — prediction must
+// likewise enter through PredictWithTruthFrom(start, ...).
+func (p *Pipeline) FitFrom(start int, ds *dataset.Dataset) error {
+	if start < 0 || start >= len(p.Nodes) {
+		return fmt.Errorf("core: FitFrom start %d outside pipeline of %d nodes", start, len(p.Nodes))
+	}
 	cur := ds
-	for _, n := range p.Nodes[:len(p.Nodes)-1] {
+	for _, n := range p.Nodes[start : len(p.Nodes)-1] {
 		for _, t := range n.Transformers {
 			if err := t.Fit(cur); err != nil {
 				return fmt.Errorf("core: fitting node %q: %w", n.Name, err)
@@ -115,8 +133,15 @@ func (p *Pipeline) Fit(ds *dataset.Dataset) error {
 
 // transformOnly pushes a dataset through the fitted internal nodes.
 func (p *Pipeline) transformOnly(ds *dataset.Dataset) (*dataset.Dataset, error) {
+	return p.transformOnlyFrom(0, ds)
+}
+
+// transformOnlyFrom pushes ds through the fitted internal nodes starting
+// at node index start (ds must already be transformed through the nodes
+// before it).
+func (p *Pipeline) transformOnlyFrom(start int, ds *dataset.Dataset) (*dataset.Dataset, error) {
 	cur := ds
-	for _, n := range p.Nodes[:len(p.Nodes)-1] {
+	for _, n := range p.Nodes[start : len(p.Nodes)-1] {
 		for _, t := range n.Transformers {
 			next, err := t.Transform(cur)
 			if err != nil {
@@ -155,10 +180,17 @@ func (p *Pipeline) Predict(ds *dataset.Dataset) ([]float64, error) {
 // only known post-transform. Both predictions and truth are mapped back to
 // original units (see Predict).
 func (p *Pipeline) PredictWithTruth(ds *dataset.Dataset) (yhat, ytrue []float64, err error) {
+	return p.PredictWithTruthFrom(0, ds)
+}
+
+// PredictWithTruthFrom is PredictWithTruth for a pipeline fitted with
+// FitFrom(start, ...): ds must already be transformed through
+// Nodes[:start] (the prefix-cache's transformed test dataset).
+func (p *Pipeline) PredictWithTruthFrom(start int, ds *dataset.Dataset) (yhat, ytrue []float64, err error) {
 	if !p.fitted {
 		return nil, nil, fmt.Errorf("core: pipeline %s not fitted", p.Spec())
 	}
-	cur, err := p.transformOnly(ds)
+	cur, err := p.transformOnlyFrom(start, ds)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -167,6 +199,26 @@ func (p *Pipeline) PredictWithTruth(ds *dataset.Dataset) (yhat, ytrue []float64,
 		return nil, nil, err
 	}
 	return cur.DenormY(yhat), cur.DenormY(cur.Y), nil
+}
+
+// PrefixSpecs returns the canonical spec of every transformer prefix of
+// the pipeline, shallowest first: element d-1 covers Nodes[:d] for
+// d = 1..len(Nodes)-1 (the estimator is never part of a prefix). Specs
+// render component names with resolved parameter values, so two
+// differently-named graph nodes wrapping identical components share a
+// spec — and therefore share prefix-cache entries, which is sound
+// because they perform identical computations.
+func (p *Pipeline) PrefixSpecs() []string {
+	if len(p.Nodes) < 2 {
+		return nil
+	}
+	specs := make([]string, 0, len(p.Nodes)-1)
+	acc := "input"
+	for _, n := range p.Nodes[:len(p.Nodes)-1] {
+		acc += " -> " + n.spec()
+		specs = append(specs, acc)
+	}
+	return specs
 }
 
 // Spec renders the pipeline with all current parameter values; together

@@ -6,6 +6,7 @@ import (
 	"log/slog"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -20,14 +21,17 @@ import (
 
 // Search telemetry: how long each evaluation unit takes to compute
 // locally, and how units were satisfied — the scoreboard for the paper's
-// cooperative-reuse claim.
+// cooperative-reuse claim. Unit latency is labeled by outcome so failed
+// and degraded units stay visible in the histogram instead of vanishing
+// from it.
 var (
-	mUnitSeconds   = obs.GetHistogram("coda_search_unit_seconds", nil)
-	mUnitsComputed = obs.GetCounter(`coda_search_units_total{outcome="computed"}`)
-	mUnitsCached   = obs.GetCounter(`coda_search_units_total{outcome="cache_hit"}`)
-	mUnitsSkipped  = obs.GetCounter(`coda_search_units_total{outcome="skipped"}`)
-	mUnitsFailed   = obs.GetCounter(`coda_search_units_total{outcome="error"}`)
-	mUnitsDegraded = obs.GetCounter("coda_search_degraded_units_total")
+	mUnitSecondsOK  = obs.GetHistogram(`coda_search_unit_seconds{outcome="ok"}`, nil)
+	mUnitSecondsErr = obs.GetHistogram(`coda_search_unit_seconds{outcome="error"}`, nil)
+	mUnitsComputed  = obs.GetCounter(`coda_search_units_total{outcome="computed"}`)
+	mUnitsCached    = obs.GetCounter(`coda_search_units_total{outcome="cache_hit"}`)
+	mUnitsSkipped   = obs.GetCounter(`coda_search_units_total{outcome="skipped"}`)
+	mUnitsFailed    = obs.GetCounter(`coda_search_units_total{outcome="error"}`)
+	mUnitsDegraded  = obs.GetCounter("coda_search_degraded_units_total")
 )
 
 // ResultStore is the cooperation hook the search engine uses to avoid
@@ -95,8 +99,21 @@ type SearchOptions struct {
 	// ParamGrid maps "node__param" keys to candidate values; keys whose
 	// node is absent from a path are ignored for that path.
 	ParamGrid map[string][]float64
-	// Parallelism bounds concurrent pipeline evaluations (default 1).
+	// Parallelism bounds concurrent pipeline evaluations. Zero means one
+	// worker per CPU (runtime.GOMAXPROCS(0)); negative means 1.
 	Parallelism int
+	// DisablePrefixCache turns off the shared-prefix computation cache,
+	// restoring the naive path that re-fits every pipeline's full
+	// transformer chain per fold. Mainly for A/B measurement; results are
+	// bit-identical either way.
+	DisablePrefixCache bool
+	// PrefixCacheMB caps the prefix cache's estimated memory in MiB
+	// (0 = DefaultPrefixCacheMB). Least-recently-used fitted prefixes are
+	// evicted past the cap and transparently refitted on demand.
+	PrefixCacheMB int
+	// PrefixCacheBytes, when positive, overrides PrefixCacheMB with a
+	// byte-level cap — for tests and fine tuning.
+	PrefixCacheBytes int64
 	// Seed drives fold shuffling, shared across clients so cooperating
 	// searches agree on the evaluation (part of the DARR key).
 	Seed int64
@@ -141,6 +158,9 @@ type SearchResult struct {
 	// Degraded counts units computed locally because the ResultStore was
 	// failing (they are also included in Computed).
 	Degraded int
+	// Prefix reports how the shared-prefix computation cache behaved
+	// (zero-valued when DisablePrefixCache was set).
+	Prefix PrefixCacheStats
 }
 
 // searchUnit is one pipeline x parameter-assignment work item.
@@ -165,6 +185,9 @@ func Search(ctx context.Context, g *Graph, ds *dataset.Dataset, opts SearchOptio
 	if opts.Scorer.Fn == nil {
 		return nil, fmt.Errorf("core: SearchOptions.Scorer is required")
 	}
+	if opts.Parallelism == 0 {
+		opts.Parallelism = runtime.GOMAXPROCS(0)
+	}
 	if opts.Parallelism < 1 {
 		opts.Parallelism = 1
 	}
@@ -176,6 +199,15 @@ func Search(ctx context.Context, g *Graph, ds *dataset.Dataset, opts SearchOptio
 	units, err := expandUnits(g, opts.ParamGrid)
 	if err != nil {
 		return nil, err
+	}
+
+	// The fold plan: every unit shares one materialized train/test pair
+	// per split instead of re-subsetting the full dataset per unit x fold.
+	folds := materializeFolds(ds, splits)
+	var cache *prefixCache
+	if !opts.DisablePrefixCache {
+		cache = newPrefixCache(opts.capBytes())
+		defer cache.release()
 	}
 
 	fp := ds.Fingerprint()
@@ -205,7 +237,7 @@ func Search(ctx context.Context, g *Graph, ds *dataset.Dataset, opts SearchOptio
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			results[u.index] = evaluateUnit(ctx, u, ds, splits, fp, evalSpec, opts, batch)
+			results[u.index] = evaluateUnit(ctx, u, folds, cache, fp, evalSpec, opts, batch)
 		}()
 	}
 	wg.Wait()
@@ -217,6 +249,9 @@ func Search(ctx context.Context, g *Graph, ds *dataset.Dataset, opts SearchOptio
 	}
 
 	res := &SearchResult{Units: results}
+	if cache != nil {
+		res.Prefix = cache.stats(len(folds))
+	}
 	failed := 0
 	for i := range results {
 		u := &results[i]
@@ -263,7 +298,9 @@ func Search(ctx context.Context, g *Graph, ds *dataset.Dataset, opts SearchOptio
 	logger.Debug("search complete",
 		"request_id", obs.RequestID(ctx), "dataset_fp", fp, "units", len(results),
 		"computed", res.Computed, "cache_hits", res.CacheHits,
-		"skipped", res.Skipped, "failed", failed, "degraded", res.Degraded)
+		"skipped", res.Skipped, "failed", failed, "degraded", res.Degraded,
+		"prefix_hits", res.Prefix.Hits, "prefix_misses", res.Prefix.Misses,
+		"prefix_evictions", res.Prefix.Evictions)
 	if res.Degraded > 0 {
 		logger.Warn("search degraded: result store unavailable for some units",
 			"request_id", obs.RequestID(ctx), "degraded", res.Degraded, "units", len(results))
@@ -424,7 +461,7 @@ func resolvePerUnit(ctx context.Context, out *UnitResult, key string, opts Searc
 	return false, claimed
 }
 
-func evaluateUnit(ctx context.Context, u searchUnit, ds *dataset.Dataset, splits []crossval.Split, fp, evalSpec string, opts SearchOptions, batch *batchState) UnitResult {
+func evaluateUnit(ctx context.Context, u searchUnit, folds []foldData, cache *prefixCache, fp, evalSpec string, opts SearchOptions, batch *batchState) UnitResult {
 	out := UnitResult{Index: u.index, Spec: u.pipeline.Spec(), Params: u.params}
 	key := UnitKey(fp, out.Spec, evalSpec)
 
@@ -441,35 +478,16 @@ func evaluateUnit(ctx context.Context, u searchUnit, ds *dataset.Dataset, splits
 		}
 	}
 
+	// Every locally evaluated unit is timed — failed and degraded units
+	// land in the error-labeled series instead of vanishing from the
+	// latency histogram.
 	start := time.Now()
-	scores := make([]float64, 0, len(splits))
-	for _, sp := range splits {
-		if ctx.Err() != nil {
-			out.Err = ctx.Err().Error()
-			releaseClaim(ctx, opts, key, claimHeld)
-			return out
-		}
-		p := u.pipeline.Clone()
-		train := ds.Subset(sp.Train)
-		test := ds.Subset(sp.Test)
-		if err := p.Fit(train); err != nil {
-			out.Err = err.Error()
-			releaseClaim(ctx, opts, key, claimHeld)
-			return out
-		}
-		yhat, ytrue, err := p.PredictWithTruth(test)
-		if err != nil {
-			out.Err = err.Error()
-			releaseClaim(ctx, opts, key, claimHeld)
-			return out
-		}
-		score, err := opts.Scorer.Fn(ytrue, yhat)
-		if err != nil {
-			out.Err = err.Error()
-			releaseClaim(ctx, opts, key, claimHeld)
-			return out
-		}
-		scores = append(scores, score)
+	scores, evalErr := computeUnitScores(ctx, u, folds, cache, opts)
+	if evalErr != nil {
+		mUnitSecondsErr.ObserveSince(start)
+		out.Err = evalErr.Error()
+		releaseClaim(ctx, opts, key, claimHeld)
+		return out
 	}
 	out.Scores = scores
 	mean := math.NaN()
@@ -484,12 +502,13 @@ func evaluateUnit(ctx context.Context, u searchUnit, ds *dataset.Dataset, splits
 		// A misbehaving scorer or an empty split set must record a
 		// failure, not poison best-unit selection or the shared DARR
 		// with an unbeatable non-finite "score".
+		mUnitSecondsErr.ObserveSince(start)
 		out.Err = fmt.Sprintf("non-finite mean score %g over %d folds", mean, len(scores))
 		releaseClaim(ctx, opts, key, claimHeld)
 		return out
 	}
 	out.Mean = mean
-	mUnitSeconds.ObserveSince(start)
+	mUnitSecondsOK.ObserveSince(start)
 
 	if opts.Store != nil && !out.Degraded {
 		explanation := fmt.Sprintf("pipeline=%s cv=%s metric=%s folds=%d", out.Spec, evalSpec, opts.Scorer.Name, len(scores))
@@ -501,6 +520,49 @@ func evaluateUnit(ctx context.Context, u searchUnit, ds *dataset.Dataset, splits
 		}
 	}
 	return out
+}
+
+// computeUnitScores runs the unit's pipeline over every materialized
+// fold. With a prefix cache, each fold resolves the deepest shared
+// transformer prefix (computing and caching missing levels) and fits only
+// the pipeline suffix below it; without one it fits the full chain. Both
+// paths perform the same deterministic operations on the same data, so
+// scores are bit-identical — the cache only removes repetition.
+func computeUnitScores(ctx context.Context, u searchUnit, folds []foldData, cache *prefixCache, opts SearchOptions) ([]float64, error) {
+	var prefixes []string
+	if cache != nil {
+		prefixes = u.pipeline.PrefixSpecs()
+	}
+	scores := make([]float64, 0, len(folds))
+	for fi, fd := range folds {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		train, test, depth := fd.train, fd.test, 0
+		if cache != nil {
+			var err error
+			train, test, depth, err = cache.resolve(ctx, fi, u.pipeline, prefixes, fd)
+			if err != nil {
+				return nil, err
+			}
+		}
+		// Only the suffix below the deepest cache hit is cloned and
+		// fitted; the cached prefix nodes would never be touched.
+		p := u.pipeline.CloneFrom(depth)
+		if err := p.Fit(train); err != nil {
+			return nil, err
+		}
+		yhat, ytrue, err := p.PredictWithTruth(test)
+		if err != nil {
+			return nil, err
+		}
+		score, err := opts.Scorer.Fn(ytrue, yhat)
+		if err != nil {
+			return nil, err
+		}
+		scores = append(scores, score)
+	}
+	return scores, nil
 }
 
 // expandUnits enumerates (path x applicable grid assignment) units, applying

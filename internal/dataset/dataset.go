@@ -124,15 +124,19 @@ func (d *Dataset) DenormY(y []float64) []float64 {
 }
 
 // Subset returns a new dataset with the rows idx (copied, in order).
+// Column metadata is deep-copied like Clone does: subsets serve as
+// sibling cross-validation folds evaluated concurrently, and sharing
+// ColNames/ColScale/ColOffset by reference would let a transformer that
+// rewrites column metadata corrupt every sibling.
 func (d *Dataset) Subset(idx []int) *Dataset {
 	out := &Dataset{
 		X:          d.X.SelectRows(idx),
-		ColNames:   d.ColNames,
+		ColNames:   cloneStrings(d.ColNames),
 		TargetName: d.TargetName,
 		WindowLen:  d.WindowLen,
 		NumVars:    d.NumVars,
-		ColScale:   d.ColScale,
-		ColOffset:  d.ColOffset,
+		ColScale:   cloneFloats(d.ColScale),
+		ColOffset:  cloneFloats(d.ColOffset),
 		YScale:     d.YScale,
 		YOffset:    d.YOffset,
 	}
@@ -145,16 +149,17 @@ func (d *Dataset) Subset(idx []int) *Dataset {
 	return out
 }
 
-// SliceRange returns rows [a, b) as a new dataset.
+// SliceRange returns rows [a, b) as a new dataset. Column metadata is
+// deep-copied for the same sibling-isolation reason as Subset.
 func (d *Dataset) SliceRange(a, b int) *Dataset {
 	out := &Dataset{
 		X:          d.X.SliceRows(a, b),
-		ColNames:   d.ColNames,
+		ColNames:   cloneStrings(d.ColNames),
 		TargetName: d.TargetName,
 		WindowLen:  d.WindowLen,
 		NumVars:    d.NumVars,
-		ColScale:   d.ColScale,
-		ColOffset:  d.ColOffset,
+		ColScale:   cloneFloats(d.ColScale),
+		ColOffset:  cloneFloats(d.ColOffset),
 		YScale:     d.YScale,
 		YOffset:    d.YOffset,
 	}
@@ -162,6 +167,20 @@ func (d *Dataset) SliceRange(a, b int) *Dataset {
 		out.Y = append([]float64(nil), d.Y[a:b]...)
 	}
 	return out
+}
+
+func cloneStrings(s []string) []string {
+	if s == nil {
+		return nil
+	}
+	return append([]string(nil), s...)
+}
+
+func cloneFloats(s []float64) []float64 {
+	if s == nil {
+		return nil
+	}
+	return append([]float64(nil), s...)
 }
 
 // Shuffle returns a row-permuted copy using rng.

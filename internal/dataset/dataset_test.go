@@ -53,6 +53,39 @@ func TestSubsetAndSlice(t *testing.T) {
 	}
 }
 
+// TestSubsetMetadataIsolation locks in the copy-on-write fix for column
+// metadata: Subset and SliceRange used to share ColNames/ColScale/ColOffset
+// by reference, so a transformer rewriting one fold's metadata corrupted
+// every sibling fold evaluated from the same parent.
+func TestSubsetMetadataIsolation(t *testing.T) {
+	ds := makeDS(t)
+	ds.ColScale = []float64{2, 3}
+	ds.ColOffset = []float64{1, -1}
+
+	sub := ds.Subset([]int{0, 2})
+	sub.ColNames[0] = "mutated"
+	sub.ColScale[1] = 99
+	sub.ColOffset[0] = 99
+	if ds.ColNames[0] != "a" || ds.ColScale[1] != 3 || ds.ColOffset[0] != 1 {
+		t.Fatalf("Subset aliases column metadata: %+v", ds)
+	}
+
+	sl := ds.SliceRange(0, 2)
+	sl.ColNames[1] = "mutated"
+	sl.ColScale[0] = 99
+	sl.ColOffset[1] = 99
+	if ds.ColNames[1] != "b" || ds.ColScale[0] != 2 || ds.ColOffset[1] != -1 {
+		t.Fatalf("SliceRange aliases column metadata: %+v", ds)
+	}
+
+	// Nil metadata stays nil rather than becoming empty slices.
+	bare := makeDS(t)
+	bare.ColNames = nil
+	if s := bare.Subset([]int{0}); s.ColNames != nil || s.ColScale != nil || s.ColOffset != nil {
+		t.Fatalf("nil metadata not preserved: %+v", s)
+	}
+}
+
 func TestCloneIndependence(t *testing.T) {
 	ds := makeDS(t)
 	ds.WindowLen, ds.NumVars = 2, 1

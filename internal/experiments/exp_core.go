@@ -74,10 +74,9 @@ func RunT1(cfg Config) (*Table, error) {
 				return nil, err
 			}
 			res, err := core.Search(context.Background(), tableIGraph(), ds, core.SearchOptions{
-				Splitter:    sp,
-				Scorer:      scorer,
-				Parallelism: 4,
-				Seed:        cfg.Seed,
+				Splitter: sp,
+				Scorer:   scorer,
+				Seed:     cfg.Seed,
 			})
 			if err != nil {
 				return nil, err
@@ -146,11 +145,10 @@ func RunF3(cfg Config) (*Table, error) {
 		"covariance+pca__n_components": {2, 3},
 	}
 	res, err := core.Search(context.Background(), build(), ds, core.SearchOptions{
-		Splitter:    crossval.KFold{K: 5, Shuffle: true},
-		Scorer:      scorer,
-		ParamGrid:   grid,
-		Parallelism: 4,
-		Seed:        cfg.Seed,
+		Splitter:  crossval.KFold{K: 5, Shuffle: true},
+		Scorer:    scorer,
+		ParamGrid: grid,
+		Seed:      cfg.Seed,
 	})
 	if err != nil {
 		return nil, err

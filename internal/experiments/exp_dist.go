@@ -129,10 +129,9 @@ func RunF2(cfg Config) (*Table, error) {
 		return nil, err
 	}
 	opts := core.SearchOptions{
-		Splitter:    crossval.KFold{K: 5, Shuffle: true},
-		Scorer:      scorer,
-		Seed:        cfg.Seed,
-		Parallelism: 2,
+		Splitter: crossval.KFold{K: 5, Shuffle: true},
+		Scorer:   scorer,
+		Seed:     cfg.Seed,
 	}
 
 	t := &Table{

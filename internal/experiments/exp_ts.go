@@ -34,10 +34,9 @@ func tsSearch(cfg Config, series *dataset.Dataset, slim bool) (*core.SearchResul
 	}
 	n := series.NumSamples()
 	return core.Search(context.Background(), g, series, core.SearchOptions{
-		Splitter:    crossval.SlidingSplit{K: 3, TrainSize: n / 2, TestSize: n / 6, Buffer: 8},
-		Scorer:      scorer,
-		Parallelism: 4,
-		Seed:        cfg.Seed,
+		Splitter: crossval.SlidingSplit{K: 3, TrainSize: n / 2, TestSize: n / 6, Buffer: 8},
+		Scorer:   scorer,
+		Seed:     cfg.Seed,
 	})
 }
 
