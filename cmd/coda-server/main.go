@@ -6,6 +6,13 @@
 //
 //	coda-server -addr :8080 -claim-ttl 1m -retain 4
 //
+// The data tier is pluggable: -store-backend mem keeps versions only in
+// memory, -store-backend log appends every Put to fsynced segment files
+// under -store-dir and replays them at boot, so objects survive a restart
+// or crash; -store-shards tunes lock striping under concurrent traffic:
+//
+//	coda-server -addr :8080 -store-backend log -store-dir /var/lib/coda -store-shards 32
+//
 // Observability: structured logs go to stderr (-log-level debug shows
 // per-request lines with X-Coda-Request-Id), /metrics serves a
 // Prometheus text scrape, /healthz reports uptime/build/breaker state,
@@ -52,6 +59,10 @@ func main() {
 		fullFrac = flag.Float64("full-fraction", 0.5, "send delta only when smaller than this fraction of the full object")
 		batchMax = flag.Int("batch-max-keys", httpapi.DefaultMaxBatchKeys, "max keys/records per batched DARR request")
 
+		storeBackend = flag.String("store-backend", "mem", "data-tier backend: mem (in-memory) or log (append-only segment log, fsync on Put, crash recovery)")
+		storeDir     = flag.String("store-dir", "coda-store", "segment directory for -store-backend log")
+		storeShards  = flag.Int("store-shards", 0, "lock shards in the object store (0 = default 16)")
+
 		readTimeout  = flag.Duration("read-timeout", 30*time.Second, "per-request read timeout")
 		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "per-request write timeout")
 		idleTimeout  = flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle timeout")
@@ -73,7 +84,24 @@ func main() {
 	logger := slog.Default()
 
 	repo := darr.NewRepo(nil, *claimTTL)
-	hs := store.NewHomeStore(store.Options{Retain: *retain, BlockSize: *block, FullFraction: *fullFrac})
+	storeOpts := store.Options{Retain: *retain, BlockSize: *block, FullFraction: *fullFrac, Shards: *storeShards}
+	var hs store.ObjectStore
+	switch *storeBackend {
+	case "mem":
+		hs = store.NewHomeStore(storeOpts)
+	case "log":
+		st, err := store.OpenLog(*storeDir, storeOpts)
+		if err != nil {
+			logger.Error("opening log-backed store", "dir", *storeDir, "err", err)
+			os.Exit(1)
+		}
+		logger.Info("log-backed store recovered", "dir", *storeDir, "objects", len(st.Keys()))
+		hs = st
+	default:
+		fmt.Fprintf(os.Stderr, "coda-server: unknown -store-backend %q (want mem or log)\n", *storeBackend)
+		os.Exit(2)
+	}
+	defer hs.Close()
 	api := httpapi.NewServer(repo, hs)
 	api.MaxBatchKeys = *batchMax
 	var handler http.Handler = api

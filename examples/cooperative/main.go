@@ -39,8 +39,10 @@ func main() {
 	if err := ds.WriteCSV(&csv); err != nil {
 		log.Fatal(err)
 	}
-	home := store.NewHomeStore(store.Options{})
-	home.Put("train.csv", csv.Bytes())
+	var home store.ObjectStore = store.NewHomeStore(store.Options{})
+	if _, err := home.Put("train.csv", csv.Bytes()); err != nil {
+		log.Fatal(err)
+	}
 
 	replica := store.NewReplica()
 	if err := replica.Pull(home, "train.csv"); err != nil {
@@ -52,7 +54,9 @@ func main() {
 	// and receives a delta, not the whole file.
 	fixed := append([]byte(nil), csv.Bytes()...)
 	copy(fixed[100:108], []byte("3.141592"))
-	home.Put("train.csv", fixed)
+	if _, err := home.Put("train.csv", fixed); err != nil {
+		log.Fatal(err)
+	}
 	before := replica.BytesReceived()
 	if err := replica.Pull(home, "train.csv"); err != nil {
 		log.Fatal(err)

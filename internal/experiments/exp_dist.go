@@ -195,9 +195,13 @@ func RunS1(cfg Config) (*Table, error) {
 			}
 			dlt := delta.Compute(base, target, 0)
 			// What would the home store do?
-			hs := store.NewHomeStore(store.Options{})
-			hs.Put("o", base)
-			hs.Put("o", target)
+			var hs store.ObjectStore = store.NewHomeStore(store.Options{})
+			if _, err := hs.Put("o", base); err != nil {
+				return nil, err
+			}
+			if _, err := hs.Put("o", target); err != nil {
+				return nil, err
+			}
 			reply, err := hs.Get("o", 1)
 			if err != nil {
 				return nil, err
@@ -234,11 +238,13 @@ func RunS2(cfg Config) (*Table, error) {
 	storeOpts := store.Options{Retain: 8}
 
 	runPull := func() error {
-		hs := store.NewHomeStore(storeOpts)
+		var hs store.ObjectStore = store.NewHomeStore(storeOpts)
 		rep := store.NewReplica()
 		data := make([]byte, objectSize)
 		rng.Read(data)
-		hs.Put("o", data)
+		if _, err := hs.Put("o", data); err != nil {
+			return err
+		}
 		if err := rep.Pull(hs, "o"); err != nil {
 			return err
 		}
@@ -247,7 +253,9 @@ func RunS2(cfg Config) (*Table, error) {
 		for u := 1; u <= updates; u++ {
 			data = append([]byte(nil), data...)
 			data[rng.Intn(len(data))] ^= 0xff
-			hs.Put("o", data)
+			if _, err := hs.Put("o", data); err != nil {
+				return err
+			}
 			if u%readEvery == 0 {
 				// Client decides it needs fresh data: one pull round trip.
 				if err := rep.Pull(hs, "o"); err != nil {
@@ -266,7 +274,7 @@ func RunS2(cfg Config) (*Table, error) {
 	}
 
 	for _, mode := range []replication.PushMode{replication.PushValue, replication.PushDelta, replication.PushNotify} {
-		hs := store.NewHomeStore(storeOpts)
+		var hs store.ObjectStore = store.NewHomeStore(storeOpts)
 		mgr := replication.NewManager(hs, nil)
 		rep := store.NewReplica()
 		var lease *replication.Lease

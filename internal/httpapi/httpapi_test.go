@@ -21,7 +21,7 @@ import (
 
 var _ core.ResultStore = (*Client)(nil)
 
-func newTestServer(t *testing.T) (*Client, *darr.Repo, *store.HomeStore, *httptest.Server) {
+func newTestServer(t *testing.T) (*Client, *darr.Repo, store.ObjectStore, *httptest.Server) {
 	t.Helper()
 	repo := darr.NewRepo(nil, time.Minute)
 	hs := store.NewHomeStore(store.Options{BlockSize: 64})

@@ -30,8 +30,10 @@ import (
 // Prometheus scrape at /metrics, and /healthz reports uptime, build
 // info, breaker states, and component stats.
 type Server struct {
-	Repo  *darr.Repo
-	Store *store.HomeStore
+	Repo *darr.Repo
+	// Store is the data-tier seam: any store.ObjectStore backend (the
+	// in-memory engine, the append-only log) serves the object routes.
+	Store store.ObjectStore
 	// Logger receives request logs (debug) and error logs (warn/error);
 	// nil uses slog.Default().
 	Logger *slog.Logger
@@ -50,7 +52,7 @@ const DefaultMaxBatchKeys = 1024
 
 // NewServer builds the handler; either component may be nil to disable its
 // endpoints.
-func NewServer(repo *darr.Repo, hs *store.HomeStore) *Server {
+func NewServer(repo *darr.Repo, hs store.ObjectStore) *Server {
 	s := &Server{Repo: repo, Store: hs, mux: http.NewServeMux(), health: map[string]func() any{}}
 	s.mux.Handle("/metrics", obs.MetricsHandler())
 	s.mux.Handle("/healthz", obs.HealthHandler(s.health))
@@ -366,7 +368,11 @@ func (s *Server) handleObjects(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
 			return
 		}
-		version := s.Store.Put(key, data)
+		version, err := s.Store.Put(key, data)
+		if err != nil {
+			s.writeError(w, r, http.StatusInternalServerError, err)
+			return
+		}
 		writeJSON(w, http.StatusOK, map[string]uint64{"version": version})
 	case http.MethodGet:
 		var have uint64

@@ -18,7 +18,7 @@ import (
 
 // faultyHTTPClient wires a home store behind an HTTP server and returns a
 // client whose transport injects the given faults.
-func faultyHTTPClient(t *testing.T, hs *store.HomeStore, cfg faultinject.Config) (*httpapi.Client, *faultinject.Transport) {
+func faultyHTTPClient(t *testing.T, hs store.ObjectStore, cfg faultinject.Config) (*httpapi.Client, *faultinject.Transport) {
 	t.Helper()
 	ts := httptest.NewServer(httpapi.NewServer(darr.NewRepo(nil, time.Minute), hs))
 	t.Cleanup(ts.Close)

@@ -153,9 +153,11 @@ func (l *Lease) BytesPushed() int64 {
 	return l.bytesPushed
 }
 
-// Manager owns a home store's subscriptions and fans out updates.
+// Manager owns a home store's subscriptions and fans out updates. It
+// programs against the ObjectStore seam, so any backend (in-memory,
+// append-only log) sits underneath unchanged.
 type Manager struct {
-	store *store.HomeStore
+	store store.ObjectStore
 	now   func() time.Time
 	// Logger receives per-publish debug logs; nil uses slog.Default().
 	Logger *slog.Logger
@@ -173,7 +175,7 @@ func (m *Manager) logger() *slog.Logger {
 
 // NewManager wraps a home store. nowFn may be nil (wall clock); tests and
 // simulations inject virtual clocks.
-func NewManager(hs *store.HomeStore, nowFn func() time.Time) *Manager {
+func NewManager(hs store.ObjectStore, nowFn func() time.Time) *Manager {
 	if nowFn == nil {
 		nowFn = time.Now
 	}
@@ -236,7 +238,10 @@ func (m *Manager) ActiveLeases(key string) int {
 // active lease according to its mode, pruning expired leases as it goes.
 // It returns the new version number.
 func (m *Manager) Publish(key string, data []byte) (uint64, error) {
-	version := m.store.Put(key, data)
+	version, err := m.store.Put(key, data)
+	if err != nil {
+		return 0, fmt.Errorf("replication: publishing %q: %w", key, err)
+	}
 
 	m.mu.Lock()
 	leases := m.leases[key]

@@ -57,7 +57,7 @@ func (c *collector) last() Update {
 	return c.updates[len(c.updates)-1]
 }
 
-func setup() (*store.HomeStore, *Manager, *fakeClock) {
+func setup() (store.ObjectStore, *Manager, *fakeClock) {
 	hs := store.NewHomeStore(store.Options{BlockSize: 32})
 	clock := newFakeClock()
 	return hs, NewManager(hs, clock.Now), clock

@@ -1,0 +1,43 @@
+package store
+
+// VersionBackend is the persistence SPI underneath a HomeStore: it durably
+// records every accepted version and streams them back at open. The store
+// calls Append with the object's lock held, after the version number has
+// been assigned, and only installs the version in memory when Append
+// succeeds — so the durable log never lags the served state.
+//
+// Implementations must be safe for concurrent Append calls on different
+// keys (the store serializes per key, not globally).
+type VersionBackend interface {
+	// Name identifies the backend ("mem", "log") for flags and health.
+	Name() string
+	// Append durably records one version of key.
+	Append(key string, v Version) error
+	// Replay invokes fn for every recorded version in append order; Open
+	// uses it to rebuild the in-memory state after a restart or crash.
+	// Versions of one key arrive in ascending order.
+	Replay(fn func(key string, v Version) error) error
+	// Close releases underlying resources; Append fails afterwards.
+	Close() error
+}
+
+// MemBackend is the in-memory backend: versions live only in the store's
+// shards and nothing survives the process — the original HomeStore
+// behavior, re-homed as the default backend.
+type MemBackend struct{}
+
+// NewMemBackend returns the no-persistence backend.
+func NewMemBackend() *MemBackend { return &MemBackend{} }
+
+// Name implements VersionBackend.
+func (*MemBackend) Name() string { return "mem" }
+
+// Append implements VersionBackend; accepting the write is free because
+// the store's shards are the only copy.
+func (*MemBackend) Append(string, Version) error { return nil }
+
+// Replay implements VersionBackend; there is never anything to recover.
+func (*MemBackend) Replay(func(key string, v Version) error) error { return nil }
+
+// Close implements VersionBackend.
+func (*MemBackend) Close() error { return nil }

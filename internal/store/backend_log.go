@@ -1,0 +1,301 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// LogBackend persists versions as an append-only log of CRC-framed records
+// across numbered segment files, fsyncing every append. Opening the
+// backend truncates a torn tail record (a crash mid-Put) from the last
+// segment; Replay streams the surviving records so Open rebuilds the exact
+// pre-crash store state. An in-memory index tracks the latest durable
+// version per key.
+//
+// Record wire format (little endian):
+//
+//	u32 payload length | u32 CRC-32 (IEEE) of payload | payload
+//	payload = u16 key length | key | u64 version | data
+type LogBackend struct {
+	dir        string
+	maxSegment int64
+
+	mu    sync.Mutex
+	f     *os.File // active segment, opened for append
+	seq   uint64   // active segment number
+	size  int64    // active segment size
+	index map[string]uint64
+	// broken latches after a failed write: the tail may hold a torn
+	// record, so further appends could be lost by the next replay.
+	broken error
+}
+
+// DefaultSegmentBytes is the roll threshold when OpenLogBackend gets 0.
+const DefaultSegmentBytes = 64 << 20
+
+const (
+	segPrefix = "seg-"
+	segSuffix = ".log"
+	recHeader = 8 // u32 length + u32 crc
+)
+
+var errLogClosed = errors.New("store: log backend closed")
+
+// OpenLogBackend opens (or creates) the segment directory. A torn record
+// at the tail of the newest segment — the footprint of a crash mid-Put —
+// is truncated away so subsequent appends extend valid data.
+func OpenLogBackend(dir string, maxSegmentBytes int64) (*LogBackend, error) {
+	if maxSegmentBytes <= 0 {
+		maxSegmentBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating log dir: %w", err)
+	}
+	b := &LogBackend{dir: dir, maxSegment: maxSegmentBytes, index: map[string]uint64{}}
+	segs, err := b.segments()
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 {
+		if err := b.openSegment(1); err != nil {
+			return nil, err
+		}
+		return b, nil
+	}
+	last := segs[len(segs)-1]
+	valid, err := validPrefix(b.segPath(last))
+	if err != nil {
+		return nil, err
+	}
+	if err := os.Truncate(b.segPath(last), valid); err != nil {
+		return nil, fmt.Errorf("store: truncating torn log tail: %w", err)
+	}
+	f, err := os.OpenFile(b.segPath(last), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening segment: %w", err)
+	}
+	b.f, b.seq, b.size = f, last, valid
+	return b, nil
+}
+
+// Name implements VersionBackend.
+func (b *LogBackend) Name() string { return "log" }
+
+// Dir returns the segment directory.
+func (b *LogBackend) Dir() string { return b.dir }
+
+func (b *LogBackend) segPath(seq uint64) string {
+	return filepath.Join(b.dir, fmt.Sprintf("%s%08d%s", segPrefix, seq, segSuffix))
+}
+
+// segments lists existing segment numbers in ascending order.
+func (b *LogBackend) segments() ([]uint64, error) {
+	entries, err := os.ReadDir(b.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: reading log dir: %w", err)
+	}
+	var segs []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		var seq uint64
+		if _, err := fmt.Sscanf(name, segPrefix+"%d"+segSuffix, &seq); err == nil {
+			segs = append(segs, seq)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	return segs, nil
+}
+
+func (b *LogBackend) openSegment(seq uint64) error {
+	f, err := os.OpenFile(b.segPath(seq), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: creating segment: %w", err)
+	}
+	b.f, b.seq, b.size = f, seq, 0
+	syncDir(b.dir) // make the new file durable, best effort
+	return nil
+}
+
+// syncDir fsyncs a directory so newly created segment files survive a
+// crash; not every filesystem supports it, so failures are ignored.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+}
+
+func encodeRecord(key string, v Version) []byte {
+	payload := make([]byte, 0, 2+len(key)+8+len(v.Data))
+	payload = binary.LittleEndian.AppendUint16(payload, uint16(len(key)))
+	payload = append(payload, key...)
+	payload = binary.LittleEndian.AppendUint64(payload, v.Num)
+	payload = append(payload, v.Data...)
+
+	rec := make([]byte, 0, recHeader+len(payload))
+	rec = binary.LittleEndian.AppendUint32(rec, uint32(len(payload)))
+	rec = binary.LittleEndian.AppendUint32(rec, crc32.ChecksumIEEE(payload))
+	return append(rec, payload...)
+}
+
+// errTorn marks a partial or corrupt record — the readable log ends here.
+var errTorn = errors.New("store: torn log record")
+
+// readRecord decodes one record; io.EOF means a clean end, errTorn a
+// partial or corrupt tail.
+func readRecord(r *bufio.Reader) (key string, v Version, n int64, err error) {
+	var hdr [recHeader]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err == io.EOF {
+		return "", Version{}, 0, io.EOF
+	} else if err != nil {
+		return "", Version{}, 0, errTorn
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		return "", Version{}, 0, errTorn
+	}
+	length := binary.LittleEndian.Uint32(hdr[:4])
+	sum := binary.LittleEndian.Uint32(hdr[4:])
+	if length < 2+8 || length > 1<<31 {
+		return "", Version{}, 0, errTorn
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return "", Version{}, 0, errTorn
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return "", Version{}, 0, errTorn
+	}
+	keyLen := int(binary.LittleEndian.Uint16(payload[:2]))
+	if 2+keyLen+8 > len(payload) {
+		return "", Version{}, 0, errTorn
+	}
+	key = string(payload[2 : 2+keyLen])
+	v.Num = binary.LittleEndian.Uint64(payload[2+keyLen : 2+keyLen+8])
+	v.Data = payload[2+keyLen+8:]
+	return key, v, recHeader + int64(length), nil
+}
+
+// validPrefix returns how many bytes of the segment hold intact records.
+func validPrefix(path string) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("store: opening segment: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var off int64
+	for {
+		_, _, n, err := readRecord(r)
+		if err != nil {
+			return off, nil // io.EOF or errTorn: valid data ends here
+		}
+		off += n
+	}
+}
+
+// Append implements VersionBackend: frame, write, fsync, roll.
+func (b *LogBackend) Append(key string, v Version) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.f == nil {
+		return errLogClosed
+	}
+	if b.broken != nil {
+		return fmt.Errorf("store: log backend needs reopen after write failure: %w", b.broken)
+	}
+	rec := encodeRecord(key, v)
+	if _, err := b.f.Write(rec); err != nil {
+		b.broken = err
+		return fmt.Errorf("store: appending to log: %w", err)
+	}
+	if err := b.f.Sync(); err != nil {
+		b.broken = err
+		return fmt.Errorf("store: fsyncing log: %w", err)
+	}
+	b.size += int64(len(rec))
+	b.index[key] = v.Num
+	if b.size >= b.maxSegment {
+		if err := b.f.Close(); err != nil {
+			return fmt.Errorf("store: closing full segment: %w", err)
+		}
+		return b.openSegment(b.seq + 1)
+	}
+	return nil
+}
+
+// Replay implements VersionBackend: stream every intact record in append
+// order. A torn tail in the newest segment is skipped (crash recovery);
+// a torn record in an older segment is real corruption and errors.
+func (b *LogBackend) Replay(fn func(key string, v Version) error) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	segs, err := b.segments()
+	if err != nil {
+		return err
+	}
+	for i, seq := range segs {
+		if err := b.replaySegment(seq, i == len(segs)-1, fn); err != nil {
+			return err
+		}
+	}
+	// Rebuilding the index belongs to replay: Open defers it here so the
+	// segments are scanned once.
+	return nil
+}
+
+func (b *LogBackend) replaySegment(seq uint64, last bool, fn func(key string, v Version) error) error {
+	f, err := os.Open(b.segPath(seq))
+	if err != nil {
+		return fmt.Errorf("store: opening segment: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	for {
+		key, v, _, err := readRecord(r)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			if last {
+				return nil // torn tail: the crash ate this record
+			}
+			return fmt.Errorf("store: segment %d corrupt: %w", seq, err)
+		}
+		b.index[key] = v.Num
+		if err := fn(key, v); err != nil {
+			return err
+		}
+	}
+}
+
+// Latest reports the newest durable version of key (0 = none), from the
+// in-memory index Replay and Append maintain.
+func (b *LogBackend) Latest(key string) uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.index[key]
+}
+
+// Close implements VersionBackend.
+func (b *LogBackend) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.f == nil {
+		return nil
+	}
+	err := b.f.Close()
+	b.f = nil
+	return err
+}

@@ -1,0 +1,395 @@
+package store
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"coda/internal/delta"
+)
+
+// object is the per-key state: retained versions plus the delta machinery.
+// Its mutex is the only lock held while versions are read or advanced, so
+// objects in different shards — and different objects in the same shard —
+// never serialize behind one another.
+type object struct {
+	mu       sync.Mutex
+	versions []Version // ascending version order, at most retain+1 (incl. latest)
+
+	// deltaCache memoizes d(o, base, latest) keyed by base version. It is
+	// cleared in place on Put (a new latest stales every entry) and capped
+	// at DeltaCacheCap entries, evicting the oldest insertion first.
+	deltaCache map[uint64]cachedDelta
+	cacheOrder []uint64 // insertion order of deltaCache keys, oldest first
+
+	// inflight dedups concurrent delta computations: the first Get for a
+	// (base, target) pair computes outside the lock, later ones wait on
+	// the call instead of redoing the work.
+	inflight map[deltaKey]*deltaCall
+}
+
+type cachedDelta struct {
+	target uint64 // latest version the delta produces
+	d      *delta.Delta
+}
+
+type deltaKey struct{ base, target uint64 }
+
+type deltaCall struct {
+	done chan struct{}
+	d    *delta.Delta
+}
+
+// shard is one lock stripe of the key space.
+type shard struct {
+	mu      sync.RWMutex
+	objects map[string]*object
+}
+
+// HomeStore is the thread-safe versioned object engine behind ObjectStore:
+// key-hash sharded locking, per-object mutexes, out-of-lock singleflighted
+// delta computation, and a pluggable VersionBackend for persistence.
+type HomeStore struct {
+	opts    Options
+	backend VersionBackend
+	shards  []*shard
+
+	fullReplies   atomic.Int64
+	deltaReplies  atomic.Int64
+	fullBytes     atomic.Int64
+	deltaBytes    atomic.Int64
+	savedBytes    atomic.Int64
+	deltaComputes atomic.Int64
+}
+
+var _ ObjectStore = (*HomeStore)(nil)
+
+// NewHomeStore builds a store on the in-memory backend. It cannot fail:
+// the mem backend has nothing to open or replay.
+func NewHomeStore(opts Options) *HomeStore {
+	s, err := Open(opts, NewMemBackend())
+	if err != nil { // unreachable: MemBackend.Replay never errs
+		panic(err)
+	}
+	return s
+}
+
+// Open builds a store over the given backend, replaying whatever the
+// backend recorded before (crash recovery for the log backend).
+func Open(opts Options, backend VersionBackend) (*HomeStore, error) {
+	opts.setDefaults()
+	s := &HomeStore{opts: opts, backend: backend, shards: make([]*shard, opts.Shards)}
+	for i := range s.shards {
+		s.shards[i] = &shard{objects: map[string]*object{}}
+	}
+	err := backend.Replay(func(key string, v Version) error {
+		obj := s.object(key, true)
+		if n := len(obj.versions); n > 0 && v.Num <= obj.versions[n-1].Num {
+			return fmt.Errorf("store: replayed version %d of %q out of order (have %d)", v.Num, key, obj.versions[n-1].Num)
+		}
+		obj.versions = append(obj.versions, v)
+		obj.trimRetention(opts.Retain)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("store: replaying %s backend: %w", backend.Name(), err)
+	}
+	return s, nil
+}
+
+// OpenLog is the log-backend convenience constructor: segment files under
+// dir, fsync on every Put, state recovered by replaying the log.
+func OpenLog(dir string, opts Options) (*HomeStore, error) {
+	b, err := OpenLogBackend(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	s, err := Open(opts, b)
+	if err != nil {
+		_ = b.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Backend names the backend this store runs on.
+func (s *HomeStore) Backend() string { return s.backend.Name() }
+
+func (s *HomeStore) shardFor(key string) *shard {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return s.shards[h.Sum32()%uint32(len(s.shards))]
+}
+
+// object returns the per-key state, creating it when create is set; a nil
+// return means the key is unknown.
+func (s *HomeStore) object(key string, create bool) *object {
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	obj := sh.objects[key]
+	sh.mu.RUnlock()
+	if obj != nil || !create {
+		return obj
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if obj = sh.objects[key]; obj == nil {
+		obj = &object{deltaCache: map[uint64]cachedDelta{}}
+		sh.objects[key] = obj
+	}
+	return obj
+}
+
+// trimRetention drops versions beyond the retention window. Caller holds
+// obj.mu (or has exclusive access during replay). The survivors move to a
+// fresh slice so evicted version data can be collected.
+func (o *object) trimRetention(retain int) {
+	if len(o.versions) > retain+1 {
+		o.versions = append([]Version(nil), o.versions[len(o.versions)-retain-1:]...)
+	}
+}
+
+// clearDeltaCache empties the cache in place — no map reallocation on the
+// Put hot path — and keeps the entries gauge honest. Caller holds obj.mu.
+func (o *object) clearDeltaCache() {
+	if len(o.deltaCache) == 0 {
+		return
+	}
+	mCacheEntries.Add(-float64(len(o.deltaCache)))
+	for k := range o.deltaCache {
+		delete(o.deltaCache, k)
+	}
+	o.cacheOrder = o.cacheOrder[:0]
+}
+
+// cacheDelta inserts under the per-object cap, evicting oldest-first.
+// Caller holds obj.mu.
+func (o *object) cacheDelta(base uint64, c cachedDelta, cap int) {
+	if _, exists := o.deltaCache[base]; !exists {
+		o.cacheOrder = append(o.cacheOrder, base)
+		mCacheEntries.Add(1)
+	}
+	o.deltaCache[base] = c
+	for len(o.deltaCache) > cap && len(o.cacheOrder) > 0 {
+		oldest := o.cacheOrder[0]
+		o.cacheOrder = o.cacheOrder[1:]
+		if _, ok := o.deltaCache[oldest]; ok {
+			delete(o.deltaCache, oldest)
+			mCacheEntries.Add(-1)
+		}
+	}
+}
+
+// Put stores a new version of the object and returns its version number
+// (starting at 1 for a new object). The write reaches the backend before
+// it becomes visible; a backend refusal leaves the store unchanged.
+func (s *HomeStore) Put(key string, data []byte) (uint64, error) {
+	obj := s.object(key, true)
+	obj.mu.Lock()
+	defer obj.mu.Unlock()
+	var next uint64 = 1
+	if n := len(obj.versions); n > 0 {
+		next = obj.versions[n-1].Num + 1
+	}
+	v := Version{Num: next, Data: append([]byte(nil), data...)}
+	if err := s.backend.Append(key, v); err != nil {
+		return 0, fmt.Errorf("store: persisting %q version %d: %w", key, next, err)
+	}
+	obj.versions = append(obj.versions, v)
+	obj.trimRetention(s.opts.Retain)
+	// The latest version changed, so all cached deltas are stale.
+	obj.clearDeltaCache()
+	mStorePuts.Inc()
+	return next, nil
+}
+
+// Current returns the latest version of the object.
+func (s *HomeStore) Current(key string) (Version, error) {
+	obj := s.object(key, false)
+	if obj == nil {
+		return Version{}, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	obj.mu.Lock()
+	defer obj.mu.Unlock()
+	if len(obj.versions) == 0 {
+		return Version{}, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	v := obj.versions[len(obj.versions)-1]
+	return Version{Num: v.Num, Data: append([]byte(nil), v.Data...)}, nil
+}
+
+// Get answers a node that has haveVersion (0 = nothing): it returns the
+// latest version, as a delta when one is available against haveVersion and
+// its wire size is below FullFraction of the full object.
+//
+// The object lock is held only to snapshot version references; the delta
+// itself is computed outside every lock, deduplicated per (base, target)
+// by a singleflight, so one slow delta never blocks readers of this or any
+// other key.
+func (s *HomeStore) Get(key string, haveVersion uint64) (*Reply, error) {
+	start := time.Now()
+	obj := s.object(key, false)
+	if obj == nil {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	obj.mu.Lock()
+	if len(obj.versions) == 0 {
+		obj.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	latest := obj.versions[len(obj.versions)-1]
+	reply := &Reply{Key: key, Version: latest.Num}
+
+	if haveVersion == latest.Num {
+		obj.mu.Unlock()
+		reply.Unchanged = true
+		mRepliesUnchg.Inc()
+		mGetUnchg.ObserveSince(start)
+		return reply, nil
+	}
+	var base Version
+	haveBase := false
+	if haveVersion != 0 && haveVersion < latest.Num {
+		base, haveBase = findVersion(obj.versions, haveVersion)
+	}
+	obj.mu.Unlock()
+
+	if haveBase {
+		d := s.deltaFor(obj, base, latest)
+		if float64(d.WireSize()) < s.opts.FullFraction*float64(len(latest.Data)) {
+			reply.Delta = d
+			reply.BaseVersion = haveVersion
+			s.deltaReplies.Add(1)
+			s.deltaBytes.Add(int64(d.WireSize()))
+			s.savedBytes.Add(int64(len(latest.Data) - d.WireSize()))
+			mRepliesDelta.Inc()
+			mReplyBytesDelta.Add(int64(d.WireSize()))
+			mSavedBytes.Add(int64(len(latest.Data) - d.WireSize()))
+			mGetDelta.ObserveSince(start)
+			return reply, nil
+		}
+	}
+	reply.Full = append([]byte(nil), latest.Data...)
+	s.fullReplies.Add(1)
+	s.fullBytes.Add(int64(len(latest.Data)))
+	mRepliesFull.Inc()
+	mReplyBytesFull.Add(int64(len(latest.Data)))
+	mGetFull.ObserveSince(start)
+	return reply, nil
+}
+
+// deltaFor returns d(key, base, latest), from the cache when possible.
+// A miss computes outside the object lock; concurrent misses for the same
+// (base, target) pair join the first computation instead of repeating it.
+func (s *HomeStore) deltaFor(obj *object, base, latest Version) *delta.Delta {
+	k := deltaKey{base: base.Num, target: latest.Num}
+	obj.mu.Lock()
+	if c, ok := obj.deltaCache[base.Num]; ok && c.target == latest.Num {
+		obj.mu.Unlock()
+		return c.d
+	}
+	if call, ok := obj.inflight[k]; ok {
+		obj.mu.Unlock()
+		<-call.done
+		return call.d
+	}
+	call := &deltaCall{done: make(chan struct{})}
+	if obj.inflight == nil {
+		obj.inflight = map[deltaKey]*deltaCall{}
+	}
+	obj.inflight[k] = call
+	obj.mu.Unlock()
+
+	t0 := time.Now()
+	call.d = delta.Compute(base.Data, latest.Data, s.opts.BlockSize)
+	mDeltaCompute.ObserveSince(t0)
+	s.deltaComputes.Add(1)
+
+	obj.mu.Lock()
+	delete(obj.inflight, k)
+	// Cache only while latest is still current; a Put that raced the
+	// computation has already staled this delta.
+	if n := len(obj.versions); n > 0 && obj.versions[n-1].Num == latest.Num {
+		obj.cacheDelta(base.Num, cachedDelta{target: latest.Num, d: call.d}, s.opts.DeltaCacheCap)
+	}
+	obj.mu.Unlock()
+	close(call.done)
+	return call.d
+}
+
+func findVersion(versions []Version, num uint64) (Version, bool) {
+	for _, v := range versions {
+		if v.Num == num {
+			return v, true
+		}
+	}
+	return Version{}, false
+}
+
+// RetainedVersions lists the version numbers currently held for a key.
+func (s *HomeStore) RetainedVersions(key string) ([]uint64, error) {
+	obj := s.object(key, false)
+	if obj == nil {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	obj.mu.Lock()
+	defer obj.mu.Unlock()
+	out := make([]uint64, len(obj.versions))
+	for i, v := range obj.versions {
+		out[i] = v.Num
+	}
+	return out, nil
+}
+
+// Stats returns a snapshot of the reply accounting.
+func (s *HomeStore) Stats() Stats {
+	return Stats{
+		FullReplies:   int(s.fullReplies.Load()),
+		DeltaReplies:  int(s.deltaReplies.Load()),
+		FullBytes:     s.fullBytes.Load(),
+		DeltaBytes:    s.deltaBytes.Load(),
+		SavedBytes:    s.savedBytes.Load(),
+		DeltaComputes: s.deltaComputes.Load(),
+	}
+}
+
+// Keys lists all object keys.
+func (s *HomeStore) Keys() []string {
+	var out []string
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for k := range sh.objects {
+			out = append(out, k)
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// deltaCacheLen reports the cached-delta count for a key (test hook).
+func (s *HomeStore) deltaCacheLen(key string) int {
+	obj := s.object(key, false)
+	if obj == nil {
+		return 0
+	}
+	obj.mu.Lock()
+	defer obj.mu.Unlock()
+	return len(obj.deltaCache)
+}
+
+// Close drops the cached deltas from the entries gauge and closes the
+// backend; further Puts fail on a persistent backend.
+func (s *HomeStore) Close() error {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for _, obj := range sh.objects {
+			obj.mu.Lock()
+			obj.clearDeltaCache()
+			obj.mu.Unlock()
+		}
+		sh.mu.Unlock()
+	}
+	return s.backend.Close()
+}

@@ -1,0 +1,62 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestStaleFullReplyRejected pins the cache-regression fix: a full reply
+// whose version is OLDER than what the replica already holds (a delayed or
+// replayed response) must be rejected instead of silently rolling the
+// cache back, while re-applying the exact version held stays idempotent.
+func TestStaleFullReplyRejected(t *testing.T) {
+	s := NewHomeStore(Options{})
+	mustPut(t, s, "o", []byte("version-one"))
+	mustPut(t, s, "o", []byte("version-two"))
+
+	rep := NewReplica()
+	if err := rep.Pull(s, "o"); err != nil {
+		t.Fatal(err)
+	}
+	if rep.VersionOf("o") != 2 {
+		t.Fatalf("replica at version %d", rep.VersionOf("o"))
+	}
+	applied := rep.BytesReceived()
+
+	// A delayed full reply for version 1 arrives late: reject it.
+	stale := &Reply{Key: "o", Version: 1, Full: []byte("version-one")}
+	if err := rep.ApplyReply(stale); err == nil {
+		t.Fatal("stale full reply must be rejected")
+	}
+	if rep.VersionOf("o") != 2 {
+		t.Fatalf("stale reply regressed replica to version %d", rep.VersionOf("o"))
+	}
+	if got, _ := rep.Data("o"); !bytes.Equal(got, []byte("version-two")) {
+		t.Fatalf("stale reply overwrote data: %q", got)
+	}
+	if rep.BytesReceived() != applied {
+		t.Fatalf("rejected stale reply inflated BytesReceived %d -> %d", applied, rep.BytesReceived())
+	}
+
+	// Re-applying the same version (a retry of the last transfer) is
+	// idempotent and allowed.
+	same := &Reply{Key: "o", Version: 2, Full: []byte("version-two")}
+	if err := rep.ApplyReply(same); err != nil {
+		t.Fatalf("same-version re-apply must stay idempotent: %v", err)
+	}
+	if got, _ := rep.Data("o"); !bytes.Equal(got, []byte("version-two")) {
+		t.Fatalf("re-apply corrupted data: %q", got)
+	}
+	if rep.VersionOf("o") != 2 {
+		t.Fatalf("re-apply moved version to %d", rep.VersionOf("o"))
+	}
+
+	// A genuinely newer full reply still applies.
+	newer := &Reply{Key: "o", Version: 3, Full: []byte("version-three")}
+	if err := rep.ApplyReply(newer); err != nil {
+		t.Fatal(err)
+	}
+	if rep.VersionOf("o") != 3 {
+		t.Fatalf("newer reply not applied, version %d", rep.VersionOf("o"))
+	}
+}

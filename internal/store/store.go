@@ -4,20 +4,31 @@
 // e, give me the latest": when a delta d(o, e, k) exists and is
 // considerably smaller than the full object, the delta is sent instead of
 // the whole value. Per-object byte accounting backs the S1 experiment.
+//
+// The package is layered:
+//
+//   - ObjectStore is the narrow interface every consumer programs against
+//     (replication, httpapi, experiments, the cmds).
+//   - HomeStore is the concrete engine behind it: key-hash sharded locking
+//     with per-object mutexes, delta computation OUT of the critical
+//     section behind a singleflight, and a capped per-object delta cache.
+//   - VersionBackend is the persistence SPI underneath HomeStore. The
+//     in-memory backend (MemBackend) persists nothing — today's original
+//     behavior; the append-only log backend (LogBackend) fsyncs every Put
+//     into segment files and replays them at open for crash recovery.
 package store
 
 import (
 	"errors"
-	"fmt"
-	"sync"
 
 	"coda/internal/delta"
 	"coda/internal/obs"
 )
 
-// Home-store telemetry: the delta-vs-full reply split and the bytes each
-// kind put on the wire, which is the S1 bandwidth-saving experiment as a
-// live scrape.
+// Home-store telemetry: the delta-vs-full reply split, the bytes each kind
+// put on the wire (the S1 bandwidth-saving experiment as a live scrape),
+// and the out-of-lock delta pipeline (compute latency, per-kind Get
+// latency, cache population).
 var (
 	mStorePuts       = obs.GetCounter("coda_store_puts_total")
 	mRepliesFull     = obs.GetCounter(`coda_store_replies_total{kind="full"}`)
@@ -26,6 +37,12 @@ var (
 	mReplyBytesFull  = obs.GetCounter(`coda_store_reply_bytes_total{kind="full"}`)
 	mReplyBytesDelta = obs.GetCounter(`coda_store_reply_bytes_total{kind="delta"}`)
 	mSavedBytes      = obs.GetCounter("coda_store_saved_bytes_total")
+
+	mGetFull      = obs.GetHistogram(`coda_store_get_seconds{kind="full"}`, nil)
+	mGetDelta     = obs.GetHistogram(`coda_store_get_seconds{kind="delta"}`, nil)
+	mGetUnchg     = obs.GetHistogram(`coda_store_get_seconds{kind="unchanged"}`, nil)
+	mDeltaCompute = obs.GetHistogram("coda_store_delta_compute_seconds", nil)
+	mCacheEntries = obs.GetGauge("coda_store_delta_cache_entries")
 )
 
 // ErrNotFound is returned for unknown object keys.
@@ -81,6 +98,37 @@ type Stats struct {
 	// SavedBytes is the difference between what full replies would have
 	// cost and what delta replies actually cost.
 	SavedBytes int64
+	// DeltaComputes counts actual delta.Compute invocations; with the
+	// cache and singleflight it stays below the delta-reply count under
+	// concurrent or repeated pulls of the same (key, base).
+	DeltaComputes int64
+}
+
+// ObjectStore is the data-tier seam: the versioned object operations every
+// consumer outside this package programs against. HomeStore implements it
+// over a pluggable VersionBackend; no caller should name the concrete
+// engine except at construction.
+type ObjectStore interface {
+	// Put stores data as the next version of key and returns its version
+	// number (starting at 1 for a new object). A persistent backend may
+	// refuse the write, in which case the store state is unchanged.
+	Put(key string, data []byte) (uint64, error)
+	// Current returns the latest version of the object.
+	Current(key string) (Version, error)
+	// Get answers a node that has haveVersion (0 = nothing): it returns
+	// the latest version, as a delta when one is available against
+	// haveVersion and its wire size is below FullFraction of the full
+	// object.
+	Get(key string, haveVersion uint64) (*Reply, error)
+	// RetainedVersions lists the version numbers currently held for a key.
+	RetainedVersions(key string) ([]uint64, error)
+	// Keys lists all object keys.
+	Keys() []string
+	// Stats returns a snapshot of the reply accounting.
+	Stats() Stats
+	// Close releases the backend (flushes/closes segment files for the
+	// log backend; a no-op for the in-memory backend).
+	Close() error
 }
 
 // Options configures a HomeStore.
@@ -94,6 +142,12 @@ type Options struct {
 	// when its wire size is below FullFraction * len(full). Default 0.5,
 	// a conservative reading of "considerably smaller".
 	FullFraction float64
+	// Shards is the number of lock shards keys hash into (default 16).
+	// Operations on objects in different shards never contend on a lock.
+	Shards int
+	// DeltaCacheCap bounds cached deltas per object (default 8), so a
+	// hot key with many laggy readers cannot grow memory without bound.
+	DeltaCacheCap int
 }
 
 func (o *Options) setDefaults() {
@@ -106,232 +160,10 @@ func (o *Options) setDefaults() {
 	if o.FullFraction <= 0 || o.FullFraction > 1 {
 		o.FullFraction = 0.5
 	}
-}
-
-type object struct {
-	versions []Version // ascending version order, at most retain+1 (incl. latest)
-	// deltaCache memoizes d(o, base, latest); invalidated on Put.
-	deltaCache map[uint64]*delta.Delta
-}
-
-// HomeStore is a thread-safe versioned object store.
-type HomeStore struct {
-	mu      sync.Mutex
-	opts    Options
-	objects map[string]*object
-	stats   Stats
-}
-
-// NewHomeStore builds a store with the given options.
-func NewHomeStore(opts Options) *HomeStore {
-	opts.setDefaults()
-	return &HomeStore{opts: opts, objects: map[string]*object{}}
-}
-
-// Put stores a new version of the object and returns its version number
-// (starting at 1 for a new object).
-func (s *HomeStore) Put(key string, data []byte) uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	obj := s.objects[key]
-	if obj == nil {
-		obj = &object{deltaCache: map[uint64]*delta.Delta{}}
-		s.objects[key] = obj
+	if o.Shards <= 0 {
+		o.Shards = 16
 	}
-	var next uint64 = 1
-	if n := len(obj.versions); n > 0 {
-		next = obj.versions[n-1].Num + 1
+	if o.DeltaCacheCap <= 0 {
+		o.DeltaCacheCap = 8
 	}
-	obj.versions = append(obj.versions, Version{Num: next, Data: append([]byte(nil), data...)})
-	if len(obj.versions) > s.opts.Retain+1 {
-		obj.versions = obj.versions[len(obj.versions)-s.opts.Retain-1:]
-	}
-	// The latest version changed, so all cached deltas are stale.
-	obj.deltaCache = map[uint64]*delta.Delta{}
-	mStorePuts.Inc()
-	return next
-}
-
-// Current returns the latest version of the object.
-func (s *HomeStore) Current(key string) (Version, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	obj := s.objects[key]
-	if obj == nil || len(obj.versions) == 0 {
-		return Version{}, fmt.Errorf("%w: %q", ErrNotFound, key)
-	}
-	v := obj.versions[len(obj.versions)-1]
-	return Version{Num: v.Num, Data: append([]byte(nil), v.Data...)}, nil
-}
-
-// Get answers a node that has haveVersion (0 = nothing): it returns the
-// latest version, as a delta when one is available against haveVersion and
-// its wire size is below FullFraction of the full object.
-func (s *HomeStore) Get(key string, haveVersion uint64) (*Reply, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	obj := s.objects[key]
-	if obj == nil || len(obj.versions) == 0 {
-		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
-	}
-	latest := obj.versions[len(obj.versions)-1]
-	reply := &Reply{Key: key, Version: latest.Num}
-
-	if haveVersion == latest.Num {
-		reply.Unchanged = true
-		mRepliesUnchg.Inc()
-		return reply, nil
-	}
-	if haveVersion != 0 && haveVersion < latest.Num {
-		if base, ok := s.findVersion(obj, haveVersion); ok {
-			d := obj.deltaCache[haveVersion]
-			if d == nil {
-				d = delta.Compute(base.Data, latest.Data, s.opts.BlockSize)
-				obj.deltaCache[haveVersion] = d
-			}
-			if float64(d.WireSize()) < s.opts.FullFraction*float64(len(latest.Data)) {
-				reply.Delta = d
-				reply.BaseVersion = haveVersion
-				s.stats.DeltaReplies++
-				s.stats.DeltaBytes += int64(d.WireSize())
-				s.stats.SavedBytes += int64(len(latest.Data) - d.WireSize())
-				mRepliesDelta.Inc()
-				mReplyBytesDelta.Add(int64(d.WireSize()))
-				mSavedBytes.Add(int64(len(latest.Data) - d.WireSize()))
-				return reply, nil
-			}
-		}
-	}
-	reply.Full = append([]byte(nil), latest.Data...)
-	s.stats.FullReplies++
-	s.stats.FullBytes += int64(len(latest.Data))
-	mRepliesFull.Inc()
-	mReplyBytesFull.Add(int64(len(latest.Data)))
-	return reply, nil
-}
-
-func (s *HomeStore) findVersion(obj *object, num uint64) (Version, bool) {
-	for _, v := range obj.versions {
-		if v.Num == num {
-			return v, true
-		}
-	}
-	return Version{}, false
-}
-
-// RetainedVersions lists the version numbers currently held for a key.
-func (s *HomeStore) RetainedVersions(key string) ([]uint64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	obj := s.objects[key]
-	if obj == nil {
-		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
-	}
-	out := make([]uint64, len(obj.versions))
-	for i, v := range obj.versions {
-		out[i] = v.Num
-	}
-	return out, nil
-}
-
-// Stats returns a snapshot of the reply accounting.
-func (s *HomeStore) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
-}
-
-// Keys lists all object keys.
-func (s *HomeStore) Keys() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]string, 0, len(s.objects))
-	for k := range s.objects {
-		out = append(out, k)
-	}
-	return out
-}
-
-// Replica is a client-side cache of objects obtained from a HomeStore: it
-// tracks which version it has and applies delta replies locally.
-type Replica struct {
-	mu      sync.Mutex
-	objects map[string]Version
-	// BytesReceived accumulates payload bytes this replica pulled.
-	bytesReceived int64
-}
-
-// NewReplica returns an empty replica cache.
-func NewReplica() *Replica {
-	return &Replica{objects: map[string]Version{}}
-}
-
-// VersionOf returns the version this replica holds for key (0 = none).
-func (r *Replica) VersionOf(key string) uint64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.objects[key].Num
-}
-
-// Data returns the replica's copy of the object.
-func (r *Replica) Data(key string) ([]byte, bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	v, ok := r.objects[key]
-	if !ok {
-		return nil, false
-	}
-	return append([]byte(nil), v.Data...), true
-}
-
-// BytesReceived reports total payload bytes absorbed by this replica.
-func (r *Replica) BytesReceived() int64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.bytesReceived
-}
-
-// ApplyReply integrates a Reply (full, delta, or unchanged) into the
-// replica. Only replies that validate and apply count toward
-// BytesReceived — a rejected reply (version-mismatch unchanged or delta)
-// must not inflate the S1 bandwidth accounting.
-func (r *Replica) ApplyReply(reply *Reply) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if reply.Unchanged {
-		if cur := r.objects[reply.Key]; cur.Num != reply.Version {
-			return fmt.Errorf("store: unchanged reply for version %d but replica has %d of %q", reply.Version, cur.Num, reply.Key)
-		}
-		r.bytesReceived += int64(reply.WireBytes())
-		return nil
-	}
-	if !reply.IsDelta() {
-		r.objects[reply.Key] = Version{Num: reply.Version, Data: append([]byte(nil), reply.Full...)}
-		r.bytesReceived += int64(reply.WireBytes())
-		return nil
-	}
-	cur, ok := r.objects[reply.Key]
-	if !ok || cur.Num != reply.BaseVersion {
-		return fmt.Errorf("store: replica has version %d of %q, delta needs %d", cur.Num, reply.Key, reply.BaseVersion)
-	}
-	data, err := delta.Apply(cur.Data, reply.Delta)
-	if err != nil {
-		return fmt.Errorf("store: applying delta for %q: %w", reply.Key, err)
-	}
-	r.objects[reply.Key] = Version{Num: reply.Version, Data: data}
-	r.bytesReceived += int64(reply.WireBytes())
-	return nil
-}
-
-// Pull synchronizes one object from the home store into the replica,
-// sending the replica's version number as Section III describes.
-func (r *Replica) Pull(home *HomeStore, key string) error {
-	reply, err := home.Get(key, r.VersionOf(key))
-	if err != nil {
-		return fmt.Errorf("store: pull %q: %w", key, err)
-	}
-	if err := r.ApplyReply(reply); err != nil {
-		return err
-	}
-	return nil
 }

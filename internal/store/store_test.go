@@ -9,15 +9,25 @@ import (
 	"testing/quick"
 )
 
+// mustPut is the test shorthand for Puts that cannot fail (mem backend).
+func mustPut(t testing.TB, s ObjectStore, key string, data []byte) uint64 {
+	t.Helper()
+	v, err := s.Put(key, data)
+	if err != nil {
+		t.Fatalf("Put(%q): %v", key, err)
+	}
+	return v
+}
+
 func TestPutVersionNumbersMonotonic(t *testing.T) {
 	s := NewHomeStore(Options{})
-	if v := s.Put("o1", []byte("v1")); v != 1 {
+	if v := mustPut(t, s, "o1", []byte("v1")); v != 1 {
 		t.Fatalf("first Put version %d", v)
 	}
-	if v := s.Put("o1", []byte("v2")); v != 2 {
+	if v := mustPut(t, s, "o1", []byte("v2")); v != 2 {
 		t.Fatalf("second Put version %d", v)
 	}
-	if v := s.Put("o2", []byte("x")); v != 1 {
+	if v := mustPut(t, s, "o2", []byte("x")); v != 1 {
 		t.Fatalf("other object version %d", v)
 	}
 	cur, err := s.Current("o1")
@@ -349,7 +359,7 @@ func TestReplicaConvergenceProperty(t *testing.T) {
 func TestUnchangedReply(t *testing.T) {
 	s := NewHomeStore(Options{})
 	data := bigObject(42, 4096)
-	v := s.Put("o", data)
+	v := mustPut(t, s, "o", data)
 	rep := NewReplica()
 	if err := rep.Pull(s, "o"); err != nil {
 		t.Fatal(err)
