@@ -1,0 +1,27 @@
+#!/bin/sh
+# bench2json.sh <bench.txt> <out.json>
+#
+# Converts `go test -bench` text output into the JSON array the BENCH_*
+# artifacts carry: one object per benchmark line with the iteration count
+# and every reported metric, metric names taken from the units with
+# non-alphanumerics replaced by underscores (ns/op -> ns_op, B/op -> B_op,
+# allocs/op -> allocs_op).
+set -eu
+in="$1"
+out="$2"
+awk '
+  BEGIN { print "[" }
+  /^Benchmark/ {
+    if (n++) printf ",\n"
+    printf "  {\"name\": \"%s\", \"iterations\": %s", $1, $2
+    for (i = 3; i + 1 <= NF; i += 2) {
+      unit = $(i + 1)
+      gsub(/[^A-Za-z0-9_]/, "_", unit)
+      printf ", \"%s\": %s", unit, $i
+    }
+    printf "}"
+  }
+  END { print "\n]" }
+' "$in" > "$out"
+cat "$out"
+python3 -c "import json, sys; json.load(open(sys.argv[1]))" "$out"

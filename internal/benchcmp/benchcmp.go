@@ -1,0 +1,224 @@
+// Package benchcmp compares two benchmark-result JSON files (the arrays
+// CI's bench2json.sh emits from `go test -bench` output) and reports
+// per-benchmark regressions. It backs the `coda-bench compare` CI gate.
+//
+// Metric semantics: ns_op is wall time and only comparable between runs on
+// the same machine (CI uses it for same-run A/B self-tests); allocs_op and
+// B_op are deterministic for a fixed -benchtime=Nx and safe to diff against
+// a committed baseline across machines.
+package benchcmp
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Entry is one benchmark line from the JSON artifact. Metric keys mirror
+// `go test -bench` units with non-alphanumerics replaced by underscores
+// (ns/op → ns_op, B/op → B_op, allocs/op → allocs_op).
+type Entry struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsOp       float64 `json:"ns_op"`
+	BOp        float64 `json:"B_op"`
+	AllocsOp   float64 `json:"allocs_op"`
+}
+
+// metric returns the named metric value and whether the entry carries it
+// (a zero allocs_op is still carried; only unknown names are not).
+func (e Entry) metric(name string) (float64, bool) {
+	switch name {
+	case "ns_op":
+		return e.NsOp, true
+	case "B_op":
+		return e.BOp, true
+	case "allocs_op":
+		return e.AllocsOp, true
+	}
+	return 0, false
+}
+
+// allocAbsSlack is the absolute allocs/op tolerance: with -benchtime=10x
+// one-off warmup allocations amortise to a handful per op, so a ±2
+// difference is noise, not a leak — but scaling regressions still trip the
+// relative threshold.
+const allocAbsSlack = 2
+
+// Result is the comparison verdict for one (benchmark, metric) pair.
+type Result struct {
+	Name      string
+	Metric    string
+	Baseline  float64
+	Current   float64
+	Ratio     float64 // current/baseline; +Inf when baseline is 0 and current > 0
+	Regressed bool
+}
+
+// Report is the full comparison outcome.
+type Report struct {
+	Results []Result
+	// MissingInCurrent lists baseline benchmarks absent from the current
+	// run (renamed or deleted — reported, not fatal, so baselines survive
+	// benchmark reorganisation).
+	MissingInCurrent []string
+	// NewInCurrent lists benchmarks with no baseline entry yet.
+	NewInCurrent []string
+}
+
+// Regressions returns only the failing results.
+func (r *Report) Regressions() []Result {
+	var out []Result
+	for _, res := range r.Results {
+		if res.Regressed {
+			out = append(out, res)
+		}
+	}
+	return out
+}
+
+// cpuSuffix returns the trailing "-N" GOMAXPROCS token of a benchmark name
+// ("" if the name does not end in -digits).
+func cpuSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i <= 0 {
+		return ""
+	}
+	digits := name[i+1:]
+	if digits == "" || strings.Trim(digits, "0123456789") != "" {
+		return ""
+	}
+	return name[i:]
+}
+
+// normalize strips the GOMAXPROCS suffix go test appends on multi-core
+// machines ("BenchmarkFoo-4" → "BenchmarkFoo") so baselines are core-count
+// agnostic. The suffix is only stripped when every name in the run carries
+// the same one: go test applies it uniformly, whereas trailing digits that
+// are part of a benchmark's own name (shard counts, sizes) vary between
+// entries and must be kept.
+func normalize(entries []Entry) {
+	if len(entries) < 2 {
+		return
+	}
+	suffix := cpuSuffix(entries[0].Name)
+	if suffix == "" {
+		return
+	}
+	for _, e := range entries[1:] {
+		if cpuSuffix(e.Name) != suffix {
+			return
+		}
+	}
+	for i := range entries {
+		entries[i].Name = strings.TrimSuffix(entries[i].Name, suffix)
+	}
+}
+
+// Load reads a benchmark JSON artifact into a name-keyed map. Duplicate
+// names (the same benchmark from multiple packages) keep the first entry.
+func Load(path string) (map[string]Entry, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchcmp: %w", err)
+	}
+	var entries []Entry
+	if err := json.Unmarshal(raw, &entries); err != nil {
+		return nil, fmt.Errorf("benchcmp: parsing %s: %w", path, err)
+	}
+	normalize(entries)
+	out := make(map[string]Entry, len(entries))
+	for _, e := range entries {
+		if _, dup := out[e.Name]; !dup {
+			out[e.Name] = e
+		}
+	}
+	return out, nil
+}
+
+// Compare diffs current against baseline on the given metrics, flagging any
+// benchmark whose metric grew by more than maxRegress (fractional, e.g.
+// 0.25 = +25%). allocs_op additionally gets allocAbsSlack of absolute
+// tolerance (see above).
+func Compare(baseline, current map[string]Entry, maxRegress float64, metrics []string) (*Report, error) {
+	if maxRegress <= 0 {
+		return nil, fmt.Errorf("benchcmp: max regression fraction must be positive, got %v", maxRegress)
+	}
+	for _, m := range metrics {
+		if _, ok := (Entry{}).metric(m); !ok {
+			return nil, fmt.Errorf("benchcmp: unknown metric %q (want ns_op, B_op or allocs_op)", m)
+		}
+	}
+	rep := &Report{}
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base := baseline[name]
+		cur, ok := current[name]
+		if !ok {
+			rep.MissingInCurrent = append(rep.MissingInCurrent, name)
+			continue
+		}
+		for _, m := range metrics {
+			bv, _ := base.metric(m)
+			cv, _ := cur.metric(m)
+			res := Result{Name: name, Metric: m, Baseline: bv, Current: cv}
+			delta := cv - bv
+			switch {
+			case bv > 0:
+				res.Ratio = cv / bv
+				res.Regressed = delta > bv*maxRegress
+			case cv > 0:
+				res.Ratio = math.Inf(1)
+				res.Regressed = true
+			default:
+				res.Ratio = 1
+			}
+			if m == "allocs_op" && delta <= allocAbsSlack {
+				res.Regressed = false
+			}
+			rep.Results = append(rep.Results, res)
+		}
+	}
+	for name := range current {
+		if _, ok := baseline[name]; !ok {
+			rep.NewInCurrent = append(rep.NewInCurrent, name)
+		}
+	}
+	sort.Strings(rep.NewInCurrent)
+	return rep, nil
+}
+
+// Format renders the report as an aligned table, regressions marked with
+// FAIL, suitable for CI logs.
+func (r *Report) Format() string {
+	var b strings.Builder
+	w := 0
+	for _, res := range r.Results {
+		if len(res.Name) > w {
+			w = len(res.Name)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s  %-10s %14s %14s %8s  %s\n", w, "benchmark", "metric", "baseline", "current", "ratio", "verdict")
+	for _, res := range r.Results {
+		verdict := "ok"
+		if res.Regressed {
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(&b, "%-*s  %-10s %14.6g %14.6g %8.3f  %s\n",
+			w, res.Name, res.Metric, res.Baseline, res.Current, res.Ratio, verdict)
+	}
+	for _, name := range r.MissingInCurrent {
+		fmt.Fprintf(&b, "%-*s  missing from current run (baseline entry ignored)\n", w, name)
+	}
+	for _, name := range r.NewInCurrent {
+		fmt.Fprintf(&b, "%-*s  new benchmark (no baseline yet)\n", w, name)
+	}
+	return b.String()
+}

@@ -1,0 +1,180 @@
+package benchcmp
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeJSON(t *testing.T, entries []Entry) string {
+	t.Helper()
+	raw, err := json.Marshal(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadNormalizesGomaxprocsSuffix(t *testing.T) {
+	// A multi-core run: every name carries the same uniform -4 suffix, so
+	// it is the GOMAXPROCS marker and gets stripped — including from
+	// subbenchmarks whose own names end in digits (shard counts survive).
+	path := writeJSON(t, []Entry{
+		{Name: "BenchmarkKernelMulNaive256-4", NsOp: 100},
+		{Name: "BenchmarkStoreConcurrent/mem-shards-8-4", NsOp: 50},
+		{Name: "BenchmarkStoreConcurrent/mem-shards-1-4", NsOp: 60},
+	})
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"BenchmarkKernelMulNaive256",
+		"BenchmarkStoreConcurrent/mem-shards-8",
+		"BenchmarkStoreConcurrent/mem-shards-1",
+	} {
+		if _, ok := got[want]; !ok {
+			t.Fatalf("missing %q after normalize: %v", want, got)
+		}
+	}
+}
+
+func TestLoadKeepsNonUniformDigitSuffixes(t *testing.T) {
+	// A single-core run: no GOMAXPROCS suffix, and the shard-count digits
+	// differ between entries — nothing may be stripped.
+	path := writeJSON(t, []Entry{
+		{Name: "BenchmarkStoreConcurrent/mem-shards-1", NsOp: 50},
+		{Name: "BenchmarkStoreConcurrent/mem-shards-8", NsOp: 60},
+		{Name: "BenchmarkKernelMulNaive256", NsOp: 100},
+	})
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"BenchmarkStoreConcurrent/mem-shards-1",
+		"BenchmarkStoreConcurrent/mem-shards-8",
+		"BenchmarkKernelMulNaive256",
+	} {
+		if _, ok := got[want]; !ok {
+			t.Fatalf("missing %q (wrongly stripped): %v", want, got)
+		}
+	}
+}
+
+func TestLoadRejectsMalformed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("want error on malformed JSON")
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("want error on missing file")
+	}
+}
+
+// TestCompareCatchesInjectedSlowdown is the gate's reason to exist: a 2×
+// ns/op slowdown must fail, matching the CI self-test that doctors the
+// current run's JSON.
+func TestCompareCatchesInjectedSlowdown(t *testing.T) {
+	base := map[string]Entry{"BenchmarkKernelMulParallel256": {Name: "BenchmarkKernelMulParallel256", NsOp: 1000, AllocsOp: 1}}
+	cur := map[string]Entry{"BenchmarkKernelMulParallel256": {Name: "BenchmarkKernelMulParallel256", NsOp: 2000, AllocsOp: 1}}
+	rep, err := Compare(base, cur, 0.25, []string{"ns_op", "allocs_op"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := rep.Regressions()
+	if len(regs) != 1 || regs[0].Metric != "ns_op" {
+		t.Fatalf("want exactly the ns_op regression, got %+v", regs)
+	}
+	if regs[0].Ratio != 2 {
+		t.Fatalf("ratio = %v, want 2", regs[0].Ratio)
+	}
+	if !strings.Contains(rep.Format(), "FAIL") {
+		t.Fatalf("table missing FAIL marker:\n%s", rep.Format())
+	}
+}
+
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	base := map[string]Entry{"BenchmarkX": {Name: "BenchmarkX", NsOp: 1000, AllocsOp: 10}}
+	cur := map[string]Entry{"BenchmarkX": {Name: "BenchmarkX", NsOp: 1200, AllocsOp: 12}}
+	rep, err := Compare(base, cur, 0.25, []string{"ns_op", "allocs_op"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := rep.Regressions(); len(regs) != 0 {
+		t.Fatalf("within-threshold drift flagged: %+v\n%s", regs, rep.Format())
+	}
+}
+
+func TestCompareAllocAbsoluteSlack(t *testing.T) {
+	// +2 allocs on a tiny baseline is warmup noise, not a regression...
+	base := map[string]Entry{"BenchmarkX": {Name: "BenchmarkX", AllocsOp: 1}}
+	cur := map[string]Entry{"BenchmarkX": {Name: "BenchmarkX", AllocsOp: 3}}
+	rep, err := Compare(base, cur, 0.25, []string{"allocs_op"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Regressions()) != 0 {
+		t.Fatalf("alloc slack not applied: %+v", rep.Regressions())
+	}
+	// ...but a real per-op leak blows past the slack and fails, including
+	// from a zero baseline.
+	cur["BenchmarkX"] = Entry{Name: "BenchmarkX", AllocsOp: 40}
+	rep, err = Compare(base, cur, 0.25, []string{"allocs_op"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Regressions()) != 1 {
+		t.Fatalf("alloc leak not flagged: %s", rep.Format())
+	}
+	base["BenchmarkX"] = Entry{Name: "BenchmarkX", AllocsOp: 0}
+	rep, err = Compare(base, cur, 0.25, []string{"allocs_op"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Regressions()) != 1 {
+		t.Fatalf("zero-baseline leak not flagged: %s", rep.Format())
+	}
+}
+
+func TestCompareMissingAndNewAreNotFatal(t *testing.T) {
+	base := map[string]Entry{
+		"BenchmarkGone": {Name: "BenchmarkGone", NsOp: 10},
+		"BenchmarkKept": {Name: "BenchmarkKept", NsOp: 10},
+	}
+	cur := map[string]Entry{
+		"BenchmarkKept": {Name: "BenchmarkKept", NsOp: 10},
+		"BenchmarkNew":  {Name: "BenchmarkNew", NsOp: 10},
+	}
+	rep, err := Compare(base, cur, 0.25, []string{"ns_op"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Regressions()) != 0 {
+		t.Fatalf("membership drift treated as regression: %+v", rep.Regressions())
+	}
+	if len(rep.MissingInCurrent) != 1 || rep.MissingInCurrent[0] != "BenchmarkGone" {
+		t.Fatalf("missing = %v", rep.MissingInCurrent)
+	}
+	if len(rep.NewInCurrent) != 1 || rep.NewInCurrent[0] != "BenchmarkNew" {
+		t.Fatalf("new = %v", rep.NewInCurrent)
+	}
+}
+
+func TestCompareRejectsBadArgs(t *testing.T) {
+	if _, err := Compare(nil, nil, 0, []string{"ns_op"}); err == nil {
+		t.Fatal("want error on non-positive threshold")
+	}
+	if _, err := Compare(nil, nil, 0.25, []string{"watts"}); err == nil {
+		t.Fatal("want error on unknown metric")
+	}
+}

@@ -1,0 +1,207 @@
+package core_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"coda/internal/core"
+	"coda/internal/dataset"
+	"coda/internal/matrix"
+	"coda/internal/mlmodels"
+	"coda/internal/preprocess"
+	"coda/internal/tswindow"
+)
+
+// fusionSeries builds a deterministic multivariate series with large
+// per-column offsets and one constant column, so the MinMax div==0
+// constant-column sentinel and the Standard/Robust div=1 degenerate cases
+// are all exercised.
+func fusionSeries(rows int) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(11))
+	const cols = 4
+	x := matrix.New(rows, cols)
+	offsets := []float64{1e6, -350, 0, 42}
+	for i := 0; i < rows; i++ {
+		row := x.Row(i)
+		for j := 0; j < cols; j++ {
+			if j == 2 {
+				row[j] = 7.25 // constant column
+				continue
+			}
+			row[j] = offsets[j] + 10*math.Sin(float64(i)/3) + rng.NormFloat64()
+		}
+	}
+	return &dataset.Dataset{
+		X:        x,
+		ColNames: []string{"a", "b", "const", "target"},
+	}
+}
+
+func bitsEqualSlice(t *testing.T, label string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d vs %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s[%d]: %v != %v (bits %x vs %x)",
+				label, i, got[i], want[i], math.Float64bits(got[i]), math.Float64bits(want[i]))
+		}
+	}
+}
+
+// TestTransformAffineBitwiseEquality proves the fused scale→window path is
+// bit-identical to materialising the scaled intermediate: for every scaler
+// × windower pair, TransformAffine(ds, sub, div) must equal
+// Transform(scaler.Transform(ds)) in data, targets and affine metadata.
+func TestTransformAffineBitwiseEquality(t *testing.T) {
+	ds := fusionSeries(60)
+	scalers := []core.Transformer{
+		preprocess.NewStandardScaler(),
+		preprocess.NewMinMaxScaler(),
+		preprocess.NewRobustScaler(),
+	}
+	windowers := []core.Transformer{
+		tswindow.NewCascadedWindows(5, 2, 3),
+		tswindow.NewFlatWindowing(4, 1, 3),
+		tswindow.NewTSAsIID(2, 3),
+		tswindow.NewTSAsIs(1, 3),
+	}
+	for _, sc := range scalers {
+		for _, w := range windowers {
+			name := fmt.Sprintf("%s_%s", sc.Name(), w.Name())
+			t.Run(name, func(t *testing.T) {
+				scaler := sc.Clone()
+				if err := scaler.Fit(ds); err != nil {
+					t.Fatal(err)
+				}
+				src, ok := scaler.(core.AffineSource)
+				if !ok {
+					t.Fatalf("%s does not implement AffineSource", scaler.Name())
+				}
+				sub, div, fitted := src.AffineColumns()
+				if !fitted {
+					t.Fatal("AffineColumns reports unfitted after Fit")
+				}
+
+				mid, err := scaler.Transform(ds)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := w.Clone().Transform(mid)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				fuser, ok := w.Clone().(core.AffineFuser)
+				if !ok {
+					t.Fatalf("%s does not implement AffineFuser", w.Name())
+				}
+				got, err := fuser.TransformAffine(ds, sub, div)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				bitsEqualSlice(t, "X", got.X.Data(), want.X.Data())
+				bitsEqualSlice(t, "Y", got.Y, want.Y)
+				bitsEqualSlice(t, "YScale/YOffset",
+					[]float64{got.YScale, got.YOffset}, []float64{want.YScale, want.YOffset})
+				bitsEqualSlice(t, "ColScale", got.ColScale, want.ColScale)
+				bitsEqualSlice(t, "ColOffset", got.ColOffset, want.ColOffset)
+				if got.WindowLen != want.WindowLen || got.NumVars != want.NumVars {
+					t.Fatalf("shape metadata: WindowLen %d/%d NumVars %d/%d",
+						got.WindowLen, want.WindowLen, got.NumVars, want.NumVars)
+				}
+				// Row 0 of the fused output must differ from the raw series
+				// (the affine actually applied), guarding against a
+				// pass-through fake equality.
+				if got.X.At(0, 0) == ds.X.At(0, 0) {
+					t.Fatal("fused output equals raw input; affine not applied")
+				}
+			})
+		}
+	}
+}
+
+// TestAffineColumnsUnfitted checks the not-fitted sentinel so the fusion
+// lookahead can never consume a stale map.
+func TestAffineColumnsUnfitted(t *testing.T) {
+	for _, sc := range []core.AffineSource{
+		preprocess.NewStandardScaler(),
+		preprocess.NewMinMaxScaler(),
+		preprocess.NewRobustScaler(),
+	} {
+		if _, _, ok := sc.AffineColumns(); ok {
+			t.Fatalf("%s: AffineColumns ok before Fit", sc.Name())
+		}
+	}
+}
+
+// TestFusedPipelineMatchesManualChain runs a full scaler→windower→model
+// pipeline (which fuses internally) against the hand-rolled unfused chain
+// and demands bitwise-equal predictions and truths in original units.
+func TestFusedPipelineMatchesManualChain(t *testing.T) {
+	train := fusionSeries(80)
+	test := fusionSeries(40)
+
+	scaler := preprocess.NewMinMaxScaler()
+	wind := tswindow.NewFlatWindowing(4, 1, 3)
+	est := mlmodels.NewLinearRegression()
+
+	p, err := core.NewPipeline(core.Path{
+		{Name: "scaling", Transformers: []core.Transformer{scaler.Clone()}},
+		{Name: "window", Transformers: []core.Transformer{wind.Clone().(core.Transformer)}},
+		{Name: "model", Estimator: est.Clone()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	gotHat, gotTrue, err := p.PredictWithTruth(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Manual unfused chain with fresh clones of the same components.
+	sc2 := scaler.Clone()
+	w2 := wind.Clone()
+	e2 := est.Clone()
+	if err := sc2.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	mid, err := sc2.Transform(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Fit(mid); err != nil {
+		t.Fatal(err)
+	}
+	wtrain, err := w2.Transform(mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Fit(wtrain); err != nil {
+		t.Fatal(err)
+	}
+	midTest, err := sc2.Transform(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wtest, err := w2.Transform(midTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHatScaled, err := e2.Predict(wtest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHat := wtest.DenormY(wantHatScaled)
+	wantTrue := wtest.DenormY(wtest.Y)
+
+	bitsEqualSlice(t, "yhat", gotHat, wantHat)
+	bitsEqualSlice(t, "ytrue", gotTrue, wantTrue)
+}

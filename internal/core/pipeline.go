@@ -7,6 +7,29 @@ import (
 	"coda/internal/dataset"
 )
 
+// AffineSource is implemented by fitted transformers whose Transform is a
+// pure per-column affine map: out[j] = x[j] - sub[j], then divided by
+// div[j] when div[j] != 0, or forced to exactly 0 when div[j] == 0 (the
+// constant-column MinMax case). All of the preprocess scalers satisfy this.
+// AffineColumns must return ok = false before Fit.
+type AffineSource interface {
+	Transformer
+	AffineColumns() (sub, div []float64, ok bool)
+}
+
+// AffineFuser is implemented by transformers that can apply a pending
+// upstream affine map while building their output, skipping the
+// materialisation of the scaled intermediate dataset (the tswindow
+// preprocessors). TransformAffine(ds, sub, div) must be bit-identical to
+// Transform applied to the affine-scaled copy of ds — including derived
+// targets and affine metadata — and the implementer's Fit must not depend
+// on input values (windowing is configuration-only), since under fusion
+// Fit observes the pre-scaling dataset.
+type AffineFuser interface {
+	Transformer
+	TransformAffine(ds *dataset.Dataset, sub, div []float64) (*dataset.Dataset, error)
+}
+
 // Pipeline is one concrete root-to-leaf path instantiated with its own
 // (unshared) component copies: a sequence of transformer nodes ending in an
 // estimator node. Fit implements Figure 5's training semantics — internal
@@ -111,18 +134,9 @@ func (p *Pipeline) FitFrom(start int, ds *dataset.Dataset) error {
 	if start < 0 || start >= len(p.Nodes) {
 		return fmt.Errorf("core: FitFrom start %d outside pipeline of %d nodes", start, len(p.Nodes))
 	}
-	cur := ds
-	for _, n := range p.Nodes[start : len(p.Nodes)-1] {
-		for _, t := range n.Transformers {
-			if err := t.Fit(cur); err != nil {
-				return fmt.Errorf("core: fitting node %q: %w", n.Name, err)
-			}
-			next, err := t.Transform(cur)
-			if err != nil {
-				return fmt.Errorf("core: transforming through node %q: %w", n.Name, err)
-			}
-			cur = next
-		}
+	cur, err := p.runTransformers(start, ds, true)
+	if err != nil {
+		return err
 	}
 	if err := p.Estimator().Fit(cur); err != nil {
 		return fmt.Errorf("core: fitting estimator %q: %w", p.Nodes[len(p.Nodes)-1].Name, err)
@@ -140,15 +154,69 @@ func (p *Pipeline) transformOnly(ds *dataset.Dataset) (*dataset.Dataset, error) 
 // at node index start (ds must already be transformed through the nodes
 // before it).
 func (p *Pipeline) transformOnlyFrom(start int, ds *dataset.Dataset) (*dataset.Dataset, error) {
-	cur := ds
+	return p.runTransformers(start, ds, false)
+}
+
+// pipeStep is one transformer with the node it belongs to, flattened so
+// fusion can look across node boundaries (scalers and windowers live in
+// separate graph stages).
+type pipeStep struct {
+	node string
+	t    Transformer
+}
+
+// runTransformers pushes ds through the transformer chain of Nodes[start:],
+// fitting each transformer first when fit is set. Adjacent
+// AffineSource -> AffineFuser pairs are fused: the scaler's per-column
+// affine map is applied inside the windower's own copy, so the scaled
+// intermediate dataset is never materialised. Fusion is bit-identical to
+// the unfused chain (see AffineFuser), which the prefix cache's equivalence
+// guarantee relies on — cached search paths materialise per-node
+// intermediates (that is what makes them shareable, see prefixcache.go) and
+// must score identically to this fused path.
+func (p *Pipeline) runTransformers(start int, ds *dataset.Dataset, fit bool) (*dataset.Dataset, error) {
+	var steps []pipeStep
 	for _, n := range p.Nodes[start : len(p.Nodes)-1] {
 		for _, t := range n.Transformers {
-			next, err := t.Transform(cur)
-			if err != nil {
-				return nil, fmt.Errorf("core: transforming through node %q: %w", n.Name, err)
-			}
-			cur = next
+			steps = append(steps, pipeStep{node: n.Name, t: t})
 		}
+	}
+	cur := ds
+	for i := 0; i < len(steps); i++ {
+		st := steps[i]
+		if fit {
+			if err := st.t.Fit(cur); err != nil {
+				return nil, fmt.Errorf("core: fitting node %q: %w", st.node, err)
+			}
+		}
+		if i+1 < len(steps) {
+			if src, okSrc := st.t.(AffineSource); okSrc {
+				if fuser, okFuse := steps[i+1].t.(AffineFuser); okFuse {
+					if sub, div, fitted := src.AffineColumns(); fitted {
+						if fit {
+							// Windower Fit is input-value-independent
+							// (AffineFuser contract), so fitting on the
+							// pre-scaling data is equivalent.
+							if err := fuser.Fit(cur); err != nil {
+								return nil, fmt.Errorf("core: fitting node %q: %w", steps[i+1].node, err)
+							}
+						}
+						next, err := fuser.TransformAffine(cur, sub, div)
+						if err != nil {
+							return nil, fmt.Errorf("core: fused transform %q -> %q: %w", st.node, steps[i+1].node, err)
+						}
+						cur = next
+						i++
+						continue
+					}
+				}
+			}
+		}
+		next, err := st.t.Transform(cur)
+		if err != nil {
+			return nil, fmt.Errorf("core: transforming through node %q: %w", st.node, err)
+		}
+		cur = next
 	}
 	return cur, nil
 }

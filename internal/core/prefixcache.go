@@ -284,9 +284,13 @@ func (c *prefixCache) stats(folds int) PrefixCacheStats {
 
 // fitPrefixNode extends a cached prefix by one level: it fits a fresh
 // clone of node on the (already prefix-transformed) training data and
-// pushes both train and test through it — exactly the work Pipeline.Fit
-// and transformOnly would do for this node on the naive path, producing
-// bit-identical datasets.
+// pushes both train and test through it — the same per-node work
+// Pipeline.Fit and transformOnly would do, producing bit-identical
+// datasets. It deliberately does NOT use the AffineSource/AffineFuser
+// fusion from runTransformers: the cache's whole purpose is to
+// materialise and share per-node intermediates across pipelines, and
+// fusion is bit-identical to the unfused chain by contract, so cached
+// and fused paths still score identically.
 func fitPrefixNode(node *Node, train, test *dataset.Dataset) (trainOut, testOut *dataset.Dataset, err error) {
 	n := node.clone()
 	trainOut = train

@@ -1,0 +1,106 @@
+package matrix
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// Kernel A/B benchmarks. BenchmarkKernelMulNaive256 is the pre-blocking
+// reference kernel; the CI bench-kernels job asserts MulBlocked256 and
+// MulParallel256 beat it on the same machine (README "Kernel performance"
+// shows how to run the comparison locally).
+
+func benchMat(rows, cols int, seed int64) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := New(rows, cols)
+	for i := range m.data {
+		m.data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func BenchmarkKernelMulNaive256(b *testing.B) {
+	a := benchMat(256, 256, 1)
+	c := benchMat(256, 256, 2)
+	var dst *Matrix
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = naiveMulInto(dst, a, c)
+	}
+}
+
+func BenchmarkKernelMulBlocked256(b *testing.B) {
+	defer SetMaxWorkers(runtime.GOMAXPROCS(0))
+	SetMaxWorkers(1) // isolate cache blocking from parallelism
+	a := benchMat(256, 256, 1)
+	c := benchMat(256, 256, 2)
+	var dst *Matrix
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, _ = MulInto(dst, a, c)
+	}
+}
+
+func BenchmarkKernelMulParallel256(b *testing.B) {
+	a := benchMat(256, 256, 1)
+	c := benchMat(256, 256, 2)
+	var dst *Matrix
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, _ = MulInto(dst, a, c)
+	}
+}
+
+func BenchmarkKernelMulTransposeA256(b *testing.B) {
+	a := benchMat(256, 256, 3)
+	c := benchMat(256, 256, 4)
+	var dst *Matrix
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, _ = MulTransposeAInto(dst, a, c)
+	}
+}
+
+func BenchmarkKernelMulVec1024(b *testing.B) {
+	m := benchMat(1024, 512, 5)
+	v := benchMat(1, 512, 6).Row(0)
+	var dst []float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, _ = MulVecInto(dst, m, v)
+	}
+}
+
+func BenchmarkKernelTranspose1024(b *testing.B) {
+	m := benchMat(1024, 768, 7)
+	var dst *Matrix
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = TInto(dst, m)
+	}
+}
+
+func BenchmarkKernelCovariance(b *testing.B) {
+	m := benchMat(2048, 64, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Covariance()
+	}
+}
+
+func BenchmarkKernelColStds(b *testing.B) {
+	m := benchMat(4096, 64, 9)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.ColStds()
+	}
+}

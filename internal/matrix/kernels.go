@@ -1,0 +1,337 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cache-blocked, goroutine-tiled compute kernels.
+//
+// Every kernel here is bit-compatible with the straightforward serial loop
+// it replaces: tiling only reorders WHICH (i,j) cell is worked on when,
+// never the order of the floating-point additions that accumulate into a
+// given cell (k ascending, exactly like the naive triple loop). Row
+// parallelism assigns each output row to exactly one goroutine, so results
+// are bitwise identical at any worker count — a property the determinism
+// tests (kernels_test.go) and the search-level equivalence benchmark rely
+// on.
+
+const (
+	// mulBlockK is the k-tile: how many rows of b are streamed per tile.
+	// 128 rows x mulBlockJ cols x 8 bytes = 256 KiB, sized for L2.
+	mulBlockK = 128
+	// mulBlockJ is the j-tile: the c/b row segment written per inner loop.
+	// 256 float64s = 2 KiB, so the c segment stays in L1 across the k-tile.
+	mulBlockJ = 256
+	// mulParMinFlops is the flop cutoff (2*m*n*k) below which Mul stays
+	// serial; goroutine startup dominates under ~64^3.
+	mulParMinFlops = 2 * 64 * 64 * 64
+	// parMinRows is the smallest row chunk handed to a parallel worker.
+	parMinRows = 16
+)
+
+// MulInto computes dst = a*b, reusing dst's backing array when it has
+// capacity (dst may be nil or any shape) and returning the result matrix.
+// The product is bitwise identical to the naive triple-loop product.
+func MulInto(dst, a, b *Matrix) (*Matrix, error) {
+	if a.cols != b.rows {
+		return nil, shapeErr("mul", a, b)
+	}
+	dst = RecycleNoClear(dst, a.rows, b.cols)
+	flops := 2 * a.rows * a.cols * b.cols
+	if flops < mulParMinFlops {
+		mulBlockedRange(dst, a, b, 0, a.rows)
+		return dst, nil
+	}
+	parallelRows(a.rows, parMinRows, func(lo, hi int) {
+		mulBlockedRange(dst, a, b, lo, hi)
+	})
+	return dst, nil
+}
+
+// mulBlockedRange computes rows [lo, hi) of dst = a*b with k/j tiling.
+// Per output cell the additions run in ascending k order with the same
+// skip-zero test as the naive kernel, so the result is bitwise identical.
+func mulBlockedRange(dst, a, b *Matrix, lo, hi int) {
+	k, n := a.cols, b.cols
+	for i := lo; i < hi; i++ {
+		clear(dst.data[i*n : (i+1)*n])
+	}
+	if n == 0 {
+		return
+	}
+	for k0 := 0; k0 < k; k0 += mulBlockK {
+		k1 := k0 + mulBlockK
+		if k1 > k {
+			k1 = k
+		}
+		for j0 := 0; j0 < n; j0 += mulBlockJ {
+			j1 := j0 + mulBlockJ
+			if j1 > n {
+				j1 = n
+			}
+			for i := lo; i < hi; i++ {
+				arow := a.data[i*k : (i+1)*k]
+				crow := dst.data[i*n+j0 : i*n+j1]
+				for kk := k0; kk < k1; kk++ {
+					av := arow[kk]
+					if av == 0 {
+						continue
+					}
+					brow := b.data[kk*n+j0 : kk*n+j1]
+					for j, bv := range brow {
+						crow[j] += av * bv
+					}
+				}
+			}
+		}
+	}
+}
+
+// naiveMulInto is the pre-blocking reference kernel (single goroutine,
+// no tiling). It is kept as the benchmark baseline the CI bench-kernels
+// job compares the blocked kernel against, and as the bit-exactness oracle
+// in tests.
+func naiveMulInto(dst, a, b *Matrix) *Matrix {
+	dst = Recycle(dst, a.rows, b.cols)
+	for i := 0; i < a.rows; i++ {
+		arow := a.Row(i)
+		orow := dst.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return dst
+}
+
+// MulVecInto computes dst = m*v, reusing dst when cap(dst) >= m.rows.
+// Each output element is an ascending-index dot product — identical
+// order to the serial kernel — parallelised across rows.
+func MulVecInto(dst []float64, m *Matrix, v []float64) ([]float64, error) {
+	if m.cols != len(v) {
+		return nil, shapeErrVec("mulvec", m, len(v))
+	}
+	if cap(dst) >= m.rows {
+		dst = dst[:m.rows]
+	} else {
+		dst = make([]float64, m.rows)
+	}
+	parallelRows(m.rows, 4*parMinRows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := m.data[i*m.cols : (i+1)*m.cols]
+			s := 0.0
+			for j, a := range row {
+				s += a * v[j]
+			}
+			dst[i] = s
+		}
+	})
+	return dst, nil
+}
+
+// TInto writes m's transpose into dst (reused when capacity allows) using
+// square tiles so both source and destination are walked cache-friendly.
+func TInto(dst, m *Matrix) *Matrix {
+	dst = RecycleNoClear(dst, m.cols, m.rows)
+	const tile = 32 // 32x32 float64 tile = 8 KiB working set
+	r, c := m.rows, m.cols
+	for i0 := 0; i0 < r; i0 += tile {
+		i1 := i0 + tile
+		if i1 > r {
+			i1 = r
+		}
+		for j0 := 0; j0 < c; j0 += tile {
+			j1 := j0 + tile
+			if j1 > c {
+				j1 = c
+			}
+			for i := i0; i < i1; i++ {
+				row := m.data[i*c : (i+1)*c]
+				for j := j0; j < j1; j++ {
+					dst.data[j*r+i] = row[j]
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// MulTransposeAInto computes dst = aᵀ*b without materialising aᵀ.
+// a is n x p, b is n x q, dst is p x q. Per output cell the additions run
+// in ascending-k order, bitwise identical to naive aᵀ then Mul.
+func MulTransposeAInto(dst, a, b *Matrix) (*Matrix, error) {
+	if a.rows != b.rows {
+		return nil, shapeErr("mulTa", a, b)
+	}
+	dst = Recycle(dst, a.cols, b.cols)
+	return dst, mulTransposeAAccum(dst, a, b)
+}
+
+// MulTransposeAAccum computes dst += aᵀ*b (dst must already be p x q).
+// Gradient accumulation uses this to fold the += into the matmul.
+func MulTransposeAAccum(dst, a, b *Matrix) error {
+	if a.rows != b.rows {
+		return shapeErr("mulTa", a, b)
+	}
+	if dst.rows != a.cols || dst.cols != b.cols {
+		return shapeErr("mulTa dst", dst, b)
+	}
+	return mulTransposeAAccum(dst, a, b)
+}
+
+func mulTransposeAAccum(dst, a, b *Matrix) error {
+	n, p, q := a.rows, a.cols, b.cols
+	if q == 0 || p == 0 {
+		return nil
+	}
+	// Parallel over dst rows (= columns of a): worker for [lo,hi) reads
+	// a[k][lo:hi] and all of b; k ascends so per-cell order matches the
+	// serial kernel exactly.
+	parallelRows(p, parMinRows/2, func(lo, hi int) {
+		for k := 0; k < n; k++ {
+			arow := a.data[k*p : (k+1)*p]
+			brow := b.data[k*q : (k+1)*q]
+			for i := lo; i < hi; i++ {
+				av := arow[i]
+				if av == 0 {
+					continue
+				}
+				crow := dst.data[i*q : (i+1)*q]
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
+			}
+		}
+	})
+	return nil
+}
+
+// MulTransposeBInto computes dst = a*bᵀ without materialising bᵀ.
+// a is m x k, b is n x k, dst is m x n: dst[i][j] = dot(a.Row(i), b.Row(j)),
+// each dot in ascending-index order (bitwise identical to naive a*(bᵀ)).
+func MulTransposeBInto(dst, a, b *Matrix) (*Matrix, error) {
+	if a.cols != b.cols {
+		return nil, shapeErr("mulTb", a, b)
+	}
+	dst = RecycleNoClear(dst, a.rows, b.rows)
+	k, n := a.cols, b.rows
+	parallelRows(a.rows, parMinRows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.data[i*k : (i+1)*k]
+			crow := dst.data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				brow := b.data[j*k : (j+1)*k]
+				s := 0.0
+				for kk, av := range arow {
+					s += av * brow[kk]
+				}
+				crow[j] = s
+			}
+		}
+	})
+	return dst, nil
+}
+
+// AddInto computes dst = a + b elementwise, reusing dst when capacity
+// allows. dst may alias a or b for in-place accumulation.
+func AddInto(dst, a, b *Matrix) (*Matrix, error) {
+	if a.rows != b.rows || a.cols != b.cols {
+		return nil, shapeErr("add", a, b)
+	}
+	if dst != a && dst != b {
+		dst = RecycleNoClear(dst, a.rows, a.cols)
+	}
+	ad, bd, dd := a.data, b.data, dst.data
+	for i := range dd {
+		dd[i] = ad[i] + bd[i]
+	}
+	return dst, nil
+}
+
+// Recycle returns a zeroed rows x cols matrix, reusing m's backing array
+// when it has capacity. m may be nil or any shape; the returned matrix may
+// alias m's storage, so callers must treat m as invalidated.
+func Recycle(m *Matrix, rows, cols int) *Matrix {
+	m = RecycleNoClear(m, rows, cols)
+	clear(m.data)
+	return m
+}
+
+// RecycleNoClear is Recycle without zeroing; every element will be
+// overwritten by the caller.
+func RecycleNoClear(m *Matrix, rows, cols int) *Matrix {
+	n := rows * cols
+	if m != nil && cap(m.data) >= n {
+		m.data = m.data[:n]
+		m.rows, m.cols = rows, cols
+		return m
+	}
+	return New(rows, cols)
+}
+
+// RecycleVec returns a length-n slice reusing v's capacity when possible,
+// without zeroing.
+func RecycleVec(v []float64, n int) []float64 {
+	if cap(v) >= n {
+		return v[:n]
+	}
+	return make([]float64, n)
+}
+
+// SelectRowsInto copies rows idx of m into dst, reusing dst's backing.
+func SelectRowsInto(dst, m *Matrix, idx []int) *Matrix {
+	dst = RecycleNoClear(dst, len(idx), m.cols)
+	for k, i := range idx {
+		copy(dst.Row(k), m.Row(i))
+	}
+	return dst
+}
+
+// ColMeansStds computes per-column means and population standard deviations
+// in a single pass, shifted by row 0 for numerical stability (see ColStds).
+// The returned means equal shift + Σ(x-shift)/n, which can differ from
+// ColMeans (Σx/n) in the last bits; StandardScaler uses this fused form.
+func (m *Matrix) ColMeansStds() (means, stds []float64) {
+	means = make([]float64, m.cols)
+	stds = make([]float64, m.cols)
+	if m.rows == 0 {
+		return means, stds
+	}
+	shift := m.RowCopy(0)
+	d1 := make([]float64, m.cols) // Σ (x - shift)
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			d := v - shift[j]
+			d1[j] += d
+			stds[j] += d * d // Σ (x - shift)^2, accumulated in place
+		}
+	}
+	n := float64(m.rows)
+	for j := range means {
+		md := d1[j] / n
+		means[j] = shift[j] + md
+		// var = Σd² /n - (Σd/n)² ; shifted by a data value so the two
+		// terms are commensurate and cancellation stays benign.
+		v := stds[j]/n - md*md
+		if v < 0 {
+			v = 0 // guard rounding for constant columns
+		}
+		stds[j] = math.Sqrt(v)
+	}
+	return means, stds
+}
+
+func shapeErr(op string, a, b *Matrix) error {
+	return fmt.Errorf("%w: %s %dx%d by %dx%d", ErrShape, op, a.rows, a.cols, b.rows, b.cols)
+}
+
+func shapeErrVec(op string, m *Matrix, n int) error {
+	return fmt.Errorf("%w: %s %dx%d by %d", ErrShape, op, m.rows, m.cols, n)
+}

@@ -130,16 +130,9 @@ func (m *Matrix) SliceRows(a, b int) *Matrix {
 	return out
 }
 
-// T returns the transpose of m as a new matrix.
+// T returns the transpose of m as a new matrix (tiled; see TInto).
 func (m *Matrix) T() *Matrix {
-	out := New(m.cols, m.rows)
-	for i := 0; i < m.rows; i++ {
-		row := m.Row(i)
-		for j, v := range row {
-			out.data[j*m.rows+i] = v
-		}
-	}
-	return out
+	return TInto(nil, m)
 }
 
 // Add returns m + b.
@@ -175,43 +168,18 @@ func (m *Matrix) Scale(s float64) *Matrix {
 	return out
 }
 
-// Mul returns the matrix product m*b.
+// Mul returns the matrix product m*b. The kernel is cache-blocked and
+// parallel above a size cutoff (see kernels.go) but bitwise identical to
+// the naive triple loop at any worker count.
 func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
-	if m.cols != b.rows {
-		return nil, fmt.Errorf("%w: mul %dx%d by %dx%d", ErrShape, m.rows, m.cols, b.rows, b.cols)
-	}
-	out := New(m.rows, b.cols)
-	for i := 0; i < m.rows; i++ {
-		arow := m.Row(i)
-		orow := out.Row(i)
-		for k, a := range arow {
-			if a == 0 {
-				continue
-			}
-			brow := b.Row(k)
-			for j, bv := range brow {
-				orow[j] += a * bv
-			}
-		}
-	}
-	return out, nil
+	return MulInto(nil, m, b)
 }
 
-// MulVec returns the matrix-vector product m*v.
+// MulVec returns the matrix-vector product m*v. Each element is an
+// ascending-index dot product; rows are computed in parallel above a
+// size cutoff with bitwise-identical results.
 func (m *Matrix) MulVec(v []float64) ([]float64, error) {
-	if m.cols != len(v) {
-		return nil, fmt.Errorf("%w: mulvec %dx%d by %d", ErrShape, m.rows, m.cols, len(v))
-	}
-	out := make([]float64, m.rows)
-	for i := 0; i < m.rows; i++ {
-		row := m.Row(i)
-		s := 0.0
-		for j, a := range row {
-			s += a * v[j]
-		}
-		out[i] = s
-	}
-	return out, nil
+	return MulVecInto(nil, m, v)
 }
 
 // ColMeans returns the per-column mean.
@@ -231,22 +199,13 @@ func (m *Matrix) ColMeans() []float64 {
 	return means
 }
 
-// ColStds returns the per-column (population) standard deviation.
+// ColStds returns the per-column (population) standard deviation in a
+// single pass over the data. Sums are shifted by row 0 — a value of the
+// column's own magnitude — so the one-pass variance Σd²/n - (Σd/n)²
+// stays numerically benign even for large-offset data (unlike the
+// textbook ΣX²-based one-pass form); see TestColStatsStability.
 func (m *Matrix) ColStds() []float64 {
-	stds := make([]float64, m.cols)
-	if m.rows == 0 {
-		return stds
-	}
-	means := m.ColMeans()
-	for i := 0; i < m.rows; i++ {
-		for j, v := range m.Row(i) {
-			d := v - means[j]
-			stds[j] += d * d
-		}
-	}
-	for j := range stds {
-		stds[j] = math.Sqrt(stds[j] / float64(m.rows))
-	}
+	_, stds := m.ColMeansStds()
 	return stds
 }
 
@@ -284,28 +243,49 @@ func (m *Matrix) ColMaxs() []float64 {
 	return maxs
 }
 
-// Covariance returns the cols x cols sample covariance matrix of m's columns.
-// With fewer than two rows, the result is all zeros.
+// Covariance returns the cols x cols sample covariance matrix of m's
+// columns in a single pass over the data (the old kernel needed a ColMeans
+// pass first). Products are accumulated about a row-0 shift s:
+//
+//	cov[a][b] = (Σ(xa-sa)(xb-sb) - Da*Db/n) / (n-1),  Da = Σ(xa-sa)
+//
+// Shifting by an actual data row keeps the correction term commensurate
+// with the product sum, so cancellation stays benign for large-offset data
+// (see TestCovarianceStability). The kernel is serial: it feeds the Jacobi
+// eigensolver, which dominates PCA cost, and serial accumulation keeps the
+// result independent of the worker budget.
 func (m *Matrix) Covariance() *Matrix {
 	cov := New(m.cols, m.cols)
 	if m.rows < 2 {
 		return cov
 	}
-	means := m.ColMeans()
+	c := m.cols
+	shift := m.RowCopy(0)
+	d := make([]float64, c)    // per-column Σ (x - shift)
+	drow := make([]float64, c) // current row minus shift
 	for i := 0; i < m.rows; i++ {
 		row := m.Row(i)
-		for a := 0; a < m.cols; a++ {
-			da := row[a] - means[a]
+		for j, v := range row {
+			dv := v - shift[j]
+			drow[j] = dv
+			d[j] += dv
+		}
+		for a := 0; a < c; a++ {
+			da := drow[a]
+			if da == 0 {
+				continue
+			}
 			crow := cov.Row(a)
-			for b := a; b < m.cols; b++ {
-				crow[b] += da * (row[b] - means[b])
+			for b := a; b < c; b++ {
+				crow[b] += da * drow[b]
 			}
 		}
 	}
-	n := float64(m.rows - 1)
-	for a := 0; a < m.cols; a++ {
-		for b := a; b < m.cols; b++ {
-			v := cov.At(a, b) / n
+	n := float64(m.rows)
+	n1 := float64(m.rows - 1)
+	for a := 0; a < c; a++ {
+		for b := a; b < c; b++ {
+			v := (cov.At(a, b) - d[a]*d[b]/n) / n1
 			cov.Set(a, b, v)
 			cov.Set(b, a, v)
 		}

@@ -1,0 +1,114 @@
+package matrix
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Kernel parallelism budget.
+//
+// All parallel kernels in this package draw extra workers from one global
+// semaphore instead of spawning GOMAXPROCS goroutines each. The calling
+// goroutine always participates, so a kernel needs 0 tokens to run serially
+// and n-1 tokens to run n-wide; tokens are acquired non-blocking and a kernel
+// simply degrades toward serial when none are available. This is what keeps
+// an 8-way core.Search from oversubscribing the machine with 8 concurrent
+// 8-way matmuls: the search workers collectively share maxWorkers-1 extra
+// kernel goroutines, and under full search parallelism each matmul tends to
+// run serially — which is exactly the right schedule, because the search
+// already saturates the cores with independent work.
+
+// workerSem holds the current semaphore. Capacity = maxWorkers-1 extra
+// goroutines beyond the callers themselves.
+var workerSem atomic.Pointer[chan struct{}]
+
+// maxWorkersVal mirrors the configured budget for Parallelism().
+var maxWorkersVal atomic.Int64
+
+func init() {
+	SetMaxWorkers(runtime.GOMAXPROCS(0))
+}
+
+// SetMaxWorkers sets the total kernel parallelism budget: at most n
+// goroutines (including callers) compute inside this package's parallel
+// kernels at any moment, across all concurrent callers. n < 1 is clamped to
+// 1 (fully serial kernels). The default is GOMAXPROCS at init.
+//
+// Results never depend on this setting: every parallel kernel partitions
+// work so each output element is produced by exactly one goroutine with the
+// same operation order as the serial code.
+func SetMaxWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	sem := make(chan struct{}, n-1)
+	workerSem.Store(&sem)
+	maxWorkersVal.Store(int64(n))
+}
+
+// Parallelism returns the configured kernel worker budget (see SetMaxWorkers).
+func Parallelism() int { return int(maxWorkersVal.Load()) }
+
+// grabWorkers tries to reserve up to want-1 extra worker tokens without
+// blocking. It returns the number reserved and the semaphore to release
+// them to.
+func grabWorkers(want int) (int, chan struct{}) {
+	if want <= 1 {
+		return 0, nil
+	}
+	sem := *workerSem.Load()
+	n := 0
+	for n < want-1 {
+		select {
+		case sem <- struct{}{}:
+			n++
+		default:
+			return n, sem
+		}
+	}
+	return n, sem
+}
+
+// parallelRows splits [0, rows) into contiguous chunks and runs fn on each,
+// using the calling goroutine plus however many extra workers the global
+// budget grants (possibly zero). minRows bounds the smallest chunk so tiny
+// matrices stay serial. fn must be safe to call concurrently on disjoint
+// ranges.
+func parallelRows(rows, minRows int, fn func(lo, hi int)) {
+	if minRows < 1 {
+		minRows = 1
+	}
+	want := rows / minRows
+	if want <= 1 {
+		fn(0, rows)
+		return
+	}
+	extra, sem := grabWorkers(want)
+	if extra == 0 {
+		fn(0, rows)
+		return
+	}
+	workers := extra + 1
+	chunk := (rows + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 1; w < workers; w++ {
+		lo := w * chunk
+		if lo >= rows {
+			<-sem // chunking rounded up; return the unused token
+			continue
+		}
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	fn(0, chunk)
+	wg.Wait()
+}

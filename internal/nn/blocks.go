@@ -21,6 +21,8 @@ type GatedResidualBlock struct {
 
 	lastA, lastB *matrix.Matrix // pre-activation conv outputs
 	lastGated    *matrix.Matrix
+
+	out, da, db, dxSum *matrix.Matrix // reused scratch (see Layer)
 }
 
 // NewGatedResidualBlock builds a block with the given kernel and dilation.
@@ -45,7 +47,7 @@ func (b *GatedResidualBlock) Forward(x *matrix.Matrix, training bool) (*matrix.M
 		return nil, fmt.Errorf("nn: gated block gate conv: %w", err)
 	}
 	b.lastA, b.lastB = a, g
-	gated := matrix.New(a.Rows(), a.Cols())
+	gated := matrix.RecycleNoClear(b.lastGated, a.Rows(), a.Cols())
 	ad, gd, od := a.Data(), g.Data(), gated.Data()
 	for i := range od {
 		od[i] = math.Tanh(ad[i]) * sigmoidNN(gd[i])
@@ -55,10 +57,11 @@ func (b *GatedResidualBlock) Forward(x *matrix.Matrix, training bool) (*matrix.M
 	if err != nil {
 		return nil, fmt.Errorf("nn: gated block projection: %w", err)
 	}
-	out, err := x.Add(r)
+	out, err := matrix.AddInto(b.out, x, r)
 	if err != nil {
 		return nil, fmt.Errorf("nn: gated block residual: %w", err)
 	}
+	b.out = out
 	return out, nil
 }
 
@@ -71,8 +74,9 @@ func (b *GatedResidualBlock) Backward(grad *matrix.Matrix) (*matrix.Matrix, erro
 	if err != nil {
 		return nil, fmt.Errorf("nn: gated block projection backward: %w", err)
 	}
-	da := matrix.New(dGated.Rows(), dGated.Cols())
-	db := matrix.New(dGated.Rows(), dGated.Cols())
+	da := matrix.RecycleNoClear(b.da, dGated.Rows(), dGated.Cols())
+	db := matrix.RecycleNoClear(b.db, dGated.Rows(), dGated.Cols())
+	b.da, b.db = da, db
 	ad, gd := b.lastA.Data(), b.lastB.Data()
 	dgd, dad, dbd := dGated.Data(), da.Data(), db.Data()
 	for i := range dgd {
@@ -90,12 +94,12 @@ func (b *GatedResidualBlock) Backward(grad *matrix.Matrix) (*matrix.Matrix, erro
 		return nil, fmt.Errorf("nn: gated block gate backward: %w", err)
 	}
 	// dx = grad (residual path) + filter path + gate path.
-	dx, err := grad.Add(dxF)
+	dx, err := matrix.AddInto(b.dxSum, grad, dxF)
 	if err != nil {
 		return nil, fmt.Errorf("nn: gated block residual grad: %w", err)
 	}
-	dx, err = dx.Add(dxG)
-	if err != nil {
+	b.dxSum = dx
+	if _, err = matrix.AddInto(dx, dx, dxG); err != nil {
 		return nil, fmt.Errorf("nn: gated block gate grad: %w", err)
 	}
 	return dx, nil
@@ -120,6 +124,8 @@ type ResidualConvBlock struct {
 	conv *Conv1D
 	proj *Conv1D
 	relu *ReLU
+
+	out, dxSum *matrix.Matrix // reused scratch (see Layer)
 }
 
 // NewResidualConvBlock builds a block with the given kernel and dilation.
@@ -147,10 +153,11 @@ func (b *ResidualConvBlock) Forward(x *matrix.Matrix, training bool) (*matrix.Ma
 	if err != nil {
 		return nil, fmt.Errorf("nn: residual block projection: %w", err)
 	}
-	out, err := x.Add(r)
+	out, err := matrix.AddInto(b.out, x, r)
 	if err != nil {
 		return nil, fmt.Errorf("nn: residual block sum: %w", err)
 	}
+	b.out = out
 	return out, nil
 }
 
@@ -168,10 +175,11 @@ func (b *ResidualConvBlock) Backward(grad *matrix.Matrix) (*matrix.Matrix, error
 	if err != nil {
 		return nil, fmt.Errorf("nn: residual block conv backward: %w", err)
 	}
-	dx, err := grad.Add(dxC)
+	dx, err := matrix.AddInto(b.dxSum, grad, dxC)
 	if err != nil {
 		return nil, fmt.Errorf("nn: residual block grad sum: %w", err)
 	}
+	b.dxSum = dx
 	return dx, nil
 }
 

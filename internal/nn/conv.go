@@ -13,6 +13,14 @@ import (
 // inputs at or before t (left zero padding), enabling the WaveNet-style
 // dilated stacks; otherwise the convolution is "valid" and the output
 // shrinks by (Kernel-1)*Dilation timesteps.
+//
+// Both passes are expressed as matmuls over an im2col scratch buffer: each
+// (sample, output step) pair becomes a row holding its Kernel*InChannels
+// receptive field (zeros where a causal tap falls into the padding), so the
+// convolution is one (batch*outLen) x (K*IC) by (K*IC) x Filters product
+// through the blocked kernels. Output values can differ from the previous
+// scalar loops in the last bits (the bias is now added after the taps);
+// gradients follow the same im2col/col2im structure.
 type Conv1D struct {
 	SeqLen     int // input timesteps
 	InChannels int
@@ -23,6 +31,11 @@ type Conv1D struct {
 
 	w, b  *Param // w is (Kernel*InChannels) x Filters
 	lastX *matrix.Matrix
+
+	cols  *matrix.Matrix // (batch*outLen) x (Kernel*InChannels) im2col
+	out   *matrix.Matrix
+	dcols *matrix.Matrix
+	dx    *matrix.Matrix
 }
 
 // NewConv1D builds a convolution with He-uniform initialization.
@@ -74,27 +87,37 @@ func (c *Conv1D) Forward(x *matrix.Matrix, _ bool) (*matrix.Matrix, error) {
 		return nil, fmt.Errorf("%w: conv1d kernel %d dilation %d too large for %d steps", ErrShape, c.Kernel, c.Dilation, c.SeqLen)
 	}
 	c.lastX = x
-	out := matrix.New(x.Rows(), outLen*c.Filters)
-	w := c.w.W
-	bias := c.b.W.Row(0)
-	for i := 0; i < x.Rows(); i++ {
+	batch := x.Rows()
+	ic := c.InChannels
+	cols := matrix.Recycle(c.cols, batch*outLen, c.Kernel*ic) // zeros feed causal padding
+	c.cols = cols
+	for i := 0; i < batch; i++ {
 		in := x.Row(i)
-		dst := out.Row(i)
 		for t := 0; t < outLen; t++ {
-			for f := 0; f < c.Filters; f++ {
-				s := bias[f]
-				for k := 0; k < c.Kernel; k++ {
-					tin := c.inTime(t, k)
-					if tin < 0 {
-						continue
-					}
-					base := tin * c.InChannels
-					for ch := 0; ch < c.InChannels; ch++ {
-						s += w.At(k*c.InChannels+ch, f) * in[base+ch]
-					}
+			dst := cols.Row(i*outLen + t)
+			for k := 0; k < c.Kernel; k++ {
+				tin := c.inTime(t, k)
+				if tin < 0 {
+					continue
 				}
-				dst[t*c.Filters+f] = s
+				copy(dst[k*ic:(k+1)*ic], in[tin*ic:(tin+1)*ic])
 			}
+		}
+	}
+	out := matrix.RecycleNoClear(c.out, batch, outLen*c.Filters)
+	c.out = out
+	outView, err := matrix.FromSlice(batch*outLen, c.Filters, out.Data())
+	if err != nil {
+		return nil, fmt.Errorf("nn: conv1d forward view: %w", err)
+	}
+	if _, err := matrix.MulInto(outView, cols, c.w.W); err != nil {
+		return nil, fmt.Errorf("nn: conv1d forward: %w", err)
+	}
+	bias := c.b.W.Row(0)
+	for r := 0; r < outView.Rows(); r++ {
+		row := outView.Row(r)
+		for f, bv := range bias {
+			row[f] += bv
 		}
 	}
 	return out, nil
@@ -106,35 +129,46 @@ func (c *Conv1D) Backward(grad *matrix.Matrix) (*matrix.Matrix, error) {
 		return nil, fmt.Errorf("nn: conv1d backward before forward")
 	}
 	outLen := c.OutLen()
-	if grad.Cols() != outLen*c.Filters || grad.Rows() != c.lastX.Rows() {
+	batch := c.lastX.Rows()
+	if grad.Cols() != outLen*c.Filters || grad.Rows() != batch {
 		return nil, fmt.Errorf("%w: conv1d backward grad %dx%d", ErrShape, grad.Rows(), grad.Cols())
 	}
-	dx := matrix.New(c.lastX.Rows(), c.lastX.Cols())
-	wGrad := c.w.Grad
+	gview, err := matrix.FromSlice(batch*outLen, c.Filters, grad.Data())
+	if err != nil {
+		return nil, fmt.Errorf("nn: conv1d backward view: %w", err)
+	}
 	bGrad := c.b.Grad.Row(0)
-	w := c.w.W
-	for i := 0; i < grad.Rows(); i++ {
-		in := c.lastX.Row(i)
+	for r := 0; r < gview.Rows(); r++ {
+		for f, v := range gview.Row(r) {
+			bGrad[f] += v
+		}
+	}
+	// dW += colsᵀ * grad over every (sample, step) row at once.
+	if err := matrix.MulTransposeAAccum(c.w.Grad, c.cols, gview); err != nil {
+		return nil, fmt.Errorf("nn: conv1d backward dW: %w", err)
+	}
+	dcols, err := matrix.MulTransposeBInto(c.dcols, gview, c.w.W)
+	if err != nil {
+		return nil, fmt.Errorf("nn: conv1d backward dcols: %w", err)
+	}
+	c.dcols = dcols
+	// col2im: scatter-add receptive-field gradients back onto timesteps.
+	ic := c.InChannels
+	dx := matrix.Recycle(c.dx, batch, c.SeqLen*ic)
+	c.dx = dx
+	for i := 0; i < batch; i++ {
 		dIn := dx.Row(i)
-		g := grad.Row(i)
 		for t := 0; t < outLen; t++ {
-			for f := 0; f < c.Filters; f++ {
-				gv := g[t*c.Filters+f]
-				if gv == 0 {
+			src := dcols.Row(i*outLen + t)
+			for k := 0; k < c.Kernel; k++ {
+				tin := c.inTime(t, k)
+				if tin < 0 {
 					continue
 				}
-				bGrad[f] += gv
-				for k := 0; k < c.Kernel; k++ {
-					tin := c.inTime(t, k)
-					if tin < 0 {
-						continue
-					}
-					base := tin * c.InChannels
-					for ch := 0; ch < c.InChannels; ch++ {
-						wi := k*c.InChannels + ch
-						wGrad.Set(wi, f, wGrad.At(wi, f)+gv*in[base+ch])
-						dIn[base+ch] += gv * w.At(wi, f)
-					}
+				d := dIn[tin*ic : (tin+1)*ic]
+				s := src[k*ic : (k+1)*ic]
+				for ch, v := range s {
+					d[ch] += v
 				}
 			}
 		}
@@ -152,8 +186,9 @@ type MaxPool1D struct {
 	Channels int
 	Pool     int
 
-	argmax []int // per forward: flattened output position -> input col
-	rows   int
+	argmax  []int // per forward: flattened output position -> input col
+	rows    int
+	out, dx *matrix.Matrix
 }
 
 // NewMaxPool1D builds a pooling layer; SeqLen must be >= Pool.
@@ -173,9 +208,15 @@ func (m *MaxPool1D) Forward(x *matrix.Matrix, _ bool) (*matrix.Matrix, error) {
 		return nil, fmt.Errorf("%w: maxpool expects %d cols, got %d", ErrShape, m.SeqLen*m.Channels, x.Cols())
 	}
 	outLen := m.OutLen()
-	out := matrix.New(x.Rows(), outLen*m.Channels)
+	out := matrix.RecycleNoClear(m.out, x.Rows(), outLen*m.Channels)
+	m.out = out
 	m.rows = x.Rows()
-	m.argmax = make([]int, x.Rows()*outLen*m.Channels)
+	need := x.Rows() * outLen * m.Channels
+	if cap(m.argmax) >= need {
+		m.argmax = m.argmax[:need]
+	} else {
+		m.argmax = make([]int, need)
+	}
 	for i := 0; i < x.Rows(); i++ {
 		in := x.Row(i)
 		dst := out.Row(i)
@@ -205,7 +246,8 @@ func (m *MaxPool1D) Backward(grad *matrix.Matrix) (*matrix.Matrix, error) {
 	if m.argmax == nil || grad.Rows() != m.rows || grad.Cols() != outLen*m.Channels {
 		return nil, fmt.Errorf("%w: maxpool backward without matching forward", ErrShape)
 	}
-	dx := matrix.New(m.rows, m.SeqLen*m.Channels)
+	dx := matrix.Recycle(m.dx, m.rows, m.SeqLen*m.Channels)
+	m.dx = dx
 	for i := 0; i < grad.Rows(); i++ {
 		g := grad.Row(i)
 		dIn := dx.Row(i)
@@ -225,6 +267,7 @@ type LastTimestep struct {
 	SeqLen   int
 	Channels int
 	rows     int
+	out, dx  *matrix.Matrix
 }
 
 // NewLastTimestep builds the extraction layer.
@@ -238,7 +281,8 @@ func (l *LastTimestep) Forward(x *matrix.Matrix, _ bool) (*matrix.Matrix, error)
 		return nil, fmt.Errorf("%w: lasttimestep expects %d cols, got %d", ErrShape, l.SeqLen*l.Channels, x.Cols())
 	}
 	l.rows = x.Rows()
-	out := matrix.New(x.Rows(), l.Channels)
+	out := matrix.RecycleNoClear(l.out, x.Rows(), l.Channels)
+	l.out = out
 	off := (l.SeqLen - 1) * l.Channels
 	for i := 0; i < x.Rows(); i++ {
 		copy(out.Row(i), x.Row(i)[off:off+l.Channels])
@@ -251,7 +295,8 @@ func (l *LastTimestep) Backward(grad *matrix.Matrix) (*matrix.Matrix, error) {
 	if grad.Rows() != l.rows || grad.Cols() != l.Channels {
 		return nil, fmt.Errorf("%w: lasttimestep backward grad %dx%d", ErrShape, grad.Rows(), grad.Cols())
 	}
-	dx := matrix.New(l.rows, l.SeqLen*l.Channels)
+	dx := matrix.Recycle(l.dx, l.rows, l.SeqLen*l.Channels)
+	l.dx = dx
 	off := (l.SeqLen - 1) * l.Channels
 	for i := 0; i < grad.Rows(); i++ {
 		copy(dx.Row(i)[off:off+l.Channels], grad.Row(i))

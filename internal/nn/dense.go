@@ -13,6 +13,8 @@ type Dense struct {
 	In, Out int
 	w, b    *Param
 	lastX   *matrix.Matrix
+
+	out, dx *matrix.Matrix // reused forward/backward scratch (see Layer)
 }
 
 // NewDense builds a Dense layer with Glorot-uniform initialization from rng.
@@ -32,10 +34,11 @@ func (d *Dense) Forward(x *matrix.Matrix, _ bool) (*matrix.Matrix, error) {
 		return nil, fmt.Errorf("%w: dense expects %d inputs, got %d", ErrShape, d.In, x.Cols())
 	}
 	d.lastX = x
-	out, err := x.Mul(d.w.W)
+	out, err := matrix.MulInto(d.out, x, d.w.W)
 	if err != nil {
 		return nil, fmt.Errorf("nn: dense forward: %w", err)
 	}
+	d.out = out
 	bias := d.b.W.Row(0)
 	for i := 0; i < out.Rows(); i++ {
 		row := out.Row(i)
@@ -51,13 +54,9 @@ func (d *Dense) Backward(grad *matrix.Matrix) (*matrix.Matrix, error) {
 	if d.lastX == nil {
 		return nil, fmt.Errorf("nn: dense backward before forward")
 	}
-	dw, err := d.lastX.T().Mul(grad)
-	if err != nil {
+	// dW += xᵀ*grad, folded into the gradient without materialising xᵀ.
+	if err := matrix.MulTransposeAAccum(d.w.Grad, d.lastX, grad); err != nil {
 		return nil, fmt.Errorf("nn: dense backward dW: %w", err)
-	}
-	wd := d.w.Grad.Data()
-	for i, v := range dw.Data() {
-		wd[i] += v
 	}
 	bd := d.b.Grad.Row(0)
 	for i := 0; i < grad.Rows(); i++ {
@@ -65,10 +64,11 @@ func (d *Dense) Backward(grad *matrix.Matrix) (*matrix.Matrix, error) {
 			bd[j] += v
 		}
 	}
-	dx, err := grad.Mul(d.w.W.T())
+	dx, err := matrix.MulTransposeBInto(d.dx, grad, d.w.W)
 	if err != nil {
 		return nil, fmt.Errorf("nn: dense backward dX: %w", err)
 	}
+	d.dx = dx
 	return dx, nil
 }
 
@@ -77,7 +77,8 @@ func (d *Dense) Parameters() []*Param { return []*Param{d.w, d.b} }
 
 // ReLU applies max(0, x) elementwise.
 type ReLU struct {
-	mask []bool
+	mask    []bool
+	out, dx *matrix.Matrix
 }
 
 // NewReLU returns a ReLU activation.
@@ -85,13 +86,20 @@ func NewReLU() *ReLU { return &ReLU{} }
 
 // Forward applies the activation.
 func (r *ReLU) Forward(x *matrix.Matrix, _ bool) (*matrix.Matrix, error) {
-	out := x.Clone()
-	d := out.Data()
-	r.mask = make([]bool, len(d))
-	for i, v := range d {
+	out := matrix.RecycleNoClear(r.out, x.Rows(), x.Cols())
+	r.out = out
+	src, d := x.Data(), out.Data()
+	if cap(r.mask) >= len(d) {
+		r.mask = r.mask[:len(d)]
+	} else {
+		r.mask = make([]bool, len(d))
+	}
+	for i, v := range src {
 		if v > 0 {
 			r.mask[i] = true
+			d[i] = v
 		} else {
+			r.mask[i] = false
 			d[i] = 0
 		}
 	}
@@ -103,10 +111,13 @@ func (r *ReLU) Backward(grad *matrix.Matrix) (*matrix.Matrix, error) {
 	if r.mask == nil || len(r.mask) != len(grad.Data()) {
 		return nil, fmt.Errorf("%w: relu backward without matching forward", ErrShape)
 	}
-	out := grad.Clone()
-	d := out.Data()
-	for i := range d {
-		if !r.mask[i] {
+	out := matrix.RecycleNoClear(r.dx, grad.Rows(), grad.Cols())
+	r.dx = out
+	src, d := grad.Data(), out.Data()
+	for i, v := range src {
+		if r.mask[i] {
+			d[i] = v
+		} else {
 			d[i] = 0
 		}
 	}
@@ -119,6 +130,7 @@ func (r *ReLU) Parameters() []*Param { return nil }
 // Tanh applies tanh elementwise.
 type Tanh struct {
 	lastOut *matrix.Matrix
+	dx      *matrix.Matrix
 }
 
 // NewTanh returns a tanh activation.
@@ -126,12 +138,12 @@ func NewTanh() *Tanh { return &Tanh{} }
 
 // Forward applies tanh.
 func (t *Tanh) Forward(x *matrix.Matrix, _ bool) (*matrix.Matrix, error) {
-	out := x.Clone()
-	d := out.Data()
-	for i, v := range d {
+	out := matrix.RecycleNoClear(t.lastOut, x.Rows(), x.Cols())
+	t.lastOut = out
+	src, d := x.Data(), out.Data()
+	for i, v := range src {
 		d[i] = math.Tanh(v)
 	}
-	t.lastOut = out
 	return out, nil
 }
 
@@ -140,11 +152,12 @@ func (t *Tanh) Backward(grad *matrix.Matrix) (*matrix.Matrix, error) {
 	if t.lastOut == nil || len(t.lastOut.Data()) != len(grad.Data()) {
 		return nil, fmt.Errorf("%w: tanh backward without matching forward", ErrShape)
 	}
-	out := grad.Clone()
-	d := out.Data()
+	out := matrix.RecycleNoClear(t.dx, grad.Rows(), grad.Cols())
+	t.dx = out
+	src, d := grad.Data(), out.Data()
 	o := t.lastOut.Data()
-	for i := range d {
-		d[i] *= 1 - o[i]*o[i]
+	for i, v := range src {
+		d[i] = v * (1 - o[i]*o[i])
 	}
 	return out, nil
 }
@@ -155,9 +168,10 @@ func (t *Tanh) Parameters() []*Param { return nil }
 // Dropout zeroes each activation with probability Rate during training,
 // scaling survivors by 1/(1-Rate) (inverted dropout); inference is identity.
 type Dropout struct {
-	Rate float64
-	rng  *rand.Rand
-	mask []float64
+	Rate    float64
+	rng     *rand.Rand
+	mask    []float64
+	out, dx *matrix.Matrix
 }
 
 // NewDropout builds a dropout layer; rate must be in [0, 1).
@@ -174,14 +188,19 @@ func (d *Dropout) Forward(x *matrix.Matrix, training bool) (*matrix.Matrix, erro
 		d.mask = nil
 		return x, nil
 	}
-	out := x.Clone()
-	data := out.Data()
-	d.mask = make([]float64, len(data))
+	out := matrix.RecycleNoClear(d.out, x.Rows(), x.Cols())
+	d.out = out
+	src, data := x.Data(), out.Data()
+	if cap(d.mask) >= len(data) {
+		d.mask = d.mask[:len(data)]
+	} else {
+		d.mask = make([]float64, len(data))
+	}
 	keep := 1 - d.Rate
-	for i := range data {
+	for i, v := range src {
 		if d.rng.Float64() < keep {
 			d.mask[i] = 1 / keep
-			data[i] *= d.mask[i]
+			data[i] = v * d.mask[i]
 		} else {
 			d.mask[i] = 0
 			data[i] = 0
@@ -198,10 +217,11 @@ func (d *Dropout) Backward(grad *matrix.Matrix) (*matrix.Matrix, error) {
 	if len(d.mask) != len(grad.Data()) {
 		return nil, fmt.Errorf("%w: dropout backward without matching forward", ErrShape)
 	}
-	out := grad.Clone()
-	data := out.Data()
-	for i := range data {
-		data[i] *= d.mask[i]
+	out := matrix.RecycleNoClear(d.dx, grad.Rows(), grad.Cols())
+	d.dx = out
+	src, data := grad.Data(), out.Data()
+	for i, v := range src {
+		data[i] = v * d.mask[i]
 	}
 	return out, nil
 }

@@ -17,6 +17,14 @@ import (
 //
 // Gate layout in the packed weight matrices is [input | forget | cell | output],
 // each Hidden wide.
+//
+// The recurrence is batched: the input projection for every timestep is one
+// (batch*SeqLen) x InSize by InSize x 4*Hidden matmul over a no-copy view of
+// the input, and BPTT collects all pre-activation gate gradients into one
+// (batch*SeqLen) x 4*Hidden buffer so the input-weight gradient and the
+// input gradient are each a single matmul. Values can differ from a
+// per-element recurrence in the last bits (summation order), bounded by
+// normal dot-product rounding; results are still deterministic for a seed.
 type LSTM struct {
 	SeqLen    int
 	InSize    int
@@ -27,11 +35,21 @@ type LSTM struct {
 	wh *Param // Hidden x 4*Hidden
 	b  *Param // 1 x 4*Hidden
 
-	// Forward caches for BPTT (per timestep).
+	// Forward caches for BPTT (per timestep), recycled across calls.
 	lastX *matrix.Matrix
 	hs    []*matrix.Matrix // hidden states, hs[t] is batch x Hidden (t = -1 stored at index 0)
 	cs    []*matrix.Matrix // cell states, same indexing
 	gates []*matrix.Matrix // post-activation gates, batch x 4*Hidden
+
+	// Scratch buffers (see Layer contract).
+	xw         *matrix.Matrix // (batch*SeqLen) x 4H input projections
+	hw         *matrix.Matrix // batch x 4H recurrent projection
+	out        *matrix.Matrix
+	dGt        *matrix.Matrix // batch x 4H pre-activation gate grads at t
+	dGAll      *matrix.Matrix // (batch*SeqLen) x 4H collected gate grads
+	dh, dhNext *matrix.Matrix
+	dc         *matrix.Matrix
+	dx         *matrix.Matrix
 }
 
 // NewLSTM builds an LSTM with Glorot-uniform weights and forget-gate bias 1.
@@ -58,6 +76,17 @@ func NewLSTM(seqLen, inSize, hidden int, rng *rand.Rand) *LSTM {
 	return l
 }
 
+// recycleStates resizes a per-timestep buffer slice, keeping entries so
+// their backing arrays are reused.
+func recycleStates(ms []*matrix.Matrix, n int) []*matrix.Matrix {
+	if cap(ms) >= n {
+		return ms[:n]
+	}
+	out := make([]*matrix.Matrix, n)
+	copy(out, ms)
+	return out
+}
+
 // Forward runs the recurrence and returns the final hidden state.
 func (l *LSTM) Forward(x *matrix.Matrix, _ bool) (*matrix.Matrix, error) {
 	if x.Cols() != l.SeqLen*l.InSize {
@@ -66,41 +95,41 @@ func (l *LSTM) Forward(x *matrix.Matrix, _ bool) (*matrix.Matrix, error) {
 	batch := x.Rows()
 	h4 := 4 * l.Hidden
 	l.lastX = x
-	l.hs = make([]*matrix.Matrix, l.SeqLen+1)
-	l.cs = make([]*matrix.Matrix, l.SeqLen+1)
-	l.gates = make([]*matrix.Matrix, l.SeqLen)
-	l.hs[0] = matrix.New(batch, l.Hidden)
-	l.cs[0] = matrix.New(batch, l.Hidden)
 
+	// One matmul projects every timestep: row i*SeqLen+t of the view is
+	// sample i's input at time t.
+	xview, err := matrix.FromSlice(batch*l.SeqLen, l.InSize, x.Data())
+	if err != nil {
+		return nil, fmt.Errorf("nn: lstm forward view: %w", err)
+	}
+	l.xw, err = matrix.MulInto(l.xw, xview, l.wx.W)
+	if err != nil {
+		return nil, fmt.Errorf("nn: lstm forward xW: %w", err)
+	}
+
+	l.hs = recycleStates(l.hs, l.SeqLen+1)
+	l.cs = recycleStates(l.cs, l.SeqLen+1)
+	l.gates = recycleStates(l.gates, l.SeqLen)
+	l.hs[0] = matrix.Recycle(l.hs[0], batch, l.Hidden)
+	l.cs[0] = matrix.Recycle(l.cs[0], batch, l.Hidden)
+
+	bias := l.b.W.Row(0)
 	for t := 0; t < l.SeqLen; t++ {
-		g := matrix.New(batch, h4)
 		hPrev := l.hs[t]
 		cPrev := l.cs[t]
-		hNew := matrix.New(batch, l.Hidden)
-		cNew := matrix.New(batch, l.Hidden)
-		bias := l.b.W.Row(0)
+		l.hw, err = matrix.MulInto(l.hw, hPrev, l.wh.W)
+		if err != nil {
+			return nil, fmt.Errorf("nn: lstm forward hW: %w", err)
+		}
+		g := matrix.RecycleNoClear(l.gates[t], batch, h4)
+		hNew := matrix.RecycleNoClear(l.hs[t+1], batch, l.Hidden)
+		cNew := matrix.RecycleNoClear(l.cs[t+1], batch, l.Hidden)
 		for i := 0; i < batch; i++ {
-			xt := x.Row(i)[t*l.InSize : (t+1)*l.InSize]
 			grow := g.Row(i)
-			copy(grow, bias)
-			for a, xv := range xt {
-				if xv == 0 {
-					continue
-				}
-				wrow := l.wx.W.Row(a)
-				for j := 0; j < h4; j++ {
-					grow[j] += xv * wrow[j]
-				}
-			}
-			hrow := hPrev.Row(i)
-			for a, hv := range hrow {
-				if hv == 0 {
-					continue
-				}
-				wrow := l.wh.W.Row(a)
-				for j := 0; j < h4; j++ {
-					grow[j] += hv * wrow[j]
-				}
+			xwrow := l.xw.Row(i*l.SeqLen + t)
+			hwrow := l.hw.Row(i)
+			for j := 0; j < h4; j++ {
+				grow[j] = xwrow[j] + hwrow[j] + bias[j]
 			}
 			// Activations: i, f -> sigmoid; g (cell candidate) -> tanh; o -> sigmoid.
 			crow := cNew.Row(i)
@@ -121,9 +150,13 @@ func (l *LSTM) Forward(x *matrix.Matrix, _ bool) (*matrix.Matrix, error) {
 		l.cs[t+1] = cNew
 	}
 	if !l.ReturnSeq {
-		return l.hs[l.SeqLen].Clone(), nil
+		out := matrix.RecycleNoClear(l.out, batch, l.Hidden)
+		l.out = out
+		copy(out.Data(), l.hs[l.SeqLen].Data())
+		return out, nil
 	}
-	out := matrix.New(batch, l.SeqLen*l.Hidden)
+	out := matrix.RecycleNoClear(l.out, batch, l.SeqLen*l.Hidden)
+	l.out = out
 	for t := 0; t < l.SeqLen; t++ {
 		h := l.hs[t+1]
 		for i := 0; i < batch; i++ {
@@ -139,6 +172,7 @@ func (l *LSTM) Backward(grad *matrix.Matrix) (*matrix.Matrix, error) {
 		return nil, fmt.Errorf("nn: lstm backward before forward")
 	}
 	batch := l.lastX.Rows()
+	h4 := 4 * l.Hidden
 	wantCols := l.Hidden
 	if l.ReturnSeq {
 		wantCols = l.SeqLen * l.Hidden
@@ -146,14 +180,16 @@ func (l *LSTM) Backward(grad *matrix.Matrix) (*matrix.Matrix, error) {
 	if grad.Rows() != batch || grad.Cols() != wantCols {
 		return nil, fmt.Errorf("%w: lstm backward grad %dx%d, want %dx%d", ErrShape, grad.Rows(), grad.Cols(), batch, wantCols)
 	}
-	dx := matrix.New(batch, l.lastX.Cols())
 	var dh *matrix.Matrix
 	if l.ReturnSeq {
-		dh = matrix.New(batch, l.Hidden)
+		dh = matrix.Recycle(l.dh, batch, l.Hidden)
 	} else {
-		dh = grad.Clone()
+		dh = matrix.RecycleNoClear(l.dh, batch, l.Hidden)
+		copy(dh.Data(), grad.Data())
 	}
-	dc := matrix.New(batch, l.Hidden)
+	dhNext := matrix.RecycleNoClear(l.dhNext, batch, l.Hidden)
+	dc := matrix.Recycle(l.dc, batch, l.Hidden)
+	dGAll := matrix.RecycleNoClear(l.dGAll, batch*l.SeqLen, h4)
 
 	for t := l.SeqLen - 1; t >= 0; t-- {
 		if l.ReturnSeq {
@@ -171,46 +207,68 @@ func (l *LSTM) Backward(grad *matrix.Matrix) (*matrix.Matrix, error) {
 		cPrev := l.cs[t]
 		c := l.cs[t+1]
 		hPrev := l.hs[t]
-		dhNext := matrix.New(batch, l.Hidden)
+		dGt := matrix.RecycleNoClear(l.dGt, batch, h4)
+		l.dGt = dGt
 		for i := 0; i < batch; i++ {
 			grow := g.Row(i)
 			crow := c.Row(i)
 			cprow := cPrev.Row(i)
 			dhrow := dh.Row(i)
 			dcrow := dc.Row(i)
-			xt := l.lastX.Row(i)[t*l.InSize : (t+1)*l.InSize]
-			dxt := dx.Row(i)[t*l.InSize : (t+1)*l.InSize]
-			hprow := hPrev.Row(i)
-			dhprow := dhNext.Row(i)
+			dgrow := dGt.Row(i)
 			for j := 0; j < l.Hidden; j++ {
 				ig, fg, cg, og := grow[j], grow[l.Hidden+j], grow[2*l.Hidden+j], grow[3*l.Hidden+j]
 				tc := math.Tanh(crow[j])
 				dct := dcrow[j] + dhrow[j]*og*(1-tc*tc)
-				dig := dct * cg * ig * (1 - ig)
-				dfg := dct * cprow[j] * fg * (1 - fg)
-				dcg := dct * ig * (1 - cg*cg)
-				dog := dhrow[j] * tc * og * (1 - og)
+				dgrow[j] = dct * cg * ig * (1 - ig)
+				dgrow[l.Hidden+j] = dct * cprow[j] * fg * (1 - fg)
+				dgrow[2*l.Hidden+j] = dct * ig * (1 - cg*cg)
+				dgrow[3*l.Hidden+j] = dhrow[j] * tc * og * (1 - og)
 				// Next (earlier) timestep's cell gradient.
 				dcrow[j] = dct * fg
-
-				// Pre-activation gate gradients drive all weight grads.
-				preGrads := [4]float64{dig, dfg, dcg, dog}
-				for gi, dpre := range preGrads {
-					col := gi*l.Hidden + j
-					l.b.Grad.Set(0, col, l.b.Grad.At(0, col)+dpre)
-					for a, xv := range xt {
-						l.wx.Grad.Set(a, col, l.wx.Grad.At(a, col)+dpre*xv)
-						dxt[a] += dpre * l.wx.W.At(a, col)
-					}
-					for a, hv := range hprow {
-						l.wh.Grad.Set(a, col, l.wh.Grad.At(a, col)+dpre*hv)
-						dhprow[a] += dpre * l.wh.W.At(a, col)
-					}
-				}
 			}
+			copy(dGAll.Row(i*l.SeqLen+t), dgrow)
 		}
-		dh = dhNext
+		// Recurrent-weight gradient and the hidden-state gradient for the
+		// earlier timestep, each as one matmul over the batch.
+		if err := matrix.MulTransposeAAccum(l.wh.Grad, hPrev, dGt); err != nil {
+			return nil, fmt.Errorf("nn: lstm backward dWh: %w", err)
+		}
+		var err error
+		dhNext, err = matrix.MulTransposeBInto(dhNext, dGt, l.wh.W)
+		if err != nil {
+			return nil, fmt.Errorf("nn: lstm backward dh: %w", err)
+		}
+		dh, dhNext = dhNext, dh
 	}
+	l.dh, l.dhNext = dh, dhNext
+
+	// Bias gradient: column sums of every timestep's gate gradient.
+	bd := l.b.Grad.Row(0)
+	for r := 0; r < dGAll.Rows(); r++ {
+		for j, v := range dGAll.Row(r) {
+			bd[j] += v
+		}
+	}
+	// Input-weight gradient and input gradient: one matmul each over the
+	// collected gate gradients.
+	xview, err := matrix.FromSlice(batch*l.SeqLen, l.InSize, l.lastX.Data())
+	if err != nil {
+		return nil, fmt.Errorf("nn: lstm backward view: %w", err)
+	}
+	if err := matrix.MulTransposeAAccum(l.wx.Grad, xview, dGAll); err != nil {
+		return nil, fmt.Errorf("nn: lstm backward dWx: %w", err)
+	}
+	dx := matrix.RecycleNoClear(l.dx, batch, l.SeqLen*l.InSize)
+	l.dx = dx
+	dxview, err := matrix.FromSlice(batch*l.SeqLen, l.InSize, dx.Data())
+	if err != nil {
+		return nil, fmt.Errorf("nn: lstm backward dx view: %w", err)
+	}
+	if _, err := matrix.MulTransposeBInto(dxview, dGAll, l.wx.W); err != nil {
+		return nil, fmt.Errorf("nn: lstm backward dx: %w", err)
+	}
+	l.dGAll = dGAll
 	return dx, nil
 }
 

@@ -43,6 +43,14 @@ func (p *Param) zeroGrad() {
 // Layer is one differentiable stage of a network. Forward must cache
 // whatever Backward needs; Backward receives dLoss/dOutput and returns
 // dLoss/dInput while accumulating parameter gradients.
+//
+// Buffer lifetime contract: layers own arena-style scratch buffers, so the
+// matrix returned by Forward is valid only until the layer's next Forward
+// call, and the matrix returned by Backward only until its next Backward
+// call (forward and backward buffers are distinct, so a Backward never
+// clobbers a held Forward output). Callers that keep a result across calls
+// must Clone it. Layers must not mutate their input x after Forward
+// returns, nor the incoming grad — both belong to neighbouring layers.
 type Layer interface {
 	Forward(x *matrix.Matrix, training bool) (*matrix.Matrix, error)
 	Backward(grad *matrix.Matrix) (*matrix.Matrix, error)
@@ -55,6 +63,12 @@ type Layer interface {
 type Network struct {
 	Layers    []Layer
 	Optimizer Optimizer
+
+	// Per-batch training scratch, reused across steps so Fit does not
+	// allocate per mini-batch.
+	bx   *matrix.Matrix
+	gbuf *matrix.Matrix
+	by   []float64
 }
 
 // NewNetwork builds a sequential network; opt may be nil, defaulting to
@@ -134,8 +148,10 @@ func (n *Network) Fit(x *matrix.Matrix, y []float64, cfg FitConfig) error {
 				end = len(order)
 			}
 			idx := order[start:end]
-			bx := x.SelectRows(idx)
-			by := make([]float64, len(idx))
+			n.bx = matrix.SelectRowsInto(n.bx, x, idx)
+			bx := n.bx
+			n.by = matrix.RecycleVec(n.by, len(idx))
+			by := n.by
 			for k, i := range idx {
 				by[k] = y[i]
 			}
@@ -150,7 +166,8 @@ func (n *Network) Fit(x *matrix.Matrix, y []float64, cfg FitConfig) error {
 				return fmt.Errorf("%w: network output has %d cols, want 1", ErrShape, out.Cols())
 			}
 			// dMSE/dout = 2*(out - y)/batch.
-			grad := matrix.New(out.Rows(), 1)
+			n.gbuf = matrix.RecycleNoClear(n.gbuf, out.Rows(), 1)
+			grad := n.gbuf
 			inv := 2.0 / float64(out.Rows())
 			for i := 0; i < out.Rows(); i++ {
 				grad.Set(i, 0, inv*(out.At(i, 0)-by[i]))

@@ -125,6 +125,9 @@ func TestConv1DCausality(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Forward outputs are only valid until the layer's next Forward
+	// (Layer buffer contract), so keep a copy across the second call.
+	out1 = out1.Clone()
 	// Perturb the last timestep: only the last output may change.
 	in2 := in.Clone()
 	in2.Set(0, 9, in2.At(0, 9)+100)
