@@ -34,6 +34,7 @@ import (
 	"coda/internal/metrics"
 	"coda/internal/mlmodels"
 	"coda/internal/obs"
+	"coda/internal/obs/trace"
 	"coda/internal/preprocess"
 	"coda/internal/retry"
 	"coda/internal/sim"
@@ -78,33 +79,47 @@ func usage() {
 }
 
 // logFlags is the observability flag surface shared by every subcommand:
-// structured-log level/format and an optional pprof/metrics listener.
+// structured-log level/format, an optional pprof/metrics listener, and
+// the tracing knobs (head sampling, slow capture, ring size).
 type logFlags struct {
-	level     *string
-	format    *string
-	debugAddr *string
+	level       *string
+	format      *string
+	debugAddr   *string
+	traceSample *float64
+	traceSlowMS *int
+	traceRing   *int
 }
 
 func addLogFlags(fs *flag.FlagSet) *logFlags {
 	return &logFlags{
-		level:     fs.String("log-level", "info", "log level: debug|info|warn|error (debug logs every remote call)"),
-		format:    fs.String("log-format", "text", "log format: text|json"),
-		debugAddr: fs.String("debug-addr", "", "optional listener for net/http/pprof, /metrics and /healthz (e.g. :6061)"),
+		level:       fs.String("log-level", "info", "log level: debug|info|warn|error (debug logs every remote call)"),
+		format:      fs.String("log-format", "text", "log format: text|json"),
+		debugAddr:   fs.String("debug-addr", "", "optional listener for net/http/pprof, /metrics, /healthz and /debug/traces (e.g. :6061)"),
+		traceSample: fs.Float64("trace-sample", 1.0, "fraction of traces kept by head sampling (slow traces are always kept)"),
+		traceSlowMS: fs.Int("trace-slow-ms", 500, "always keep traces at least this slow, in milliseconds (0 disables slow capture)"),
+		traceRing:   fs.Int("trace-ring", trace.DefaultCapacity, "completed traces retained for /debug/traces"),
 	}
 }
 
-// setup configures the process logger and, when requested, starts the
-// pprof/metrics debug listener.
+// setup configures the process logger and tracer and, when requested,
+// starts the pprof/metrics debug listener.
 func (lf *logFlags) setup() error {
 	if err := obs.SetupDefaultLogger(*lf.level, *lf.format); err != nil {
 		return err
+	}
+	trace.SetSampleRate(*lf.traceSample)
+	trace.SetSlowThreshold(time.Duration(*lf.traceSlowMS) * time.Millisecond)
+	if *lf.traceRing != trace.DefaultCapacity {
+		trace.SetDefaultRecorder(trace.NewRecorder(*lf.traceRing))
 	}
 	if *lf.debugAddr != "" {
 		addr := *lf.debugAddr
 		go func() {
 			slog.Info("debug server listening", "addr", addr,
-				"endpoints", "/debug/pprof/ /metrics /healthz")
-			if err := http.ListenAndServe(addr, obs.DebugMux()); err != nil {
+				"endpoints", "/debug/pprof/ /metrics /healthz /debug/traces")
+			dmux := obs.DebugMux()
+			dmux.Handle("/debug/traces", trace.Handler())
+			if err := http.ListenAndServe(addr, dmux); err != nil {
 				slog.Error("debug server failed", "err", err)
 			}
 		}()
@@ -123,7 +138,10 @@ func runServe(ctx context.Context, args []string) error {
 		metric   = fs.String("metric", "rmse", "scoring metric for model selection")
 		k        = fs.Int("k", 5, "cross-validation folds")
 		seed     = fs.Int64("seed", 1, "search seed")
+		server   = fs.String("server", "", "DARR server URL: run the model-selection search cooperatively")
+		clientID = fs.String("client", "serve", "client id for DARR claims")
 	)
+	ft := addFaultFlags(fs)
 	lf := addLogFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -154,11 +172,20 @@ func runServe(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := core.Search(ctx, regressionGraph(), ds, core.SearchOptions{
+	opts := core.SearchOptions{
 		Splitter: crossval.KFold{K: *k, Shuffle: true},
 		Scorer:   scorer,
 		Seed:     *seed,
-	})
+	}
+	if *server != "" {
+		hc := ft.client(*server, *clientID)
+		hc.Metric = *metric
+		hc.EnablePublishQueue(httpapi.DefaultPublishBatchSize, httpapi.DefaultPublishFlushInterval)
+		defer hc.Close()
+		opts.Store = hc
+		opts.SkipClaimed = true
+	}
+	res, err := core.Search(ctx, regressionGraph(), ds, opts)
 	if err != nil {
 		return err
 	}
@@ -166,14 +193,28 @@ func runServe(ctx context.Context, args []string) error {
 		return fmt.Errorf("no pipeline succeeded on the data")
 	}
 	fmt.Printf("serving %s (%s=%.5g) on %s\n", res.Best.Spec, *metric, res.Best.Mean, *addr)
+	printProfile(res.Profile)
 	fmt.Println(`POST {"rows": [[...feature values...], ...]} to /score`)
 	mux := http.NewServeMux()
 	mux.Handle("/score", webservice.Handler(pipelineEstimator{res.BestPipeline}))
 	mux.Handle("/metrics", obs.MetricsHandler())
 	mux.Handle("/healthz", obs.HealthHandler(nil))
+	mux.Handle("/debug/traces", trace.Handler())
 	// The middleware assigns each scoring request an X-Coda-Request-Id
-	// and threads it into the handler's logs.
-	return http.ListenAndServe(*addr, obs.Middleware(mux, nil))
+	// and threads it into the handler's logs; the recovery layer turns a
+	// scoring panic into a structured 500 instead of a dead connection.
+	return http.ListenAndServe(*addr, obs.Middleware(obs.Recover(mux, nil), nil))
+}
+
+// printProfile summarizes the search's critical-path breakdown on stdout.
+func printProfile(p core.SearchProfile) {
+	if p.Total <= 0 {
+		return
+	}
+	fmt.Printf("critical path: compute=%s darr_wait=%s store_wait=%s queue=%s other=%s (total %s)\n",
+		p.Compute.Round(time.Millisecond), p.DARRWait.Round(time.Millisecond),
+		p.StoreWait.Round(time.Millisecond), p.Queue.Round(time.Millisecond),
+		p.Other.Round(time.Millisecond), p.Total.Round(time.Millisecond))
 }
 
 // pipelineEstimator adapts a fitted Pipeline to core.Estimator for the
@@ -318,6 +359,7 @@ func runSearch(ctx context.Context, args []string) error {
 	if res.Degraded > 0 {
 		fmt.Printf("degraded: %d units computed locally because the DARR was unreachable\n", res.Degraded)
 	}
+	printProfile(res.Profile)
 
 	ok := res.Units[:0:0]
 	for _, u := range res.Units {

@@ -47,6 +47,7 @@ import (
 	"coda/internal/faultinject"
 	"coda/internal/httpapi"
 	"coda/internal/obs"
+	"coda/internal/obs/trace"
 	"coda/internal/store"
 )
 
@@ -71,6 +72,10 @@ func main() {
 		logFormat = flag.String("log-format", "text", "log format: text|json")
 		debugAddr = flag.String("debug-addr", "", "optional listener for net/http/pprof, /metrics and /healthz (e.g. :6060)")
 
+		traceSample = flag.Float64("trace-sample", 1.0, "fraction of traces kept by head sampling (slow traces are always kept)")
+		traceSlowMS = flag.Int("trace-slow-ms", 500, "always keep traces at least this slow, in milliseconds (0 disables slow capture)")
+		traceRing   = flag.Int("trace-ring", trace.DefaultCapacity, "completed traces retained for /debug/traces")
+
 		chaos      = flag.Float64("chaos", 0, "fraction of requests to fault-inject (0 disables; split evenly between drops and 500s)")
 		chaosDelay = flag.Duration("chaos-delay", 0, "also delay this long on a chaos-sized fraction of requests")
 		chaosSeed  = flag.Int64("chaos-seed", 1, "seed for the deterministic chaos pattern")
@@ -82,6 +87,12 @@ func main() {
 		os.Exit(2)
 	}
 	logger := slog.Default()
+
+	trace.SetSampleRate(*traceSample)
+	trace.SetSlowThreshold(time.Duration(*traceSlowMS) * time.Millisecond)
+	if *traceRing != trace.DefaultCapacity {
+		trace.SetDefaultRecorder(trace.NewRecorder(*traceRing))
+	}
 
 	repo := darr.NewRepo(nil, *claimTTL)
 	storeOpts := store.Options{Retain: *retain, BlockSize: *block, FullFraction: *fullFrac, Shards: *storeShards}
@@ -124,8 +135,10 @@ func main() {
 	if *debugAddr != "" {
 		go func() {
 			logger.Info("debug server listening", "addr", *debugAddr,
-				"endpoints", "/debug/pprof/ /metrics /healthz")
-			if err := http.ListenAndServe(*debugAddr, obs.DebugMux()); err != nil {
+				"endpoints", "/debug/pprof/ /metrics /healthz /debug/traces")
+			dmux := obs.DebugMux()
+			dmux.Handle("/debug/traces", trace.Handler())
+			if err := http.ListenAndServe(*debugAddr, dmux); err != nil {
 				logger.Error("debug server failed", "err", err)
 			}
 		}()

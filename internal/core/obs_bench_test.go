@@ -13,12 +13,14 @@ import (
 	"coda/internal/metrics"
 	"coda/internal/mlmodels"
 	"coda/internal/obs"
+	"coda/internal/obs/trace"
 	"coda/internal/preprocess"
 )
 
 // benchSearch runs a small but real local search (2 scalers x 2 models =
 // 4 pipelines over a 120-sample regression set) so per-unit telemetry is
-// a measurable fraction of the work.
+// a measurable fraction of the work. Parallelism is pinned to 1 so
+// allocation counts are deterministic for the CI regression gate.
 func benchSearch(b *testing.B) {
 	b.Helper()
 	rng := rand.New(rand.NewSource(17))
@@ -34,21 +36,29 @@ func benchSearch(b *testing.B) {
 		g.AddFeatureScalers(preprocess.NewStandardScaler(), preprocess.NewNoOp())
 		g.AddRegressionModels(mlmodels.NewLinearRegression(), mlmodels.NewKNN(mlmodels.KNNRegression, 5))
 		if _, err := core.Search(context.Background(), g, ds, core.SearchOptions{
-			Splitter: crossval.KFold{K: 3, Shuffle: true},
-			Scorer:   scorer,
-			Seed:     11,
-			Logger:   discard,
+			Splitter:    crossval.KFold{K: 3, Shuffle: true},
+			Scorer:      scorer,
+			Seed:        11,
+			Parallelism: 1,
+			Logger:      discard,
 		}); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
-// BenchmarkObsOverhead compares the instrumented core.Search hot path
-// against the same path with telemetry disabled via obs.SetEnabled. Run
-// both sub-benchmarks and diff ns/op to price the instrumentation.
+// BenchmarkObsOverhead compares the fully instrumented core.Search hot
+// path (metrics + spans) against the same path with tracing alone off
+// (trace.SetEnabled) and with all telemetry off (obs.SetEnabled). Diff
+// ns/op across the three to price each layer; the allocs/op of all three
+// are gated against BENCH_baseline.json in CI.
 func BenchmarkObsOverhead(b *testing.B) {
 	b.Run("instrumented", func(b *testing.B) {
+		benchSearch(b)
+	})
+	b.Run("untraced", func(b *testing.B) {
+		trace.SetEnabled(false)
+		defer trace.SetEnabled(true)
 		benchSearch(b)
 	})
 	b.Run("uninstrumented", func(b *testing.B) {

@@ -18,6 +18,7 @@ import (
 	"coda/internal/matrix"
 	"coda/internal/metrics"
 	"coda/internal/obs"
+	"coda/internal/obs/trace"
 )
 
 // Search telemetry: how long each evaluation unit takes to compute
@@ -34,6 +35,17 @@ var (
 	mUnitsFailed    = obs.GetCounter(`coda_search_units_total{outcome="error"}`)
 	mUnitsDegraded  = obs.GetCounter("coda_search_degraded_units_total")
 )
+
+// Critical-path telemetry: where searches spend their wall time, split
+// by the component that owned each instant (trace.ComputeProfile). The
+// aggregate view of the per-search SearchResult.Profile.
+var mCritPath = map[string]*obs.Histogram{
+	trace.CompCompute:   obs.GetHistogram(`coda_search_critical_path_seconds{component="compute"}`, nil),
+	trace.CompDARRWait:  obs.GetHistogram(`coda_search_critical_path_seconds{component="darr_wait"}`, nil),
+	trace.CompStoreWait: obs.GetHistogram(`coda_search_critical_path_seconds{component="store_wait"}`, nil),
+	trace.CompQueue:     obs.GetHistogram(`coda_search_critical_path_seconds{component="queue"}`, nil),
+	trace.CompOther:     obs.GetHistogram(`coda_search_critical_path_seconds{component="other"}`, nil),
+}
 
 // ResultStore is the cooperation hook the search engine uses to avoid
 // redundant computations across clients (Section III, Figure 2). The DARR
@@ -154,6 +166,23 @@ type UnitResult struct {
 	Degraded bool
 }
 
+// SearchProfile attributes one search's wall time to the component that
+// owned each instant on the critical path: local compute (fold fits,
+// refit), DARR round trips, object-store traffic, waiting for a worker
+// slot, and everything else (scheduling, bookkeeping). When spans
+// overlap — a fold fitting while another unit waits on a claim — the
+// instant counts as compute: communication only matters to the critical
+// path when nothing is computing. The five components sum exactly to
+// Total.
+type SearchProfile struct {
+	Total     time.Duration
+	Compute   time.Duration
+	DARRWait  time.Duration
+	StoreWait time.Duration
+	Queue     time.Duration
+	Other     time.Duration
+}
+
 // SearchResult is the outcome of Search.
 type SearchResult struct {
 	Units []UnitResult
@@ -169,6 +198,9 @@ type SearchResult struct {
 	// Prefix reports how the shared-prefix computation cache behaved
 	// (zero-valued when DisablePrefixCache was set).
 	Prefix PrefixCacheStats
+	// Profile is the critical-path breakdown of the search's wall time
+	// (zero-valued when tracing is disabled).
+	Profile SearchProfile
 }
 
 // searchUnit is one pipeline x parameter-assignment work item.
@@ -199,6 +231,12 @@ func Search(ctx context.Context, g *Graph, ds *dataset.Dataset, opts SearchOptio
 	if opts.Parallelism < 1 {
 		opts.Parallelism = 1
 	}
+	// The root span covers everything from fold materialization to the
+	// final refit; its trace is what /debug/traces shows and what the
+	// critical-path profile is computed over.
+	ctx, searchSpan := trace.Start(ctx, "search")
+	defer searchSpan.End()
+
 	splits, err := opts.Splitter.Splits(ds.NumSamples(), rand.New(rand.NewSource(opts.Seed)))
 	if err != nil {
 		return nil, fmt.Errorf("core: computing folds: %w", err)
@@ -232,6 +270,9 @@ func Search(ctx context.Context, g *Graph, ds *dataset.Dataset, opts SearchOptio
 		batch = prefetchBatch(ctx, bs, keys, opts)
 	}
 
+	searchSpan.SetAttr(trace.Int("units", len(units)), trace.Int("folds", len(folds)),
+		trace.Int("parallelism", opts.Parallelism))
+
 	results := make([]UnitResult, len(units))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, opts.Parallelism)
@@ -241,7 +282,17 @@ func Search(ctx context.Context, g *Graph, ds *dataset.Dataset, opts SearchOptio
 			break
 		}
 		wg.Add(1)
+		// Time spent waiting for a worker slot is queue time on the
+		// critical path — visible saturation, not invisible stalling.
+		// (Attrs are set behind the nil check so the disabled tracer
+		// costs zero allocations in this loop.)
+		_, qsp := trace.Start(ctx, "search.queue")
+		if qsp != nil {
+			qsp.SetComponent(trace.CompQueue)
+			qsp.SetAttr(trace.Int("unit", u.index))
+		}
 		sem <- struct{}{}
+		qsp.End()
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
@@ -298,10 +349,14 @@ func Search(ctx context.Context, g *Graph, ds *dataset.Dataset, opts SearchOptio
 		logger = slog.Default()
 	}
 	if f, ok := opts.Store.(Flusher); ok {
-		if err := f.Flush(ctx); err != nil {
+		fctx, fsp := trace.Start(ctx, "search.flush")
+		fsp.SetComponent(trace.CompDARRWait)
+		if err := f.Flush(fctx); err != nil {
+			fsp.SetAttr(trace.String("error", err.Error()))
 			logger.Warn("search publish flush failed",
 				"request_id", obs.RequestID(ctx), "err", err)
 		}
+		fsp.End()
 	}
 	logger.Debug("search complete",
 		"request_id", obs.RequestID(ctx), "dataset_fp", fp, "units", len(results),
@@ -319,10 +374,35 @@ func Search(ctx context.Context, g *Graph, ds *dataset.Dataset, opts SearchOptio
 		// could silently pick (and refit) the wrong pipeline when
 		// duplicate graph paths share a spec.
 		refit := units[res.Best.Index].pipeline.Clone()
-		if err := refit.Fit(ds); err != nil {
+		_, rsp := trace.Start(ctx, "search.refit", trace.String("spec", res.Best.Spec))
+		rsp.SetComponent(trace.CompCompute)
+		err := refit.Fit(ds)
+		rsp.End()
+		if err != nil {
 			return nil, fmt.Errorf("core: refitting best pipeline %s: %w", res.Best.Spec, err)
 		}
 		res.BestPipeline = refit
+	}
+	if searchSpan != nil {
+		prof := searchSpan.Profile()
+		res.Profile = SearchProfile{
+			Total:     prof.Total,
+			Compute:   prof.Component(trace.CompCompute),
+			DARRWait:  prof.Component(trace.CompDARRWait),
+			StoreWait: prof.Component(trace.CompStoreWait),
+			Queue:     prof.Component(trace.CompQueue),
+			Other:     prof.Component(trace.CompOther),
+		}
+		if prof.Total > 0 {
+			for comp, h := range mCritPath {
+				h.Observe(prof.Component(comp).Seconds())
+			}
+			logger.Debug("search critical path",
+				"request_id", obs.RequestID(ctx), "trace_id", searchSpan.TraceID().String(),
+				"total", res.Profile.Total, "compute", res.Profile.Compute,
+				"darr_wait", res.Profile.DARRWait, "store_wait", res.Profile.StoreWait,
+				"queue", res.Profile.Queue, "other", res.Profile.Other)
+		}
 	}
 	return res, nil
 }
@@ -352,11 +432,17 @@ type batchState struct {
 // degrades instead of hammering a failing store once per unit.
 func prefetchBatch(ctx context.Context, bs BatchResultStore, keys []string, opts SearchOptions) *batchState {
 	st := &batchState{granted: map[string]bool{}}
-	scores, err := bs.LookupBatch(ctx, keys)
+	lctx, lsp := trace.Start(ctx, "search.bulk_lookup", trace.Int("keys", len(keys)))
+	lsp.SetComponent(trace.CompDARRWait)
+	scores, err := bs.LookupBatch(lctx, keys)
 	if err != nil {
+		lsp.SetAttr(trace.String("error", err.Error()))
+		lsp.End()
 		st.lookupFailed = true
 		return st
 	}
+	lsp.SetAttr(trace.Int("hits", len(scores)))
+	lsp.End()
 	st.cached = scores
 	toClaim := keys[:0:0]
 	for _, k := range keys {
@@ -367,11 +453,23 @@ func prefetchBatch(ctx context.Context, bs BatchResultStore, keys []string, opts
 	if len(toClaim) == 0 {
 		return st
 	}
-	granted, err := bs.ClaimBatch(ctx, toClaim)
+	cctx, csp := trace.Start(ctx, "search.bulk_claim", trace.Int("keys", len(toClaim)))
+	csp.SetComponent(trace.CompDARRWait)
+	granted, err := bs.ClaimBatch(cctx, toClaim)
 	if err != nil {
+		csp.SetAttr(trace.String("error", err.Error()))
+		csp.End()
 		st.claimFailed = true
 		return st
 	}
+	grants := 0
+	for _, g := range granted {
+		if g {
+			grants++
+		}
+	}
+	csp.SetAttr(trace.Int("granted", grants))
+	csp.End()
 	st.granted = granted
 	return st
 }
@@ -470,9 +568,21 @@ func resolvePerUnit(ctx context.Context, out *UnitResult, key string, opts Searc
 	return false, claimed
 }
 
-func evaluateUnit(ctx context.Context, u searchUnit, folds []foldData, cache *prefixCache, fp, evalSpec string, opts SearchOptions, batch *batchState) UnitResult {
-	out := UnitResult{Index: u.index, Spec: u.pipeline.Spec(), Params: u.params}
+func evaluateUnit(ctx context.Context, u searchUnit, folds []foldData, cache *prefixCache, fp, evalSpec string, opts SearchOptions, batch *batchState) (out UnitResult) {
+	out = UnitResult{Index: u.index, Spec: u.pipeline.Spec(), Params: u.params}
 	key := UnitKey(fp, out.Spec, evalSpec)
+
+	// The unit span is structural (no component): per-fold children carry
+	// compute, and any per-unit store round trips carry their own waits —
+	// tagging the whole unit as compute would mask them.
+	ctx, usp := trace.Start(ctx, "search.unit")
+	if usp != nil {
+		usp.SetAttr(trace.Int("unit", u.index), trace.String("spec", out.Spec))
+		defer func() {
+			usp.SetAttr(trace.String("outcome", unitOutcome(&out)))
+			usp.End()
+		}()
+	}
 
 	claimHeld := false
 	if opts.Store != nil {
@@ -547,31 +657,62 @@ func computeUnitScores(ctx context.Context, u searchUnit, folds []foldData, cach
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		train, test, depth := fd.train, fd.test, 0
-		if cache != nil {
-			var err error
-			train, test, depth, err = cache.resolve(ctx, fi, u.pipeline, prefixes, fd)
-			if err != nil {
-				return nil, err
-			}
-		}
-		// Only the suffix below the deepest cache hit is cloned and
-		// fitted; the cached prefix nodes would never be touched.
-		p := u.pipeline.CloneFrom(depth)
-		if err := p.Fit(train); err != nil {
-			return nil, err
-		}
-		yhat, ytrue, err := p.PredictWithTruth(test)
-		if err != nil {
-			return nil, err
-		}
-		score, err := opts.Scorer.Fn(ytrue, yhat)
+		score, err := scoreFold(ctx, u, fi, fd, cache, prefixes, opts)
 		if err != nil {
 			return nil, err
 		}
 		scores = append(scores, score)
 	}
 	return scores, nil
+}
+
+// scoreFold fits and scores the unit's pipeline on one fold, under a
+// compute-tagged span recording how deep the prefix cache reached.
+func scoreFold(ctx context.Context, u searchUnit, fi int, fd foldData, cache *prefixCache, prefixes []string, opts SearchOptions) (float64, error) {
+	_, fsp := trace.Start(ctx, "search.fold_fit")
+	if fsp != nil {
+		fsp.SetComponent(trace.CompCompute)
+		fsp.SetAttr(trace.Int("fold", fi))
+	}
+	defer fsp.End()
+
+	train, test, depth := fd.train, fd.test, 0
+	if cache != nil {
+		var err error
+		train, test, depth, err = cache.resolve(ctx, fi, u.pipeline, prefixes, fd)
+		if err != nil {
+			return 0, err
+		}
+		if fsp != nil {
+			fsp.SetAttr(trace.Int("prefix_depth", depth), trace.Bool("prefix_hit", depth > 0))
+		}
+	}
+	// Only the suffix below the deepest cache hit is cloned and fitted;
+	// the cached prefix nodes would never be touched.
+	p := u.pipeline.CloneFrom(depth)
+	if err := p.Fit(train); err != nil {
+		return 0, err
+	}
+	yhat, ytrue, err := p.PredictWithTruth(test)
+	if err != nil {
+		return 0, err
+	}
+	return opts.Scorer.Fn(ytrue, yhat)
+}
+
+// unitOutcome names how a unit was satisfied, for the unit span's
+// outcome attribute.
+func unitOutcome(u *UnitResult) string {
+	switch {
+	case u.Skipped:
+		return "skipped"
+	case u.FromCache:
+		return "cache_hit"
+	case u.Err != "":
+		return "error"
+	default:
+		return "computed"
+	}
 }
 
 // expandUnits enumerates (path x applicable grid assignment) units, applying

@@ -15,6 +15,7 @@ import (
 
 	"coda/internal/darr"
 	"coda/internal/obs"
+	"coda/internal/obs/trace"
 	"coda/internal/retry"
 	"coda/internal/store"
 )
@@ -105,19 +106,37 @@ func (c *Client) httpClient() *http.Client {
 // correlates, otherwise a fresh per-call id is generated here.
 func (c *Client) exec(ctx context.Context, call string, op func(ctx context.Context) error) error {
 	ctx, id := obs.EnsureRequestID(ctx)
+	ctx, csp := trace.Start(ctx, "client."+call)
+	csp.SetComponent(callComponent(call))
+	defer csp.End()
 	start := time.Now()
 	if c.Breaker != nil && !c.Breaker.Allow() {
 		mCallsOpen.Inc()
+		csp.SetAttr(trace.String("outcome", "breaker_open"))
 		c.logger().Warn("call short-circuited: breaker open",
 			"request_id", id, "call", call, "server", c.BaseURL)
 		return fmt.Errorf("httpapi: %s: %w", c.BaseURL, retry.ErrOpen)
 	}
-	err := retry.Do(ctx, c.Retry, op)
+	// Each attempt is its own child span so retries show up as repeated
+	// attempts under one call, not as separate calls.
+	attempts := 0
+	err := retry.Do(ctx, c.Retry, func(actx context.Context) error {
+		attempts++
+		actx, asp := trace.Start(actx, "attempt", trace.Int("attempt", attempts))
+		opErr := op(actx)
+		if opErr != nil {
+			asp.SetAttr(trace.String("error", opErr.Error()))
+		}
+		asp.End()
+		return opErr
+	})
 	if c.Breaker != nil {
 		c.Breaker.Record(err)
 	}
+	csp.SetAttr(trace.Int("attempts", attempts))
 	if err != nil {
 		mCallsErr.Inc()
+		csp.SetAttr(trace.String("outcome", "error"))
 		c.logger().Warn("call failed",
 			"request_id", id, "call", call, "server", c.BaseURL,
 			"elapsed", time.Since(start), "err", err)
@@ -127,6 +146,18 @@ func (c *Client) exec(ctx context.Context, call string, op func(ctx context.Cont
 	c.logger().Debug("call ok",
 		"request_id", id, "call", call, "server", c.BaseURL, "elapsed", time.Since(start))
 	return nil
+}
+
+// callComponent classifies a client call for the critical-path profile
+// by the subsystem it waits on.
+func callComponent(call string) string {
+	if strings.Contains(call, "/darr") {
+		return trace.CompDARRWait
+	}
+	if strings.Contains(call, "/store") {
+		return trace.CompStoreWait
+	}
+	return ""
 }
 
 // callLabel trims query parameters (which carry whole unit keys) so logs
@@ -162,6 +193,7 @@ func (c *Client) doJSON(ctx context.Context, method, path string, body any, out 
 			return fmt.Errorf("httpapi: building request: %w", err)
 		}
 		req.Header.Set(obs.RequestIDHeader, obs.RequestID(ctx))
+		trace.Inject(ctx, req.Header)
 		if raw != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
@@ -170,6 +202,7 @@ func (c *Client) doJSON(ctx context.Context, method, path string, body any, out 
 			return fmt.Errorf("httpapi: %s %s: %w", method, path, err)
 		}
 		defer resp.Body.Close()
+		trace.Annotate(ctx, trace.Int("status", resp.StatusCode))
 		if retry.RetryableStatus(resp.StatusCode) {
 			_, _ = io.Copy(io.Discard, resp.Body)
 			return &retry.StatusError{Status: resp.StatusCode, Method: method, Path: path}
@@ -361,6 +394,7 @@ func (c *Client) PutObject(ctx context.Context, key string, data []byte) (uint64
 			return fmt.Errorf("httpapi: building put: %w", err)
 		}
 		req.Header.Set(obs.RequestIDHeader, obs.RequestID(ctx))
+		trace.Inject(ctx, req.Header)
 		resp, err := c.httpClient().Do(req)
 		if err != nil {
 			return fmt.Errorf("httpapi: put object: %w", err)
@@ -394,6 +428,10 @@ func (c *Client) PutObject(ctx context.Context, key string, data []byte) (uint64
 // applied pull still converges.
 func (c *Client) PullObject(ctx context.Context, rep *store.Replica, key string) error {
 	have := rep.VersionOf(key)
+	ctx, sp := trace.Start(ctx, "store.pull",
+		trace.String("key", key), trace.Int64("have", int64(have)))
+	sp.SetComponent(trace.CompStoreWait)
+	defer sp.End()
 	var or objectReply
 	path := fmt.Sprintf("/store/objects/%s?have=%d", url.PathEscape(key), have)
 	status, err := c.doJSON(ctx, http.MethodGet, path, nil, &or)
@@ -410,5 +448,10 @@ func (c *Client) PullObject(ctx context.Context, rep *store.Replica, key string)
 	if err != nil {
 		return err
 	}
+	// The delta-vs-full split is the data tier's whole bandwidth story;
+	// surface it on every pull span.
+	sp.SetAttr(trace.String("kind", reply.Kind()),
+		trace.Int("wire_bytes", reply.WireBytes()),
+		trace.Int64("version", int64(reply.Version)))
 	return rep.ApplyReply(reply)
 }

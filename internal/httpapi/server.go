@@ -12,6 +12,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"time"
@@ -19,8 +20,12 @@ import (
 	"coda/internal/darr"
 	"coda/internal/delta"
 	"coda/internal/obs"
+	"coda/internal/obs/trace"
 	"coda/internal/store"
 )
+
+// mPanics counts handler panics caught by the recovery layer.
+var mPanics = obs.GetCounter("coda_http_panics_total")
 
 // Server wires a DARR repository and a home data store into an
 // http.Handler. Every request flows through the telemetry middleware:
@@ -56,6 +61,7 @@ func NewServer(repo *darr.Repo, hs store.ObjectStore) *Server {
 	s := &Server{Repo: repo, Store: hs, mux: http.NewServeMux(), health: map[string]func() any{}}
 	s.mux.Handle("/metrics", obs.MetricsHandler())
 	s.mux.Handle("/healthz", obs.HealthHandler(s.health))
+	s.mux.Handle("/debug/traces", trace.Handler())
 	if repo != nil {
 		s.mux.HandleFunc("/darr/records", s.handleRecords)
 		s.mux.HandleFunc("/darr/claims", s.handleClaims)
@@ -109,6 +115,8 @@ func routeLabel(path string) string {
 		return "healthz"
 	case path == "/metrics":
 		return "metrics"
+	case path == "/debug/traces":
+		return "traces"
 	case path == "/darr/records":
 		return "darr-records"
 	case path == "/darr/claims":
@@ -127,7 +135,9 @@ func routeLabel(path string) string {
 }
 
 // ServeHTTP implements http.Handler, wrapping the mux in the telemetry
-// middleware.
+// middleware: request-id adoption, trace-context adoption (the caller's
+// span, carried in X-Coda-Traceparent, becomes this request span's
+// parent), panic recovery, per-route metrics, and request logs.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	id := r.Header.Get(obs.RequestIDHeader)
@@ -135,17 +145,49 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		id = obs.NewRequestID()
 	}
 	w.Header().Set(obs.RequestIDHeader, id)
-	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-	s.mux.ServeHTTP(rec, r.WithContext(obs.WithRequestID(r.Context(), id)))
-	elapsed := time.Since(start)
 	route := routeLabel(r.URL.Path)
-	obs.GetCounter(fmt.Sprintf(`coda_http_requests_total{route=%q,method=%q,code="%d"}`,
-		route, r.Method, rec.status)).Inc()
-	obs.GetHistogram(fmt.Sprintf(`coda_http_request_seconds{route=%q}`, route), nil).
-		Observe(elapsed.Seconds())
-	s.logger().Debug("http request",
-		"request_id", id, "method", r.Method, "path", r.URL.Path,
-		"code", rec.status, "bytes", rec.bytes, "elapsed", elapsed)
+	ctx := obs.WithRequestID(r.Context(), id)
+	// Scrape and introspection routes are excluded from tracing so the
+	// ring holds real work, not the observers observing it.
+	var sp *trace.Span
+	if route != "metrics" && route != "healthz" && route != "traces" {
+		ctx = trace.Extract(ctx, r.Header)
+		ctx, sp = trace.Start(ctx, "server."+route,
+			trace.String("method", r.Method), trace.String("request_id", id))
+	}
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	defer func() {
+		if p := recover(); p != nil {
+			// net/http's sanctioned way to abort a connection must keep
+			// working (the chaos injector relies on it).
+			if err, ok := p.(error); ok && errors.Is(err, http.ErrAbortHandler) {
+				panic(p)
+			}
+			// A panicking handler costs one request, not the connection:
+			// count it, keep the stack, answer a structured 500.
+			mPanics.Inc()
+			rec.status = http.StatusInternalServerError
+			s.logger().Error("handler panic",
+				"request_id", id, "method", r.Method, "path", r.URL.Path,
+				"panic", fmt.Sprint(p), "stack", string(debug.Stack()))
+			sp.SetAttr(trace.String("panic", fmt.Sprint(p)))
+			if rec.bytes == 0 {
+				writeJSON(rec, http.StatusInternalServerError,
+					errorReply{Error: "internal server error", Status: http.StatusInternalServerError, RequestID: id})
+			}
+		}
+		elapsed := time.Since(start)
+		sp.SetAttr(trace.Int("status", rec.status))
+		sp.End()
+		obs.GetCounter(fmt.Sprintf(`coda_http_requests_total{route=%q,method=%q,code="%d"}`,
+			route, r.Method, rec.status)).Inc()
+		obs.GetHistogram(fmt.Sprintf(`coda_http_request_seconds{route=%q}`, route), nil).
+			Observe(elapsed.Seconds())
+		s.logger().Debug("http request",
+			"request_id", id, "method", r.Method, "path", r.URL.Path,
+			"code", rec.status, "bytes", rec.bytes, "elapsed", elapsed)
+	}()
+	s.mux.ServeHTTP(rec, r.WithContext(ctx))
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -301,7 +343,10 @@ func (s *Server) handleBatchLookup(w http.ResponseWriter, r *http.Request) {
 	if !s.checkBatch(w, r, len(req.Keys), "key") {
 		return
 	}
+	_, sp := trace.Start(r.Context(), "darr.get_batch", trace.Int("keys", len(req.Keys)))
 	recs := s.Repo.GetBatch(req.Keys)
+	sp.SetAttr(trace.Int("hits", len(recs)))
+	sp.End()
 	scores := make(map[string]float64, len(recs))
 	for k, rec := range recs {
 		scores[k] = rec.Score
@@ -324,7 +369,10 @@ func (s *Server) handleBatchClaims(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("batch claim needs client_id"))
 		return
 	}
-	writeJSON(w, http.StatusOK, batchClaimReply{Granted: s.Repo.ClaimBatch(req.Keys, req.ClientID)})
+	_, sp := trace.Start(r.Context(), "darr.claim_batch", trace.Int("keys", len(req.Keys)))
+	granted := s.Repo.ClaimBatch(req.Keys, req.ClientID)
+	sp.End()
+	writeJSON(w, http.StatusOK, batchClaimReply{Granted: granted})
 }
 
 func (s *Server) handleBatchRecords(w http.ResponseWriter, r *http.Request) {
@@ -338,7 +386,10 @@ func (s *Server) handleBatchRecords(w http.ResponseWriter, r *http.Request) {
 	if !s.checkBatch(w, r, len(req.Records), "record") {
 		return
 	}
-	if err := s.Repo.PutBatch(req.Records); err != nil {
+	_, sp := trace.Start(r.Context(), "darr.put_batch", trace.Int("records", len(req.Records)))
+	err := s.Repo.PutBatch(req.Records)
+	sp.End()
+	if err != nil {
 		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
@@ -368,7 +419,10 @@ func (s *Server) handleObjects(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
 			return
 		}
+		_, sp := trace.Start(r.Context(), "store.put",
+			trace.String("key", key), trace.Int("bytes", len(data)))
 		version, err := s.Store.Put(key, data)
+		sp.End()
 		if err != nil {
 			s.writeError(w, r, http.StatusInternalServerError, err)
 			return
@@ -384,15 +438,22 @@ func (s *Server) handleObjects(w http.ResponseWriter, r *http.Request) {
 			}
 			have = v
 		}
+		_, sp := trace.Start(r.Context(), "store.get",
+			trace.String("key", key), trace.Int64("have", int64(have)))
 		reply, err := s.Store.Get(key, have)
-		if errors.Is(err, store.ErrNotFound) {
-			s.writeError(w, r, http.StatusNotFound, err)
-			return
-		}
 		if err != nil {
+			sp.End()
+			if errors.Is(err, store.ErrNotFound) {
+				s.writeError(w, r, http.StatusNotFound, err)
+				return
+			}
 			s.writeError(w, r, http.StatusInternalServerError, err)
 			return
 		}
+		// Whether this pull went out as a delta or a full copy is the
+		// bandwidth question the paper's data tier exists to answer.
+		sp.SetAttr(trace.String("kind", reply.Kind()), trace.Int("wire_bytes", reply.WireBytes()))
+		sp.End()
 		out := objectReply{Key: reply.Key, Version: reply.Version, BaseVersion: reply.BaseVersion, Unchanged: reply.Unchanged}
 		switch {
 		case reply.Unchanged:

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// testLogger keeps intentional panic stacks out of the test output.
+func testLogger(t *testing.T) *slog.Logger {
+	t.Helper()
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+func TestRoutePattern(t *testing.T) {
+	cases := map[string]string{
+		"/":                           "root",
+		"/search":                     "search",
+		"/search/deep/path":           "search",
+		"/Search":                     "search",
+		"/debug":                      "debug",
+		"/with space":                 "other",
+		"/" + strings.Repeat("x", 40): "other",
+		"/snake_case-ok":              "snake_case-ok",
+	}
+	for path, want := range cases {
+		if got := RoutePattern(path); got != want {
+			t.Errorf("RoutePattern(%q) = %q, want %q", path, got, want)
+		}
+	}
+}
+
+func TestStatusRecorderFirstWriteWins(t *testing.T) {
+	rr := httptest.NewRecorder()
+	sr := NewStatusRecorder(rr)
+	if sr.Status != http.StatusOK || sr.Wrote() {
+		t.Fatalf("fresh recorder: status=%d wrote=%v", sr.Status, sr.Wrote())
+	}
+	sr.WriteHeader(http.StatusTeapot)
+	sr.WriteHeader(http.StatusOK) // late second write must not relabel
+	if sr.Status != http.StatusTeapot || !sr.Wrote() {
+		t.Fatalf("after writes: status=%d wrote=%v", sr.Status, sr.Wrote())
+	}
+}
+
+func TestMiddlewareCapturesStatus(t *testing.T) {
+	h := Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	}), nil)
+	ctr := GetCounter(`coda_http_requests_total{route="brew",method="GET",code="418"}`)
+	before := ctr.Value()
+
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/brew/coffee", nil))
+
+	if rr.Code != http.StatusTeapot {
+		t.Fatalf("status = %d", rr.Code)
+	}
+	if rr.Header().Get(RequestIDHeader) == "" {
+		t.Error("response missing request id header")
+	}
+	if got := ctr.Value(); got != before+1 {
+		t.Errorf("status-labeled counter = %d, want %d", got, before+1)
+	}
+}
+
+func TestMiddlewareImplicit200(t *testing.T) {
+	h := Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "ok") // never calls WriteHeader
+	}), nil)
+	ctr := GetCounter(`coda_http_requests_total{route="implicit",method="GET",code="200"}`)
+	before := ctr.Value()
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/implicit", nil))
+	if got := ctr.Value(); got != before+1 {
+		t.Errorf("implicit 200 counter = %d, want %d", got, before+1)
+	}
+}
+
+func TestRecoverMiddleware(t *testing.T) {
+	h := Middleware(Recover(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("kaboom")
+	}), testLogger(t)), testLogger(t))
+	panics := GetCounter("coda_http_panics_total")
+	before := panics.Value()
+
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/boom", nil))
+
+	if rr.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rr.Code)
+	}
+	var body struct {
+		Error     string `json:"error"`
+		Status    int    `json:"status"`
+		RequestID string `json:"request_id"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil {
+		t.Fatalf("500 body is not JSON: %v (%q)", err, rr.Body.String())
+	}
+	if body.Error != "internal server error" || body.Status != 500 || body.RequestID == "" {
+		t.Errorf("body = %+v", body)
+	}
+	if got := panics.Value(); got != before+1 {
+		t.Errorf("coda_http_panics_total = %d, want %d", got, before+1)
+	}
+	// The outer Middleware labeled the request with the recovered status.
+	if GetCounter(`coda_http_requests_total{route="boom",method="GET",code="500"}`).Value() == 0 {
+		t.Error("recovered 500 not visible in route metrics")
+	}
+}
+
+func TestRecoverLeavesCommittedResponseAlone(t *testing.T) {
+	h := Recover(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprint(w, "partial")
+		panic("late panic")
+	}), testLogger(t))
+
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/late", nil))
+	if rr.Code != http.StatusAccepted {
+		t.Fatalf("status = %d, want the committed 202", rr.Code)
+	}
+	if got := rr.Body.String(); got != "partial" {
+		t.Errorf("body = %q; recovery must not append to a committed response", got)
+	}
+}

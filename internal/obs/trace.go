@@ -4,9 +4,14 @@ import (
 	"context"
 	crand "crypto/rand"
 	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
 	"log/slog"
 	"math/rand"
 	"net/http"
+	"runtime/debug"
+	"strings"
 	"sync"
 	"time"
 )
@@ -55,9 +60,68 @@ func EnsureRequestID(ctx context.Context) (context.Context, string) {
 	return WithRequestID(ctx, id), id
 }
 
+// StatusRecorder wraps a ResponseWriter to capture the response status
+// code (200 when the handler never calls WriteHeader) so middleware can
+// label metrics and logs with it.
+type StatusRecorder struct {
+	http.ResponseWriter
+	Status int
+	wrote  bool
+}
+
+// NewStatusRecorder wraps w, defaulting the status to 200.
+func NewStatusRecorder(w http.ResponseWriter) *StatusRecorder {
+	return &StatusRecorder{ResponseWriter: w, Status: http.StatusOK}
+}
+
+// WriteHeader records the first status code written.
+func (sr *StatusRecorder) WriteHeader(code int) {
+	if !sr.wrote {
+		sr.Status = code
+		sr.wrote = true
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// Write marks the implicit 200 as committed before delegating.
+func (sr *StatusRecorder) Write(p []byte) (int, error) {
+	sr.wrote = true
+	return sr.ResponseWriter.Write(p)
+}
+
+// Wrote reports whether the handler committed a status or body, i.e.
+// whether a recovery path may still write its own error response.
+func (sr *StatusRecorder) Wrote() bool { return sr.wrote }
+
+// RoutePattern reduces a request path to a bounded metrics label: the
+// first path segment, lowercased, restricted to [a-z0-9_-] and 32 chars
+// ("root" for "/", "other" for anything unruly) so arbitrary request
+// paths cannot explode the label space.
+func RoutePattern(path string) string {
+	p := strings.TrimPrefix(path, "/")
+	if i := strings.IndexByte(p, '/'); i >= 0 {
+		p = p[:i]
+	}
+	if p == "" {
+		return "root"
+	}
+	p = strings.ToLower(p)
+	if len(p) > 32 {
+		return "other"
+	}
+	for i := 0; i < len(p); i++ {
+		c := p[i]
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') && c != '_' && c != '-' {
+			return "other"
+		}
+	}
+	return p
+}
+
 // Middleware adopts the caller's X-Coda-Request-Id (generating one when
 // absent), stashes it in the request context, echoes it on the response,
-// and debug-logs the request. Handlers read the id back with RequestID
+// captures the response status, counts the request per route/method/
+// status, and debug-logs it. Handlers read the id back with RequestID
 // for their own logs. logger may be nil (slog default).
 func Middleware(next http.Handler, logger *slog.Logger) http.Handler {
 	if logger == nil {
@@ -70,9 +134,57 @@ func Middleware(next http.Handler, logger *slog.Logger) http.Handler {
 			id = NewRequestID()
 		}
 		w.Header().Set(RequestIDHeader, id)
-		next.ServeHTTP(w, r.WithContext(WithRequestID(r.Context(), id)))
+		rec := NewStatusRecorder(w)
+		next.ServeHTTP(rec, r.WithContext(WithRequestID(r.Context(), id)))
+		elapsed := time.Since(start)
+		route := RoutePattern(r.URL.Path)
+		GetCounter(fmt.Sprintf(`coda_http_requests_total{route=%q,method=%q,code="%d"}`,
+			route, r.Method, rec.Status)).Inc()
+		GetHistogram(fmt.Sprintf(`coda_http_request_seconds{route=%q}`, route), nil).
+			Observe(elapsed.Seconds())
 		logger.Debug("http request",
 			"request_id", id, "method", r.Method, "path", r.URL.Path,
-			"elapsed", time.Since(start))
+			"status", rec.Status, "elapsed", elapsed)
+	})
+}
+
+// Recover guards a handler against panics: it recovers, logs the stack
+// with the request id, answers a structured 500 JSON body (when nothing
+// was written yet), and increments coda_http_panics_total — a panicking
+// handler must cost one request, not the connection. Layer it inside
+// Middleware so the request id is already in the context. logger may be
+// nil (slog default).
+func Recover(next http.Handler, logger *slog.Logger) http.Handler {
+	if logger == nil {
+		logger = slog.Default()
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := NewStatusRecorder(w)
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			// net/http's sanctioned abort signal passes through untouched.
+			if err, ok := p.(error); ok && errors.Is(err, http.ErrAbortHandler) {
+				panic(p)
+			}
+			id := RequestID(r.Context())
+			GetCounter("coda_http_panics_total").Inc()
+			logger.Error("handler panic",
+				"request_id", id, "method", r.Method, "path", r.URL.Path,
+				"panic", fmt.Sprint(p), "stack", string(debug.Stack()))
+			if rec.Wrote() {
+				return
+			}
+			rec.Header().Set("Content-Type", "application/json")
+			rec.WriteHeader(http.StatusInternalServerError)
+			json.NewEncoder(rec).Encode(map[string]any{
+				"error":      "internal server error",
+				"status":     http.StatusInternalServerError,
+				"request_id": id,
+			})
+		}()
+		next.ServeHTTP(rec, r)
 	})
 }

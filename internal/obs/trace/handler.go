@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Summary is one row of the /debug/traces JSON listing.
+type Summary struct {
+	TraceID      string    `json:"trace_id"`
+	Root         string    `json:"root"`
+	Start        time.Time `json:"start"`
+	DurationMS   float64   `json:"duration_ms"`
+	Spans        int       `json:"spans"`
+	RootChildren int       `json:"root_children"`
+	Remote       bool      `json:"remote"`
+	Dropped      int       `json:"dropped,omitempty"`
+}
+
+// Handler serves the default recorder at /debug/traces.
+func Handler() http.Handler { return DefaultRecorder().Handler() }
+
+// Handler serves the recorder's contents: a JSON listing of recorded
+// fragments (newest first), or a plain-text waterfall of one trace's
+// merged fragments with ?id=<trace id>.
+func (r *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		if id := req.URL.Query().Get("id"); id != "" {
+			r.serveWaterfall(w, id)
+			return
+		}
+		out := make([]Summary, 0, r.Len())
+		for _, t := range r.Traces() {
+			children := 0
+			for _, s := range t.Spans {
+				if s.Parent == t.Root.ID {
+					children++
+				}
+			}
+			out = append(out, Summary{
+				TraceID:      t.TraceID.String(),
+				Root:         t.Root.Name,
+				Start:        t.Root.Start,
+				DurationMS:   float64(t.Root.Duration()) / float64(time.Millisecond),
+				Spans:        len(t.Spans),
+				RootChildren: children,
+				Remote:       t.Root.Remote,
+				Dropped:      t.Dropped,
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+	})
+}
+
+func (r *Recorder) serveWaterfall(w http.ResponseWriter, idHex string) {
+	var id TraceID
+	if len(idHex) != 32 {
+		http.Error(w, "bad trace id", http.StatusBadRequest)
+		return
+	}
+	if _, err := hex.Decode(id[:], []byte(idHex)); err != nil {
+		http.Error(w, "bad trace id", http.StatusBadRequest)
+		return
+	}
+	frags := r.Get(id)
+	if len(frags) == 0 {
+		http.Error(w, "trace not found", http.StatusNotFound)
+		return
+	}
+	var spans []SpanData
+	for _, f := range frags {
+		spans = append(spans, f.Spans...)
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "trace %s (%d fragments, %d spans)\n", idHex, len(frags), len(spans))
+	writeWaterfall(w, spans)
+}
+
+// writeWaterfall renders the span forest as an indented tree with
+// offsets relative to the earliest span, one line per span.
+func writeWaterfall(w http.ResponseWriter, spans []SpanData) {
+	if len(spans) == 0 {
+		return
+	}
+	epoch := spans[0].Start
+	byID := make(map[SpanID]bool, len(spans))
+	for _, s := range spans {
+		byID[s.ID] = true
+		if s.Start.Before(epoch) {
+			epoch = s.Start
+		}
+	}
+	children := map[SpanID][]int{}
+	var roots []int
+	for i, s := range spans {
+		if !s.Parent.IsZero() && byID[s.Parent] {
+			children[s.Parent] = append(children[s.Parent], i)
+		} else {
+			roots = append(roots, i)
+		}
+	}
+	byStart := func(idx []int) {
+		sort.Slice(idx, func(a, b int) bool { return spans[idx[a]].Start.Before(spans[idx[b]].Start) })
+	}
+	byStart(roots)
+	var walk func(i, depth int)
+	walk = func(i, depth int) {
+		s := spans[i]
+		line := fmt.Sprintf("%10s %10s  %s%s",
+			"+"+s.Start.Sub(epoch).Round(time.Microsecond).String(),
+			s.Duration().Round(time.Microsecond),
+			strings.Repeat("  ", depth), s.Name)
+		if s.Component != "" {
+			line += " [" + s.Component + "]"
+		}
+		if s.Remote {
+			line += " (remote parent)"
+		}
+		for _, a := range s.Attrs {
+			line += " " + a.Key + "=" + a.Value
+		}
+		fmt.Fprintln(w, line)
+		for _, e := range s.Events {
+			ev := fmt.Sprintf("%10s %10s  %s· %s",
+				"+"+e.At.Sub(epoch).Round(time.Microsecond).String(), "",
+				strings.Repeat("  ", depth+1), e.Name)
+			for _, a := range e.Attrs {
+				ev += " " + a.Key + "=" + a.Value
+			}
+			fmt.Fprintln(w, ev)
+		}
+		kids := children[s.ID]
+		byStart(kids)
+		for _, k := range kids {
+			walk(k, depth+1)
+		}
+	}
+	for _, i := range roots {
+		walk(i, 0)
+	}
+}

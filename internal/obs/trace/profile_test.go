@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// mkSpan builds a component-tagged span covering [lo, hi) milliseconds
+// after epoch.
+func mkSpan(epoch time.Time, comp string, lo, hi int) SpanData {
+	return SpanData{
+		Name:      comp,
+		Component: comp,
+		Start:     epoch.Add(time.Duration(lo) * time.Millisecond),
+		End:       epoch.Add(time.Duration(hi) * time.Millisecond),
+	}
+}
+
+func TestComputeProfileSumsToTotal(t *testing.T) {
+	epoch := time.Unix(0, 0)
+	end := epoch.Add(100 * time.Millisecond)
+	spans := []SpanData{
+		mkSpan(epoch, CompCompute, 0, 30),
+		mkSpan(epoch, CompDARRWait, 20, 50), // overlaps compute 20-30: compute wins
+		mkSpan(epoch, CompQueue, 40, 60),    // overlaps darr 40-50: darr wins
+		mkSpan(epoch, CompStoreWait, 70, 80),
+		{Name: "structural", Start: epoch, End: end}, // untagged: ignored
+	}
+	p := ComputeProfile(epoch, end, spans)
+	if p.Total != 100*time.Millisecond {
+		t.Fatalf("total = %v", p.Total)
+	}
+	wants := map[string]time.Duration{
+		CompCompute:   30 * time.Millisecond,
+		CompDARRWait:  20 * time.Millisecond, // 30-50
+		CompQueue:     10 * time.Millisecond, // 50-60
+		CompStoreWait: 10 * time.Millisecond, // 70-80
+		CompOther:     30 * time.Millisecond, // 60-70 + 80-100 + nothing before 0
+	}
+	var sum time.Duration
+	for comp, want := range wants {
+		if got := p.Component(comp); got != want {
+			t.Errorf("%s = %v, want %v", comp, got, want)
+		}
+	}
+	for _, d := range p.Components {
+		sum += d
+	}
+	if sum != p.Total {
+		t.Fatalf("components sum to %v, want exactly total %v", sum, p.Total)
+	}
+}
+
+func TestComputeProfileClipsToWindow(t *testing.T) {
+	epoch := time.Unix(0, 0)
+	end := epoch.Add(50 * time.Millisecond)
+	spans := []SpanData{
+		mkSpan(epoch, CompCompute, -20, 10), // starts before the window
+		mkSpan(epoch, CompDARRWait, 40, 90), // ends after the window
+		mkSpan(epoch, CompQueue, 60, 70),    // entirely outside
+	}
+	p := ComputeProfile(epoch, end, spans)
+	if got := p.Component(CompCompute); got != 10*time.Millisecond {
+		t.Errorf("compute = %v, want 10ms", got)
+	}
+	if got := p.Component(CompDARRWait); got != 10*time.Millisecond {
+		t.Errorf("darr_wait = %v, want 10ms", got)
+	}
+	if got := p.Component(CompQueue); got != 0 {
+		t.Errorf("queue = %v, want 0", got)
+	}
+	if got := p.Component(CompOther); got != 30*time.Millisecond {
+		t.Errorf("other = %v, want 30ms", got)
+	}
+}
+
+func TestComputeProfileOverlappingSameComponent(t *testing.T) {
+	// Two concurrent compute spans must not double-count the overlap.
+	epoch := time.Unix(0, 0)
+	end := epoch.Add(40 * time.Millisecond)
+	spans := []SpanData{
+		mkSpan(epoch, CompCompute, 0, 30),
+		mkSpan(epoch, CompCompute, 10, 40),
+	}
+	p := ComputeProfile(epoch, end, spans)
+	if got := p.Component(CompCompute); got != 40*time.Millisecond {
+		t.Errorf("compute = %v, want 40ms (no double counting)", got)
+	}
+	if got := p.Component(CompOther); got != 0 {
+		t.Errorf("other = %v, want 0", got)
+	}
+}
+
+func TestComputeProfileEmpty(t *testing.T) {
+	epoch := time.Unix(0, 0)
+	p := ComputeProfile(epoch, epoch, nil)
+	if p.Total != 0 || len(p.Components) != 0 {
+		t.Fatalf("empty window profile = %+v", p)
+	}
+	p = ComputeProfile(epoch, epoch.Add(time.Second), nil)
+	if p.Component(CompOther) != time.Second {
+		t.Fatalf("no spans: other = %v, want 1s", p.Component(CompOther))
+	}
+}
+
+func TestSpanProfileLive(t *testing.T) {
+	swapRecorder(t, 4)
+	ctx, root := Start(context.Background(), "op")
+	_, c := Start(ctx, "work")
+	c.SetComponent(CompCompute)
+	time.Sleep(2 * time.Millisecond)
+	c.End()
+	p := root.Profile()
+	root.End()
+	if p.Total <= 0 {
+		t.Fatalf("live profile total = %v", p.Total)
+	}
+	if p.Component(CompCompute) <= 0 {
+		t.Fatalf("live profile compute = %v", p.Component(CompCompute))
+	}
+	var sum time.Duration
+	for _, d := range p.Components {
+		sum += d
+	}
+	if sum != p.Total {
+		t.Fatalf("live profile components sum %v != total %v", sum, p.Total)
+	}
+}

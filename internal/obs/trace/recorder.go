@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultCapacity is the default number of completed trace fragments the
+// ring recorder retains.
+const DefaultCapacity = 256
+
+// TraceData is one recorded trace fragment: the spans that ran in this
+// process for one trace, plus the fragment's local root. A trace that
+// crossed N processes has up to N fragments, one per process; Get merges
+// the local ones (useful in tests and single-binary deployments).
+type TraceData struct {
+	TraceID  TraceID
+	Root     SpanData
+	Spans    []SpanData
+	Dropped  int
+	Recorded time.Time
+}
+
+// Recorder is a bounded ring of completed trace fragments: constant
+// memory, newest wins, safe for concurrent writers.
+type Recorder struct {
+	mu   sync.Mutex
+	buf  []*TraceData
+	next int
+	n    int
+}
+
+// NewRecorder builds a ring recorder holding up to capacity fragments
+// (DefaultCapacity when capacity <= 0).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Recorder{buf: make([]*TraceData, capacity)}
+}
+
+// Record adds a completed fragment, evicting the oldest when full.
+func (r *Recorder) Record(t *TraceData) {
+	if t == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = t
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// Len returns the number of fragments currently held.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Traces returns the held fragments, newest first.
+func (r *Recorder) Traces() []*TraceData {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*TraceData, 0, r.n)
+	for i := 1; i <= r.n; i++ {
+		out = append(out, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}
+
+// Get returns every held fragment of one trace, oldest first.
+func (r *Recorder) Get(id TraceID) []*TraceData {
+	all := r.Traces()
+	var out []*TraceData
+	for i := len(all) - 1; i >= 0; i-- {
+		if all[i].TraceID == id {
+			out = append(out, all[i])
+		}
+	}
+	return out
+}
+
+var defaultRecorder = func() *atomic.Pointer[Recorder] {
+	p := new(atomic.Pointer[Recorder])
+	p.Store(NewRecorder(DefaultCapacity))
+	return p
+}()
+
+// DefaultRecorder returns the process-wide recorder that local roots
+// report to on End.
+func DefaultRecorder() *Recorder { return defaultRecorder.Load() }
+
+// SetDefaultRecorder swaps the process-wide recorder (e.g. to resize the
+// ring from a -trace-ring flag) and returns the previous one.
+func SetDefaultRecorder(r *Recorder) *Recorder {
+	if r == nil {
+		r = NewRecorder(DefaultCapacity)
+	}
+	return defaultRecorder.Swap(r)
+}

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"coda/internal/obs"
+	"coda/internal/obs/trace"
 	"coda/internal/store"
 )
 
@@ -238,8 +239,20 @@ func (m *Manager) ActiveLeases(key string) int {
 // active lease according to its mode, pruning expired leases as it goes.
 // It returns the new version number.
 func (m *Manager) Publish(key string, data []byte) (uint64, error) {
+	return m.PublishCtx(context.Background(), key, data)
+}
+
+// PublishCtx is Publish with a caller-supplied context, so a publish
+// that happens inside a traced operation (a search's re-analytics
+// trigger, an HTTP handler) appears as a store-tagged child span with
+// its fan-out recorded.
+func (m *Manager) PublishCtx(ctx context.Context, key string, data []byte) (uint64, error) {
+	_, sp := trace.Start(ctx, "replication.publish", trace.String("key", key))
+	sp.SetComponent(trace.CompStoreWait)
+	defer sp.End()
 	version, err := m.store.Put(key, data)
 	if err != nil {
+		sp.SetAttr(trace.String("error", err.Error()))
 		return 0, fmt.Errorf("replication: publishing %q: %w", key, err)
 	}
 
@@ -279,6 +292,8 @@ func (m *Manager) Publish(key string, data []byte) (uint64, error) {
 		sub.Deliver(u)
 	}
 	mPushBytes.Add(pushedBytes)
+	sp.SetAttr(trace.Int64("version", int64(version)),
+		trace.Int("subscribers", len(snapshot)), trace.Int64("pushed_bytes", pushedBytes))
 	if lg := m.logger(); lg.Enabled(context.Background(), slog.LevelDebug) {
 		lg.Debug("published object version",
 			"key", key, "version", version, "subscribers", len(snapshot), "pushed_bytes", pushedBytes)

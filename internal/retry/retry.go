@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"coda/internal/obs"
+	"coda/internal/obs/trace"
 )
 
 // Telemetry for the fault-tolerance layer: attempt volume, how often the
@@ -151,6 +152,10 @@ func Do(ctx context.Context, p Policy, op func(ctx context.Context) error) error
 			backoff := p.Backoff(attempt-1, nil)
 			mRetries.Inc()
 			mBackoffSeconds.Observe(backoff.Seconds())
+			// Retries annotate the surrounding call span, so a trace shows
+			// each backoff with its delay instead of a silent gap.
+			trace.AddEvent(ctx, "retry",
+				trace.Int("attempt", attempt+1), trace.Duration("backoff", backoff))
 			if serr := p.Sleep(ctx, backoff); serr != nil {
 				return serr
 			}

@@ -74,6 +74,19 @@ type Reply struct {
 // IsDelta reports whether the reply carries a delta.
 func (r *Reply) IsDelta() bool { return r.Delta != nil }
 
+// Kind names the reply's payload form — "unchanged", "delta", or
+// "full" — for logs and trace attributes.
+func (r *Reply) Kind() string {
+	switch {
+	case r.Unchanged:
+		return "unchanged"
+	case r.IsDelta():
+		return "delta"
+	default:
+		return "full"
+	}
+}
+
 // unchangedWireBytes is the fixed header cost of an unchanged reply.
 const unchangedWireBytes = 16
 
