@@ -12,6 +12,16 @@
 //	coda-client put    -server http://host:8080 -key data -file blob.bin
 //	coda-client pull   -server http://host:8080 -key data -out blob.bin
 //	coda-client serve  -data train.csv -target y -addr :9090
+//
+// subscribe takes a lease on an object and follows its update stream
+// (Section III's push modes: value, delta, or notify), renewing the lease
+// at half-life and acknowledging each frame. With -recompute-every or
+// -recompute-bytes, a change-detection trigger rides the notification
+// stream and re-pulls the object when enough change has accumulated —
+// push-driven re-analytics instead of polling:
+//
+//	coda-client subscribe -server http://host:8080 -key data -mode notify -recompute-every 10
+//	coda-client subscribe -server http://host:8080 -key data -mode delta -count 5
 package main
 
 import (
@@ -62,6 +72,8 @@ func main() {
 		err = runPut(ctx, os.Args[2:])
 	case "pull":
 		err = runPull(ctx, os.Args[2:])
+	case "subscribe":
+		err = runSubscribe(ctx, os.Args[2:])
 	case "serve":
 		err = runServe(ctx, os.Args[2:])
 	default:
@@ -75,7 +87,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: coda-client <search|query|put|pull|serve> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: coda-client <search|query|put|pull|subscribe|serve> [flags]")
 }
 
 // logFlags is the observability flag surface shared by every subcommand:

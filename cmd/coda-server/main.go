@@ -13,6 +13,14 @@
 //
 //	coda-server -addr :8080 -store-backend log -store-dir /var/lib/coda -store-shards 32
 //
+// Real-time push (Section III's lease-based subscriptions): POST /leases
+// grants a lease on an object, GET /leases/{id}/stream serves coalesced
+// update frames as Server-Sent Events (GET /leases/{id}/poll long-polls
+// instead), and object PUTs fan out through a bounded worker pool so a
+// slow subscriber never stalls a writer:
+//
+//	coda-server -addr :8080 -fanout-workers 16 -notify-coalesce 100ms -lease-sweep 30s
+//
 // Observability: structured logs go to stderr (-log-level debug shows
 // per-request lines with X-Coda-Request-Id), /metrics serves a
 // Prometheus text scrape, /healthz reports uptime/build/breaker state,
@@ -48,6 +56,7 @@ import (
 	"coda/internal/httpapi"
 	"coda/internal/obs"
 	"coda/internal/obs/trace"
+	"coda/internal/replication"
 	"coda/internal/store"
 )
 
@@ -63,6 +72,11 @@ func main() {
 		storeBackend = flag.String("store-backend", "mem", "data-tier backend: mem (in-memory) or log (append-only segment log, fsync on Put, crash recovery)")
 		storeDir     = flag.String("store-dir", "coda-store", "segment directory for -store-backend log")
 		storeShards  = flag.Int("store-shards", 0, "lock shards in the object store (0 = default 16)")
+
+		fanoutWorkers  = flag.Int("fanout-workers", 8, "lease fanout worker pool size (0 disables the push serving tier)")
+		notifyCoalesce = flag.Duration("notify-coalesce", 50*time.Millisecond, "minimum gap between pushes to one lease; publishes inside the window merge into one frame")
+		leaseSweep     = flag.Duration("lease-sweep", 30*time.Second, "how often expired leases on idle objects are pruned")
+		leaseMaxTTL    = flag.Duration("lease-max-ttl", time.Hour, "ceiling on requested lease durations")
 
 		readTimeout  = flag.Duration("read-timeout", 30*time.Second, "per-request read timeout")
 		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "per-request write timeout")
@@ -115,6 +129,21 @@ func main() {
 	defer hs.Close()
 	api := httpapi.NewServer(repo, hs)
 	api.MaxBatchKeys = *batchMax
+	if *fanoutWorkers > 0 {
+		// The push serving tier: SSE/long-poll lease subscriptions with a
+		// bounded fanout pool, per-lease coalescing, and a periodic sweep
+		// of expired leases on idle objects.
+		leases := replication.NewManagerWith(hs, nil, replication.Config{
+			Workers:        *fanoutWorkers,
+			CoalesceWindow: *notifyCoalesce,
+			SweepInterval:  *leaseSweep,
+		})
+		defer leases.Close()
+		api.MaxLeaseTTL = *leaseMaxTTL
+		api.EnableLeases(leases)
+		logger.Info("push serving tier enabled",
+			"workers", *fanoutWorkers, "coalesce", *notifyCoalesce, "sweep", *leaseSweep)
+	}
 	var handler http.Handler = api
 
 	if *chaos > 0 {

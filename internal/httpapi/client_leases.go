@@ -1,0 +1,216 @@
+package httpapi
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"coda/internal/obs"
+	"coda/internal/obs/trace"
+	"coda/internal/store"
+)
+
+// ErrLeaseGone reports that the server no longer knows the lease —
+// expired, swept, or cancelled. The remedy is a fresh Subscribe, not a
+// retry.
+var ErrLeaseGone = errors.New("httpapi: lease gone")
+
+// Reply converts a payload-carrying notification (value/delta mode) back
+// into a store.Reply, ready for store.Replica.ApplyReply. Notify-mode
+// frames have no payload; applying them is a client-side pull decision.
+func (n *Notification) Reply() (*store.Reply, error) {
+	return decodeReply(objectReply{
+		Key: n.Key, Version: n.Version, BaseVersion: n.BaseVersion,
+		Unchanged: n.Unchanged, Full: n.Full, Delta: n.Delta,
+	})
+}
+
+// Subscribe takes a lease on key with the given push mode ("value",
+// "delta", or "notify") and TTL. haveVersion seeds the acknowledged
+// version (0 = nothing held) so delta pushes start from the replica's
+// state. The lease is granted server-side; stream or poll it next.
+func (c *Client) Subscribe(ctx context.Context, key, mode string, ttl time.Duration, haveVersion uint64) (*LeaseInfo, error) {
+	req := leaseRequest{Key: key, ClientID: c.ClientID, Mode: mode,
+		TTLSeconds: ttl.Seconds(), HaveVersion: haveVersion}
+	var info LeaseInfo
+	status, err := c.doJSON(ctx, http.MethodPost, "/leases", req, &info)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusCreated {
+		return nil, fmt.Errorf("httpapi: subscribe status %d", status)
+	}
+	return &info, nil
+}
+
+// RenewLease extends a lease by ttl from now.
+func (c *Client) RenewLease(ctx context.Context, leaseID string, ttl time.Duration) (*LeaseInfo, error) {
+	var info LeaseInfo
+	status, err := c.doJSON(ctx, http.MethodPost, "/leases/"+url.PathEscape(leaseID)+"/renew",
+		renewRequest{TTLSeconds: ttl.Seconds()}, &info)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("httpapi: renew status %d", status)
+	}
+	return &info, nil
+}
+
+// AckLease tells the server which version this client now holds, so
+// delta pushes and change estimates are computed against it.
+func (c *Client) AckLease(ctx context.Context, leaseID string, version uint64) error {
+	status, err := c.doJSON(ctx, http.MethodPost, "/leases/"+url.PathEscape(leaseID)+"/ack",
+		ackRequest{Version: version}, nil)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("httpapi: ack status %d", status)
+	}
+	return nil
+}
+
+// CancelLease ends a lease early, as clients should when they no longer
+// need updates.
+func (c *Client) CancelLease(ctx context.Context, leaseID string) error {
+	status, err := c.doJSON(ctx, http.MethodDelete, "/leases/"+url.PathEscape(leaseID), nil, nil)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("httpapi: cancel status %d", status)
+	}
+	return nil
+}
+
+// PollLease long-polls for the lease's next coalesced frame, waiting up
+// to wait server-side. It returns (frame, true) when one arrived and
+// (nil, false) when the wait elapsed quietly. A 410 means the lease is
+// gone — re-subscribe.
+func (c *Client) PollLease(ctx context.Context, leaseID string, wait time.Duration) (*Notification, bool, error) {
+	path := fmt.Sprintf("/leases/%s/poll?wait=%s", url.PathEscape(leaseID), wait)
+	var n Notification
+	got := false
+	err := c.exec(ctx, "GET /leases/poll", func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+		if err != nil {
+			return fmt.Errorf("httpapi: building poll: %w", err)
+		}
+		req.Header.Set(obs.RequestIDHeader, obs.RequestID(ctx))
+		trace.Inject(ctx, req.Header)
+		// The connection must outlive the server-side wait; bypass the
+		// client's overall request timeout but keep its transport.
+		resp, err := c.streamClient().Do(req)
+		if err != nil {
+			return fmt.Errorf("httpapi: poll lease: %w", err)
+		}
+		defer resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			if err := json.NewDecoder(resp.Body).Decode(&n); err != nil {
+				return fmt.Errorf("httpapi: decoding poll frame: %w", err)
+			}
+			got = true
+			return nil
+		case http.StatusNoContent:
+			return nil
+		case http.StatusGone, http.StatusNotFound:
+			return fmt.Errorf("httpapi: lease %s gone (status %d)", leaseID, resp.StatusCode)
+		default:
+			return fmt.Errorf("httpapi: poll status %d", resp.StatusCode)
+		}
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	if !got {
+		return nil, false, nil
+	}
+	return &n, true, nil
+}
+
+// StreamLease opens the lease's SSE stream and invokes fn for every
+// update frame until the context is cancelled, the server ends the
+// stream (lease expired or cancelled — returned as ErrLeaseGone), or fn
+// returns an error (returned as-is). The stream bypasses the client's
+// request timeout and retry policy: a subscription is a long-lived
+// connection, and re-subscribing after a drop is the caller's loop.
+func (c *Client) StreamLease(ctx context.Context, leaseID string, fn func(Notification) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.BaseURL+"/leases/"+url.PathEscape(leaseID)+"/stream", nil)
+	if err != nil {
+		return fmt.Errorf("httpapi: building stream request: %w", err)
+	}
+	ctx, id := obs.EnsureRequestID(ctx)
+	req.Header.Set(obs.RequestIDHeader, id)
+	req.Header.Set("Accept", "text/event-stream")
+	trace.Inject(ctx, req.Header)
+	resp, err := c.streamClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("httpapi: opening lease stream: %w", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound, http.StatusGone:
+		return fmt.Errorf("%w: %s (status %d)", ErrLeaseGone, leaseID, resp.StatusCode)
+	default:
+		return fmt.Errorf("httpapi: stream status %d", resp.StatusCode)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), maxSSEFrame)
+	var event, data string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			// Blank line dispatches the accumulated event.
+			ev, payload := event, data
+			event, data = "", ""
+			switch ev {
+			case "update":
+				var n Notification
+				if err := json.Unmarshal([]byte(payload), &n); err != nil {
+					return fmt.Errorf("httpapi: decoding update frame: %w", err)
+				}
+				if err := fn(n); err != nil {
+					return err
+				}
+			case "end":
+				return ErrLeaseGone
+			}
+		case strings.HasPrefix(line, ":"):
+			// Heartbeat comment.
+		case strings.HasPrefix(line, "event:"):
+			event = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+		case strings.HasPrefix(line, "data:"):
+			data = strings.TrimSpace(strings.TrimPrefix(line, "data:"))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return fmt.Errorf("httpapi: reading lease stream: %w", err)
+	}
+	return nil
+}
+
+// maxSSEFrame bounds one SSE line; value-mode frames carry whole objects
+// in base64.
+const maxSSEFrame = 16 << 20
+
+// streamClient derives an HTTP client with no overall timeout from the
+// configured one: subscriptions and long-polls hold connections open far
+// past any sane request deadline.
+func (c *Client) streamClient() *http.Client {
+	return &http.Client{Transport: c.httpClient().Transport}
+}

@@ -15,12 +15,14 @@ import (
 	"runtime/debug"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"coda/internal/darr"
 	"coda/internal/delta"
 	"coda/internal/obs"
 	"coda/internal/obs/trace"
+	"coda/internal/replication"
 	"coda/internal/store"
 )
 
@@ -45,9 +47,22 @@ type Server struct {
 	// MaxBatchKeys bounds the keys/records one batched DARR request may
 	// carry; oversized batches get a 400. <= 0 uses DefaultMaxBatchKeys.
 	MaxBatchKeys int
+	// Leases, when set via EnableLeases, powers the real-time push
+	// endpoints and routes object PUTs through its fanout so HTTP writes
+	// reach subscribers.
+	Leases *replication.Manager
+	// MaxLeaseTTL caps requested lease durations; <= 0 uses
+	// DefaultMaxLeaseTTL.
+	MaxLeaseTTL time.Duration
+	// StreamHeartbeat spaces the SSE keep-alive comments; <= 0 uses
+	// DefaultStreamHeartbeat.
+	StreamHeartbeat time.Duration
 
 	mux    *http.ServeMux
 	health map[string]func() any
+
+	mbMu      sync.Mutex
+	mailboxes map[string]*leaseMailbox
 }
 
 // DefaultMaxBatchKeys is the default cap on keys/records per batched
@@ -108,6 +123,18 @@ func (r *statusRecorder) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// Flush forwards to the underlying writer so SSE handlers can stream
+// through the telemetry wrapper.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap lets http.ResponseController reach the concrete writer for
+// per-request deadline control on streaming routes.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
 // routeLabel maps a request path to a bounded metrics label.
 func routeLabel(path string) string {
 	switch {
@@ -129,6 +156,17 @@ func routeLabel(path string) string {
 		return "darr-batch-records"
 	case strings.HasPrefix(path, "/store/objects/"):
 		return "store-objects"
+	case path == "/leases":
+		return "leases"
+	case strings.HasPrefix(path, "/leases/"):
+		switch {
+		case strings.HasSuffix(path, "/stream"):
+			return "lease-stream"
+		case strings.HasSuffix(path, "/poll"):
+			return "lease-poll"
+		default:
+			return "lease-ops"
+		}
 	default:
 		return "other"
 	}
@@ -148,9 +186,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	route := routeLabel(r.URL.Path)
 	ctx := obs.WithRequestID(r.Context(), id)
 	// Scrape and introspection routes are excluded from tracing so the
-	// ring holds real work, not the observers observing it.
+	// ring holds real work, not the observers observing it; so are the
+	// lease subscription streams, whose spans would span the whole
+	// connection lifetime rather than a unit of work.
 	var sp *trace.Span
-	if route != "metrics" && route != "healthz" && route != "traces" {
+	if route != "metrics" && route != "healthz" && route != "traces" &&
+		route != "lease-stream" && route != "lease-poll" {
 		ctx = trace.Extract(ctx, r.Header)
 		ctx, sp = trace.Start(ctx, "server."+route,
 			trace.String("method", r.Method), trace.String("request_id", id))
@@ -419,9 +460,24 @@ func (s *Server) handleObjects(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
 			return
 		}
-		_, sp := trace.Start(r.Context(), "store.put",
+		ctx, sp := trace.Start(r.Context(), "store.put",
 			trace.String("key", key), trace.Int("bytes", len(data)))
-		version, err := s.Store.Put(key, data)
+		var version uint64
+		if s.Leases != nil {
+			// Route writes through the lease manager so every active
+			// subscription sees this version; with an async manager the
+			// fanout happens off the request path.
+			version, err = s.Leases.PublishCtx(ctx, key, data)
+			if err != nil && version != 0 {
+				// The store write committed; per-lease fanout failures are
+				// already counted and must not fail the writer's request.
+				s.logger().Warn("publish fanout partially failed",
+					"key", key, "version", version, "err", err)
+				err = nil
+			}
+		} else {
+			version, err = s.Store.Put(key, data)
+		}
 		sp.End()
 		if err != nil {
 			s.writeError(w, r, http.StatusInternalServerError, err)

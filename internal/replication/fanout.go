@@ -1,0 +1,261 @@
+package replication
+
+import (
+	"sync"
+	"time"
+
+	"coda/internal/store"
+)
+
+// Config tunes a Manager's fanout pipeline.
+type Config struct {
+	// Workers is the size of the fanout worker pool. 0 keeps the
+	// synchronous inline fanout (Publish delivers before returning);
+	// any positive count makes Publish enqueue-and-return, with at most
+	// Workers concurrent deliveries across all leases.
+	Workers int
+	// CoalesceWindow, when positive, is the minimum gap between two
+	// deliveries to the same lease: publishes landing inside the window
+	// merge into the lease's pending slot and go out as one frame
+	// carrying the latest version and the accumulated publish count. A
+	// hot object with many watchers then costs O(watchers) frames per
+	// window instead of O(watchers × updates). The window rides the wall
+	// clock (timer-based), so managers on virtual clocks should leave it
+	// zero. Async mode only.
+	CoalesceWindow time.Duration
+	// SweepInterval, when positive, runs Sweep on that period so expired
+	// leases on idle keys — which the publish-path prune never revisits —
+	// leave the registry. Async mode only; synchronous callers invoke
+	// Sweep themselves.
+	SweepInterval time.Duration
+}
+
+// NewManagerWith wraps a home store with an explicit fanout configuration.
+// nowFn may be nil (wall clock); tests and simulations inject virtual
+// clocks. Async managers (cfg.Workers > 0) own goroutines — call Close
+// when done with them.
+func NewManagerWith(hs store.ObjectStore, nowFn func() time.Time, cfg Config) *Manager {
+	if nowFn == nil {
+		nowFn = time.Now
+	}
+	m := &Manager{store: hs, now: nowFn, cfg: cfg,
+		leases: map[string][]*Lease{}, byID: map[string]*Lease{}}
+	m.qcond = sync.NewCond(&m.qmu)
+	for i := 0; i < cfg.Workers; i++ {
+		m.workers.Add(1)
+		go m.worker()
+	}
+	if cfg.Workers > 0 && cfg.SweepInterval > 0 {
+		m.sweepStop = make(chan struct{})
+		m.workers.Add(1)
+		go m.sweeper(cfg.SweepInterval)
+	}
+	return m
+}
+
+// async reports whether this manager fans out through the worker pool.
+func (m *Manager) async() bool { return m.cfg.Workers > 0 }
+
+// ManagerStats is a point-in-time snapshot of the serving tier.
+type ManagerStats struct {
+	ActiveLeases int `json:"active_leases"`
+	QueueDepth   int `json:"queue_depth"`
+	Workers      int `json:"workers"`
+}
+
+// Stats snapshots the lease registry and fanout queue.
+func (m *Manager) Stats() ManagerStats {
+	m.mu.Lock()
+	active := len(m.byID)
+	m.mu.Unlock()
+	m.qmu.Lock()
+	depth := len(m.queue)
+	m.qmu.Unlock()
+	return ManagerStats{ActiveLeases: active, QueueDepth: depth, Workers: m.cfg.Workers}
+}
+
+// Close stops the worker pool and the sweeper after draining already
+// queued deliveries. It is idempotent and a no-op for synchronous
+// managers. Publishes after Close still commit to the store; their
+// fanout frames are dropped.
+func (m *Manager) Close() {
+	m.qmu.Lock()
+	if m.closed {
+		m.qmu.Unlock()
+		return
+	}
+	m.closed = true
+	m.qcond.Broadcast()
+	m.qmu.Unlock()
+	if m.sweepStop != nil {
+		close(m.sweepStop)
+	}
+	m.workers.Wait()
+}
+
+// Flush blocks until every queued or in-delivery frame has been handed to
+// its subscriber — the barrier tests and the load harness use to observe
+// a quiesced fanout.
+func (m *Manager) Flush() {
+	m.qmu.Lock()
+	for m.inflight > 0 {
+		m.qcond.Wait()
+	}
+	m.qmu.Unlock()
+}
+
+// enqueuePending merges one publish into the lease's coalescing slot and
+// schedules a delivery when the lease is idle. Called with no locks held.
+func (m *Manager) enqueuePending(l *Lease, version uint64, now time.Time) {
+	l.mu.Lock()
+	if l.cancelled {
+		l.mu.Unlock()
+		return
+	}
+	if l.pendCount == 0 {
+		l.pendSince = now
+	} else {
+		mCoalesced.Inc()
+	}
+	l.pendCount++
+	if version > l.pendVersion {
+		l.pendVersion = version
+	}
+	if l.state != leaseIdle {
+		// Already queued or being delivered; the pending slot will be
+		// picked up by the worker's post-delivery check.
+		l.mu.Unlock()
+		return
+	}
+	l.state = leaseQueued
+	var delay time.Duration
+	if w := m.cfg.CoalesceWindow; w > 0 && !l.lastDeliver.IsZero() {
+		delay = w - now.Sub(l.lastDeliver)
+	}
+	l.mu.Unlock()
+	m.push(l, delay)
+}
+
+// push hands a queued lease to the worker pool, after delay when the
+// coalescing window demands spacing.
+func (m *Manager) push(l *Lease, delay time.Duration) {
+	m.qmu.Lock()
+	m.inflight++
+	m.qmu.Unlock()
+	if delay > 0 {
+		time.AfterFunc(delay, func() { m.pushNow(l) })
+		return
+	}
+	m.pushNow(l)
+}
+
+func (m *Manager) pushNow(l *Lease) {
+	m.qmu.Lock()
+	if m.closed {
+		m.inflight--
+		m.qcond.Broadcast()
+		m.qmu.Unlock()
+		l.mu.Lock()
+		l.state = leaseIdle
+		l.pendCount, l.pendVersion = 0, 0
+		l.mu.Unlock()
+		return
+	}
+	m.queue = append(m.queue, l)
+	mQueueDepth.Set(float64(len(m.queue)))
+	m.qcond.Broadcast()
+	m.qmu.Unlock()
+}
+
+// worker drains the fanout queue: take a lease, deliver its coalesced
+// frame, re-queue it if more publishes arrived meanwhile.
+func (m *Manager) worker() {
+	defer m.workers.Done()
+	for {
+		m.qmu.Lock()
+		for len(m.queue) == 0 && !m.closed {
+			m.qcond.Wait()
+		}
+		if len(m.queue) == 0 {
+			m.qmu.Unlock()
+			return
+		}
+		l := m.queue[0]
+		m.queue = m.queue[1:]
+		mQueueDepth.Set(float64(len(m.queue)))
+		m.qmu.Unlock()
+
+		m.deliverPending(l)
+
+		m.qmu.Lock()
+		m.inflight--
+		if m.inflight == 0 {
+			m.qcond.Broadcast()
+		}
+		m.qmu.Unlock()
+	}
+}
+
+// deliverPending swaps out the lease's coalescing slot, builds the update
+// against the store's current state, and delivers it. Failures and panics
+// are counted and isolated to this lease; other leases' frames ride other
+// queue entries.
+func (m *Manager) deliverPending(l *Lease) {
+	now := m.now()
+	l.mu.Lock()
+	if l.cancelled || now.After(l.expires) {
+		expired := !l.cancelled
+		l.state = leaseIdle
+		l.pendCount, l.pendVersion = 0, 0
+		l.mu.Unlock()
+		if expired {
+			mLeasesExpired.Inc()
+			m.unregister(l)
+		}
+		return
+	}
+	count := l.pendCount
+	version := l.pendVersion
+	since := l.pendSince
+	l.pendCount, l.pendVersion = 0, 0
+	l.state = leaseDelivering
+	l.mu.Unlock()
+
+	u, err := m.buildUpdate(l, l.Key, version)
+	if err != nil {
+		mPushErrors.Inc()
+		m.logger().Warn("building push update failed",
+			"key", l.Key, "client", l.ClientID, "lease", l.ID, "err", err)
+	} else {
+		u.Coalesced = count
+		if derr := m.deliverOne(l, u); derr == nil {
+			mFanoutSeconds.Observe(m.now().Sub(since).Seconds())
+		}
+	}
+
+	l.mu.Lock()
+	l.lastDeliver = m.now()
+	if l.pendCount > 0 && !l.cancelled {
+		l.state = leaseQueued
+		l.mu.Unlock()
+		m.push(l, m.cfg.CoalesceWindow)
+		return
+	}
+	l.state = leaseIdle
+	l.mu.Unlock()
+}
+
+// sweeper periodically prunes expired leases on idle keys.
+func (m *Manager) sweeper(every time.Duration) {
+	defer m.workers.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			m.Sweep()
+		case <-m.sweepStop:
+			return
+		}
+	}
+}

@@ -1,4 +1,4 @@
-package replication
+package replication_test
 
 import (
 	"bytes"
@@ -12,6 +12,7 @@ import (
 	"coda/internal/darr"
 	"coda/internal/faultinject"
 	"coda/internal/httpapi"
+	"coda/internal/replication"
 	"coda/internal/retry"
 	"coda/internal/store"
 )
@@ -80,7 +81,7 @@ type lossySubscriber struct {
 	lost int
 }
 
-func (s *lossySubscriber) Deliver(u Update) {
+func (s *lossySubscriber) Deliver(u replication.Update) {
 	if s.rng.Float64() < s.loss {
 		s.lost++
 		return
@@ -96,9 +97,9 @@ func (s *lossySubscriber) Deliver(u Update) {
 // repairs it.
 func TestPushLossRepairedByPull(t *testing.T) {
 	hs := store.NewHomeStore(store.Options{BlockSize: 64})
-	m := NewManager(hs, nil)
+	m := replication.NewManager(hs, nil)
 	sub := &lossySubscriber{rep: store.NewReplica(), rng: rand.New(rand.NewSource(8)), loss: 0.5}
-	if _, err := m.Subscribe("o", "edge-client", PushValue, time.Hour, sub); err != nil {
+	if _, err := m.Subscribe("o", "edge-client", replication.PushValue, time.Hour, sub); err != nil {
 		t.Fatal(err)
 	}
 

@@ -13,10 +13,22 @@
 // The package also provides the change-detection triggers that decide when
 // re-running analytics is warranted: update count, update bytes, or an
 // application-specific predicate.
+//
+// A Manager fans out in one of two modes. The default (Config.Workers == 0)
+// delivers synchronously inside Publish — simple, and right for in-process
+// consumers like the experiments. With Config.Workers > 0 the manager runs
+// a bounded worker pool over per-lease coalescing slots: Publish merges the
+// update into each lease's pending slot and returns immediately, so a slow,
+// failing, or panicking subscriber never stalls the publisher or any other
+// lease, and a burst of updates to a hot object collapses into one frame
+// per lease carrying the latest version and the accumulated change size.
+// That is the serving tier behind httpapi's SSE/long-poll lease endpoints.
 package replication
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"log/slog"
@@ -28,13 +40,24 @@ import (
 	"coda/internal/store"
 )
 
-// Replication telemetry: fan-out volume and wire cost per push mode.
+// Replication telemetry: fan-out volume and wire cost per push mode, the
+// lease population, and the async fanout pipeline.
 var (
 	mPushValue     = obs.GetCounter(`coda_replication_pushes_total{mode="push-value"}`)
 	mPushDelta     = obs.GetCounter(`coda_replication_pushes_total{mode="push-delta"}`)
 	mPushNotify    = obs.GetCounter(`coda_replication_pushes_total{mode="push-notify"}`)
 	mPushBytes     = obs.GetCounter("coda_replication_push_bytes_total")
 	mLeasesExpired = obs.GetCounter("coda_replication_leases_pruned_total")
+
+	mPushErrors    = obs.GetCounter("coda_replication_push_errors_total")
+	mPushPanics    = obs.GetCounter("coda_replication_push_panics_total")
+	mLeasesActive  = obs.GetGauge("coda_replication_leases_active")
+	mSubscribes    = obs.GetCounter("coda_replication_subscribes_total")
+	mCancels       = obs.GetCounter("coda_replication_cancels_total")
+	mRenewals      = obs.GetCounter("coda_replication_renewals_total")
+	mCoalesced     = obs.GetCounter("coda_replication_coalesced_updates_total")
+	mQueueDepth    = obs.GetGauge("coda_replication_fanout_queue_depth")
+	mFanoutSeconds = obs.GetHistogram("coda_replication_fanout_seconds", nil)
 )
 
 // PushMode selects the payload a subscription delivers.
@@ -77,6 +100,10 @@ type Update struct {
 	// ChangedBytes estimates how much the object changed (delta wire
 	// size), included with notifications per Section III.
 	ChangedBytes int
+	// Coalesced counts the publishes this update represents: 1 on the
+	// synchronous path, possibly more when the async fanout merged a
+	// burst into one frame carrying only the latest version.
+	Coalesced int
 }
 
 // WireBytes estimates the network payload of this update; notifications
@@ -94,7 +121,10 @@ func (u *Update) WireBytes() int {
 const notifyWireBytes = 24 // key hash + version + change size
 
 // Subscriber consumes pushed updates. Deliver runs on the publisher's
-// goroutine and must not block.
+// goroutine (synchronous managers) or on a fanout worker (async managers)
+// and must not block; a blocking Deliver occupies one fanout worker until
+// it returns. A panic in Deliver is recovered and counted — it costs that
+// lease one frame, never the fanout.
 type Subscriber interface {
 	Deliver(u Update)
 }
@@ -108,8 +138,23 @@ func (f SubscriberFunc) Deliver(u Update) { f(u) }
 // ErrLeaseExpired is returned by Renew/Cancel on an already-expired lease.
 var ErrLeaseExpired = errors.New("replication: lease expired")
 
+// ErrLeaseNotFound is returned by the ByID operations for unknown ids.
+var ErrLeaseNotFound = errors.New("replication: lease not found")
+
+// leaseState tracks where a lease sits in the async fanout pipeline.
+type leaseState int
+
+const (
+	leaseIdle       leaseState = iota // no pending frame
+	leaseQueued                       // pending frame awaiting a worker
+	leaseDelivering                   // a worker is delivering its frame
+)
+
 // Lease is one client's subscription to an object for a bounded period.
 type Lease struct {
+	// ID names the lease for the HTTP serving tier (renew/cancel/ack by
+	// id); it is unique within the process.
+	ID       string
 	Key      string
 	ClientID string
 	Mode     PushMode
@@ -119,8 +164,18 @@ type Lease struct {
 	cancelled   bool
 	ackVersion  uint64 // last version the subscriber holds (for deltas)
 	deliveries  int
+	coalesced   int64 // extra publishes merged into delivered frames
 	bytesPushed int64
 	sub         Subscriber
+
+	// Async fanout state: the coalescing slot. pendCount publishes since
+	// the last delivery, collapsed to pendVersion (the latest); pendSince
+	// stamps the oldest undelivered publish for the latency histogram.
+	state       leaseState
+	pendCount   int
+	pendVersion uint64
+	pendSince   time.Time
+	lastDeliver time.Time
 }
 
 // Expired reports whether the lease has lapsed at time now.
@@ -128,6 +183,13 @@ func (l *Lease) Expired(now time.Time) bool {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.cancelled || now.After(l.expires)
+}
+
+// Expires returns the current expiry instant.
+func (l *Lease) Expires() time.Time {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.expires
 }
 
 // AckVersion records the version the subscriber now holds, enabling
@@ -140,11 +202,19 @@ func (l *Lease) AckVersion(v uint64) {
 	}
 }
 
-// Deliveries returns how many updates this lease received.
+// Deliveries returns how many update frames this lease received.
 func (l *Lease) Deliveries() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.deliveries
+}
+
+// CoalescedUpdates returns how many publishes beyond one-per-frame were
+// merged into this lease's delivered frames.
+func (l *Lease) CoalescedUpdates() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.coalesced
 }
 
 // BytesPushed returns total payload bytes pushed over this lease.
@@ -154,17 +224,42 @@ func (l *Lease) BytesPushed() int64 {
 	return l.bytesPushed
 }
 
+// newLeaseID mints a process-unique lease id.
+func newLeaseID() string {
+	var b [12]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("replication: reading random lease id: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
 // Manager owns a home store's subscriptions and fans out updates. It
 // programs against the ObjectStore seam, so any backend (in-memory,
 // append-only log) sits underneath unchanged.
 type Manager struct {
 	store store.ObjectStore
 	now   func() time.Time
+	cfg   Config
 	// Logger receives per-publish debug logs; nil uses slog.Default().
 	Logger *slog.Logger
+	// OnRelease, when set, is invoked once for every lease leaving the
+	// registry — cancelled, pruned after expiry, or swept — with no
+	// manager locks held. The HTTP serving tier uses it to tear down the
+	// per-lease stream mailbox.
+	OnRelease func(*Lease)
 
 	mu     sync.Mutex
-	leases map[string][]*Lease // key -> active leases
+	leases map[string][]*Lease // key -> registered leases
+	byID   map[string]*Lease
+
+	// Async fanout pipeline; see fanout.go.
+	qmu       sync.Mutex
+	qcond     *sync.Cond
+	queue     []*Lease
+	inflight  int // leases in state queued or delivering
+	closed    bool
+	workers   sync.WaitGroup
+	sweepStop chan struct{}
 }
 
 func (m *Manager) logger() *slog.Logger {
@@ -174,13 +269,10 @@ func (m *Manager) logger() *slog.Logger {
 	return slog.Default()
 }
 
-// NewManager wraps a home store. nowFn may be nil (wall clock); tests and
-// simulations inject virtual clocks.
+// NewManager wraps a home store with synchronous fanout. nowFn may be nil
+// (wall clock); tests and simulations inject virtual clocks.
 func NewManager(hs store.ObjectStore, nowFn func() time.Time) *Manager {
-	if nowFn == nil {
-		nowFn = time.Now
-	}
-	return &Manager{store: hs, now: nowFn, leases: map[string][]*Lease{}}
+	return NewManagerWith(hs, nowFn, Config{})
 }
 
 // Subscribe registers a lease for key with the given duration and mode.
@@ -196,10 +288,13 @@ func (m *Manager) Subscribe(key, clientID string, mode PushMode, ttl time.Durati
 	default:
 		return nil, fmt.Errorf("replication: unknown push mode %v", mode)
 	}
-	l := &Lease{Key: key, ClientID: clientID, Mode: mode, expires: m.now().Add(ttl), sub: sub}
+	l := &Lease{ID: newLeaseID(), Key: key, ClientID: clientID, Mode: mode, expires: m.now().Add(ttl), sub: sub}
 	m.mu.Lock()
 	m.leases[key] = append(m.leases[key], l)
+	m.byID[l.ID] = l
 	m.mu.Unlock()
+	mSubscribes.Inc()
+	mLeasesActive.Add(1)
 	return l, nil
 }
 
@@ -211,28 +306,140 @@ func (m *Manager) Renew(l *Lease, ttl time.Duration) error {
 		return fmt.Errorf("%w: %s/%s", ErrLeaseExpired, l.ClientID, l.Key)
 	}
 	l.expires = m.now().Add(ttl)
+	mRenewals.Inc()
 	return nil
 }
 
 // Cancel ends a lease early, as clients are expected to do when they no
-// longer need update information.
+// longer need update information. The lease leaves the registry
+// immediately — ActiveLeases and memory reflect the cancellation without
+// waiting for a future Publish of the same key.
 func (m *Manager) Cancel(l *Lease) {
 	l.mu.Lock()
+	already := l.cancelled
 	l.cancelled = true
 	l.mu.Unlock()
+	if already {
+		return
+	}
+	mCancels.Inc()
+	m.unregister(l)
+}
+
+// LeaseByID resolves a lease id, reporting false for unknown (or already
+// released) ids.
+func (m *Manager) LeaseByID(id string) (*Lease, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l, ok := m.byID[id]
+	return l, ok
+}
+
+// RenewByID renews the lease named by id.
+func (m *Manager) RenewByID(id string, ttl time.Duration) (*Lease, error) {
+	l, ok := m.LeaseByID(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrLeaseNotFound, id)
+	}
+	if err := m.Renew(l, ttl); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// CancelByID cancels the lease named by id.
+func (m *Manager) CancelByID(id string) error {
+	l, ok := m.LeaseByID(id)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrLeaseNotFound, id)
+	}
+	m.Cancel(l)
+	return nil
+}
+
+// AckByID records the version held by the subscriber of lease id.
+func (m *Manager) AckByID(id string, version uint64) error {
+	l, ok := m.LeaseByID(id)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrLeaseNotFound, id)
+	}
+	l.AckVersion(version)
+	return nil
+}
+
+// unregister removes l from the key index and the id registry, firing
+// OnRelease exactly once per lease.
+func (m *Manager) unregister(l *Lease) {
+	m.mu.Lock()
+	removed := false
+	if _, ok := m.byID[l.ID]; ok {
+		delete(m.byID, l.ID)
+		removed = true
+		ls := m.leases[l.Key]
+		for i, x := range ls {
+			if x == l {
+				ls = append(ls[:i], ls[i+1:]...)
+				break
+			}
+		}
+		if len(ls) == 0 {
+			delete(m.leases, l.Key)
+		} else {
+			m.leases[l.Key] = ls
+		}
+	}
+	m.mu.Unlock()
+	if removed {
+		mLeasesActive.Add(-1)
+		if m.OnRelease != nil {
+			m.OnRelease(l)
+		}
+	}
 }
 
 // ActiveLeases counts unexpired leases for a key.
 func (m *Manager) ActiveLeases(key string) int {
+	now := m.now()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	n := 0
 	for _, l := range m.leases[key] {
-		if !l.Expired(m.now()) {
+		if !l.Expired(now) {
 			n++
 		}
 	}
 	return n
+}
+
+// registered reports how many leases the registry holds for key,
+// regardless of expiry — the memory-accounting view Sweep maintains.
+func (m *Manager) registered(key string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.leases[key])
+}
+
+// Sweep prunes every expired lease across all keys — including keys that
+// stopped publishing, which the publish-path prune never revisits — and
+// returns how many it released. Async managers run this periodically
+// (Config.SweepInterval); synchronous callers may invoke it directly.
+func (m *Manager) Sweep() int {
+	now := m.now()
+	m.mu.Lock()
+	var expired []*Lease
+	for _, ls := range m.leases {
+		for _, l := range ls {
+			if l.Expired(now) {
+				expired = append(expired, l)
+			}
+		}
+	}
+	m.mu.Unlock()
+	for _, l := range expired {
+		mLeasesExpired.Inc()
+		m.unregister(l)
+	}
+	return len(expired)
 }
 
 // Publish writes a new version to the home store and pushes it to every
@@ -246,6 +453,12 @@ func (m *Manager) Publish(key string, data []byte) (uint64, error) {
 // that happens inside a traced operation (a search's re-analytics
 // trigger, an HTTP handler) appears as a store-tagged child span with
 // its fan-out recorded.
+//
+// Synchronous managers deliver inline: every active lease is attempted
+// even when building or delivering an earlier lease's update fails, and
+// the per-lease failures come back joined (errors.Join) alongside the
+// committed version. Async managers merge the update into each lease's
+// coalescing slot and return as soon as the store write commits.
 func (m *Manager) PublishCtx(ctx context.Context, key string, data []byte) (uint64, error) {
 	_, sp := trace.Start(ctx, "replication.publish", trace.String("key", key))
 	sp.SetComponent(trace.CompStoreWait)
@@ -256,49 +469,100 @@ func (m *Manager) PublishCtx(ctx context.Context, key string, data []byte) (uint
 		return 0, fmt.Errorf("replication: publishing %q: %w", key, err)
 	}
 
+	now := m.now()
 	m.mu.Lock()
 	leases := m.leases[key]
 	active := leases[:0]
+	var pruned []*Lease
 	for _, l := range leases {
-		if !l.Expired(m.now()) {
+		if l.Expired(now) {
+			pruned = append(pruned, l)
+		} else {
 			active = append(active, l)
 		}
 	}
-	mLeasesExpired.Add(int64(len(leases) - len(active)))
-	m.leases[key] = active
+	if len(active) == 0 {
+		delete(m.leases, key)
+	} else {
+		m.leases[key] = active
+	}
 	snapshot := append([]*Lease(nil), active...)
 	m.mu.Unlock()
+	for _, l := range pruned {
+		mLeasesExpired.Inc()
+		m.unregister(l)
+	}
 
-	var pushedBytes int64
+	var fanoutErr error
+	if m.async() {
+		for _, l := range snapshot {
+			m.enqueuePending(l, version, now)
+		}
+	} else {
+		fanoutErr = m.fanoutSync(snapshot, key, version)
+	}
+	sp.SetAttr(trace.Int64("version", int64(version)), trace.Int("subscribers", len(snapshot)))
+	if lg := m.logger(); lg.Enabled(context.Background(), slog.LevelDebug) {
+		lg.Debug("published object version",
+			"key", key, "version", version, "subscribers", len(snapshot), "async", m.async())
+	}
+	return version, fanoutErr
+}
+
+// fanoutSync delivers one update per lease inline. A lease whose update
+// cannot be built, or whose subscriber panics, is recorded and skipped —
+// every remaining lease still gets its delivery.
+func (m *Manager) fanoutSync(snapshot []*Lease, key string, version uint64) error {
+	var errs []error
 	for _, l := range snapshot {
 		u, err := m.buildUpdate(l, key, version)
 		if err != nil {
-			return version, fmt.Errorf("replication: building update for %s: %w", l.ClientID, err)
+			mPushErrors.Inc()
+			errs = append(errs, fmt.Errorf("replication: building update for %s: %w", l.ClientID, err))
+			continue
 		}
-		l.mu.Lock()
-		l.deliveries++
-		l.bytesPushed += int64(u.WireBytes())
-		sub := l.sub
-		l.mu.Unlock()
-		switch l.Mode {
-		case PushValue:
-			mPushValue.Inc()
-		case PushDelta:
-			mPushDelta.Inc()
-		case PushNotify:
-			mPushNotify.Inc()
+		u.Coalesced = 1
+		if err := m.deliverOne(l, u); err != nil {
+			errs = append(errs, err)
 		}
-		pushedBytes += int64(u.WireBytes())
-		sub.Deliver(u)
 	}
-	mPushBytes.Add(pushedBytes)
-	sp.SetAttr(trace.Int64("version", int64(version)),
-		trace.Int("subscribers", len(snapshot)), trace.Int64("pushed_bytes", pushedBytes))
-	if lg := m.logger(); lg.Enabled(context.Background(), slog.LevelDebug) {
-		lg.Debug("published object version",
-			"key", key, "version", version, "subscribers", len(snapshot), "pushed_bytes", pushedBytes)
+	return errors.Join(errs...)
+}
+
+// deliverOne hands one update to the lease's subscriber, isolating panics
+// and moving the delivery accounting after the handoff so a failed
+// delivery is never counted as delivered.
+func (m *Manager) deliverOne(l *Lease, u Update) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			mPushPanics.Inc()
+			mPushErrors.Inc()
+			err = fmt.Errorf("replication: subscriber %s/%s panicked: %v", l.ClientID, l.Key, p)
+			m.logger().Error("subscriber panicked during delivery",
+				"key", l.Key, "client", l.ClientID, "lease", l.ID, "panic", fmt.Sprint(p))
+		}
+	}()
+	l.mu.Lock()
+	sub := l.sub
+	l.mu.Unlock()
+	sub.Deliver(u)
+	l.mu.Lock()
+	l.deliveries++
+	if u.Coalesced > 1 {
+		l.coalesced += int64(u.Coalesced - 1)
 	}
-	return version, nil
+	l.bytesPushed += int64(u.WireBytes())
+	l.mu.Unlock()
+	switch l.Mode {
+	case PushValue:
+		mPushValue.Inc()
+	case PushDelta:
+		mPushDelta.Inc()
+	case PushNotify:
+		mPushNotify.Inc()
+	}
+	mPushBytes.Add(int64(u.WireBytes()))
+	return nil
 }
 
 func (m *Manager) buildUpdate(l *Lease, key string, version uint64) (Update, error) {
@@ -308,7 +572,7 @@ func (m *Manager) buildUpdate(l *Lease, key string, version uint64) (Update, err
 		if err != nil {
 			return Update{}, err
 		}
-		return Update{Key: key, Version: version, Reply: reply}, nil
+		return Update{Key: key, Version: reply.Version, Reply: reply}, nil
 	case PushDelta:
 		l.mu.Lock()
 		ack := l.ackVersion
@@ -317,7 +581,7 @@ func (m *Manager) buildUpdate(l *Lease, key string, version uint64) (Update, err
 		if err != nil {
 			return Update{}, err
 		}
-		return Update{Key: key, Version: version, Reply: reply}, nil
+		return Update{Key: key, Version: reply.Version, Reply: reply}, nil
 	case PushNotify:
 		l.mu.Lock()
 		ack := l.ackVersion

@@ -78,6 +78,27 @@ func (m *Monitor) RecordUpdate(bytes int) {
 	m.stats.Bytes += int64(bytes)
 }
 
+// ObserveUpdate folds one pushed update frame into the monitor — the
+// bridge from the lease notification stream to re-analytics triggers, so
+// recompute decisions ride the push path instead of polling the store. A
+// coalesced frame counts every publish it represents; the change
+// magnitude comes from the notification's estimate when present, the
+// payload wire size otherwise.
+func (m *Monitor) ObserveUpdate(u Update) {
+	n := u.Coalesced
+	if n < 1 {
+		n = 1
+	}
+	bytes := u.ChangedBytes
+	if bytes == 0 && u.Reply != nil {
+		bytes = u.Reply.WireBytes()
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats.Count += n
+	m.stats.Bytes += int64(bytes)
+}
+
 // Check reports whether analytics should rerun now.
 func (m *Monitor) Check() bool {
 	m.mu.Lock()

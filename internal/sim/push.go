@@ -1,0 +1,206 @@
+// Push-serving load harness: subscribes a large synthetic fleet of
+// clients to one hot object through replication's async fanout and
+// measures how long a publish takes to reach every lease as a coalesced
+// frame — the paper's push-mode propagation cost, at a scale (100k
+// watchers) no real-socket test can reach in CI.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"coda/internal/replication"
+	"coda/internal/store"
+)
+
+// PushLoadSpec sizes one fanout load run.
+type PushLoadSpec struct {
+	// Subscribers is the fleet size watching the single hot object.
+	Subscribers int
+	// Publishes is how many versions are written during the run.
+	Publishes int
+	// PayloadBytes sizes each published value.
+	PayloadBytes int
+	// Workers sizes the fanout pool; 0 uses 8.
+	Workers int
+	// CoalesceWindow spaces deliveries per lease; publishes inside the
+	// window merge (0 = deliver as fast as workers allow).
+	CoalesceWindow time.Duration
+	// Mode picks the push payload; 0 uses PushNotify (the scale mode).
+	Mode replication.PushMode
+}
+
+// PushLoadResult reports the run: frame counts, coalescing, and the
+// publish→frame latency distribution across every delivered frame.
+type PushLoadResult struct {
+	Subscribers    int           `json:"subscribers"`
+	Publishes      int           `json:"publishes"`
+	Frames         int64         `json:"frames"`
+	CoalescedRatio float64       `json:"coalesced_ratio"` // publishes represented per frame
+	P50            time.Duration `json:"p50_ns"`
+	P95            time.Duration `json:"p95_ns"`
+	P99            time.Duration `json:"p99_ns"`
+	Max            time.Duration `json:"max_ns"`
+	Elapsed        time.Duration `json:"elapsed_ns"`
+}
+
+// pushProbe is one fake subscriber: it records, per frame, the latency
+// from the publish that opened the frame's coalescing slot to delivery,
+// plus the latest version seen — lock-free, since 100k of these run hot.
+type pushProbe struct {
+	publishedAt *versionClock
+	lastVersion atomic.Uint64
+	frames      atomic.Int64
+	coalesced   atomic.Int64
+
+	mu        sync.Mutex
+	latencies []time.Duration
+}
+
+// versionClock maps version -> publish wall time, append-only.
+type versionClock struct {
+	mu    sync.RWMutex
+	times []time.Time // index = version-1
+}
+
+func (vc *versionClock) stamp(version uint64, t time.Time) {
+	vc.mu.Lock()
+	for uint64(len(vc.times)) < version {
+		vc.times = append(vc.times, t)
+	}
+	vc.times[version-1] = t
+	vc.mu.Unlock()
+}
+
+func (vc *versionClock) at(version uint64) (time.Time, bool) {
+	vc.mu.RLock()
+	defer vc.mu.RUnlock()
+	if version == 0 || uint64(len(vc.times)) < version {
+		return time.Time{}, false
+	}
+	return vc.times[version-1], true
+}
+
+// Deliver implements replication.Subscriber.
+func (p *pushProbe) Deliver(u replication.Update) {
+	now := time.Now()
+	p.frames.Add(1)
+	if u.Coalesced > 1 {
+		p.coalesced.Add(int64(u.Coalesced - 1))
+	}
+	for {
+		prev := p.lastVersion.Load()
+		if u.Version <= prev || p.lastVersion.CompareAndSwap(prev, u.Version) {
+			break
+		}
+	}
+	// Latency of the *oldest* publish in the frame would need the slot's
+	// open time; the latest publish's timestamp is the conservative lower
+	// bound every frame carries regardless of coalescing.
+	if t, ok := p.publishedAt.at(u.Version); ok {
+		p.mu.Lock()
+		p.latencies = append(p.latencies, now.Sub(t))
+		p.mu.Unlock()
+	}
+}
+
+// RunPushLoad subscribes spec.Subscribers leases to one object, writes
+// spec.Publishes versions through the manager, waits for the fanout to
+// quiesce, and reports the latency distribution. It errors if any
+// subscriber missed the final version — convergence is the point of the
+// push tier, not just speed.
+func RunPushLoad(spec PushLoadSpec) (*PushLoadResult, error) {
+	if spec.Subscribers <= 0 || spec.Publishes <= 0 {
+		return nil, fmt.Errorf("sim: push load needs subscribers and publishes")
+	}
+	workers := spec.Workers
+	if workers == 0 {
+		workers = 8
+	}
+	mode := spec.Mode
+	if mode == 0 {
+		mode = replication.PushNotify
+	}
+	payload := spec.PayloadBytes
+	if payload <= 0 {
+		payload = 256
+	}
+
+	hs := store.NewHomeStore(store.Options{BlockSize: 64})
+	m := replication.NewManagerWith(hs, nil, replication.Config{
+		Workers:        workers,
+		CoalesceWindow: spec.CoalesceWindow,
+	})
+	defer m.Close()
+
+	const key = "hot-object"
+	vc := &versionClock{}
+	probes := make([]*pushProbe, spec.Subscribers)
+	for i := range probes {
+		probes[i] = &pushProbe{publishedAt: vc}
+		if _, err := m.Subscribe(key, fmt.Sprintf("sim-%d", i), mode, time.Hour, probes[i]); err != nil {
+			return nil, err
+		}
+	}
+
+	buf := make([]byte, payload)
+	start := time.Now()
+	var final uint64
+	for i := 0; i < spec.Publishes; i++ {
+		for j := range buf {
+			buf[j] = byte(i + j)
+		}
+		// Stamp before Publish: the fanout can deliver the moment the
+		// enqueue happens, and a stamp race would read as negative latency.
+		vc.stamp(uint64(i+1), time.Now())
+		v, err := m.Publish(key, buf)
+		if err != nil {
+			return nil, err
+		}
+		final = v
+	}
+	m.Flush()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	var frames, coalesced int64
+	for i, p := range probes {
+		if got := p.lastVersion.Load(); got != final {
+			return nil, fmt.Errorf("sim: subscriber %d stopped at version %d, want %d", i, got, final)
+		}
+		frames += p.frames.Load()
+		coalesced += p.coalesced.Load()
+		p.mu.Lock()
+		all = append(all, p.latencies...)
+		p.mu.Unlock()
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	res := &PushLoadResult{
+		Subscribers: spec.Subscribers,
+		Publishes:   spec.Publishes,
+		Frames:      frames,
+		P50:         percentileDur(all, 0.50),
+		P95:         percentileDur(all, 0.95),
+		P99:         percentileDur(all, 0.99),
+		Elapsed:     elapsed,
+	}
+	if len(all) > 0 {
+		res.Max = all[len(all)-1]
+	}
+	if frames > 0 {
+		res.CoalescedRatio = float64(frames+coalesced) / float64(frames)
+	}
+	return res, nil
+}
+
+// percentileDur reads the pth quantile from a sorted slice.
+func percentileDur(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
