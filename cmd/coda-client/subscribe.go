@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
@@ -8,9 +9,14 @@ import (
 	"log/slog"
 	"time"
 
+	"coda/internal/core"
+	"coda/internal/dataset"
 	"coda/internal/httpapi"
+	"coda/internal/lifecycle"
+	"coda/internal/mlmodels"
 	"coda/internal/replication"
 	"coda/internal/store"
+	"coda/internal/tswindow"
 )
 
 // errSubscribeDone ends the stream loop once -count frames have arrived.
@@ -33,6 +39,8 @@ func runSubscribe(ctx context.Context, args []string) error {
 		poll       = fs.Bool("poll", false, "long-poll instead of streaming over SSE")
 		recomputeN = fs.Int("recompute-every", 0, "re-pull after this many pushed updates (0 disables the trigger)")
 		recomputeB = fs.Int64("recompute-bytes", 0, "re-pull after this many changed bytes (0 disables the trigger)")
+		lcSub      = fs.Bool("lifecycle-subscribe", false, "treat the object as a CSV series and keep a deployed AR model retrained from the notification stream (needs a -recompute-* trigger)")
+		lcHistory  = fs.Int("lifecycle-history", 3, "AR model history for -lifecycle-subscribe")
 	)
 	ft := addFaultFlags(fs)
 	lf := addLogFlags(fs)
@@ -52,6 +60,8 @@ func runSubscribe(ctx context.Context, args []string) error {
 	have := uint64(0)
 	if err := c.PullObject(ctx, rep, *key); err == nil {
 		have = rep.VersionOf(*key)
+	} else if *lcSub {
+		return fmt.Errorf("subscribe: -lifecycle-subscribe needs an existing object to train on: %w", err)
 	}
 	info, err := c.Subscribe(ctx, *key, *mode, *ttl, have)
 	if err != nil {
@@ -70,12 +80,51 @@ func runSubscribe(ctx context.Context, args []string) error {
 	}()
 
 	// Change-detection trigger fed by the notification stream.
-	var mon *replication.Monitor
+	var trig replication.Trigger
 	switch {
 	case *recomputeN > 0:
-		mon = replication.NewMonitor(replication.CountTrigger{N: *recomputeN})
+		trig = replication.CountTrigger{N: *recomputeN}
 	case *recomputeB > 0:
-		mon = replication.NewMonitor(replication.BytesTrigger{N: *recomputeB})
+		trig = replication.BytesTrigger{N: *recomputeB}
+	}
+
+	// parseSeries decodes the replica's current object bytes as a CSV
+	// series for lifecycle retraining.
+	parseSeries := func() (*dataset.Dataset, error) {
+		data, ok := rep.Data(*key)
+		if !ok {
+			return nil, fmt.Errorf("object %q not in replica", *key)
+		}
+		return dataset.ReadCSV(bytes.NewReader(data), "")
+	}
+
+	var (
+		mon *replication.Monitor
+		mgr *lifecycle.Manager
+	)
+	switch {
+	case *lcSub:
+		// Model life-cycle management over the push stream: a deployed AR
+		// pipeline is retrained from freshly pulled data each time the
+		// change-detection trigger fires.
+		if trig == nil {
+			return fmt.Errorf("subscribe: -lifecycle-subscribe needs -recompute-every or -recompute-bytes")
+		}
+		mgr, err = lifecycle.NewManager(arPipelineBuilder(*lcHistory), trig)
+		if err != nil {
+			return err
+		}
+		initial, err := parseSeries()
+		if err != nil {
+			return fmt.Errorf("subscribe: parsing object for lifecycle training: %w", err)
+		}
+		if err := mgr.Train(initial); err != nil {
+			return err
+		}
+		fmt.Printf("lifecycle: AR(%d) pipeline trained on %d samples of %q\n",
+			*lcHistory, initial.NumSamples(), *key)
+	case trig != nil:
+		mon = replication.NewMonitor(trig)
 	}
 
 	// Renew at half-life so the lease outlives the stream, not vice versa.
@@ -123,6 +172,25 @@ func runSubscribe(ctx context.Context, args []string) error {
 		}
 		if err := c.AckLease(ctx, info.LeaseID, n.Version); err != nil {
 			slog.Warn("acking frame", "lease", info.LeaseID, "version", n.Version, "err", err)
+		}
+		if mgr != nil {
+			did, err := mgr.ObserveUpdate(replication.Update{
+				Key: n.Key, Version: n.Version, Notify: true,
+				Coalesced: n.Coalesced, ChangedBytes: changed,
+			}, func() (*dataset.Dataset, error) {
+				if err := c.PullObject(ctx, rep, *key); err != nil {
+					return nil, err
+				}
+				return parseSeries()
+			})
+			switch {
+			case err != nil:
+				slog.Warn("lifecycle retrain failed", "key", *key, "err", err)
+			case did:
+				s := mgr.PendingUpdates()
+				fmt.Printf("retrain #%d: trigger fired, model refit on %q v%d (pending now %d updates / %d bytes)\n",
+					mgr.Retrains(), *key, rep.VersionOf(*key), s.Count, s.Bytes)
+			}
 		}
 		if mon != nil {
 			mon.ObserveUpdate(replication.Update{
@@ -174,5 +242,23 @@ func runSubscribe(ctx context.Context, args []string) error {
 		return fmt.Errorf("lease expired server-side; re-run subscribe")
 	default:
 		return err
+	}
+}
+
+// arPipelineBuilder returns the lifecycle manager's fresh-pipeline factory:
+// TS-as-is preprocessing into an AR(history) model on series column 0.
+func arPipelineBuilder(history int) func() *core.Pipeline {
+	return func() *core.Pipeline {
+		g := core.NewGraph()
+		g.AddTransformerStage("view", tswindow.NewTSAsIs(1, 0))
+		g.AddEstimatorStage("model", mlmodels.NewARModel(history, 0))
+		if err := g.Finalize(); err != nil {
+			return nil
+		}
+		p, err := core.NewPipeline(g.Paths()[0])
+		if err != nil {
+			return nil
+		}
+		return p
 	}
 }

@@ -30,6 +30,26 @@ type AffineFuser interface {
 	TransformAffine(ds *dataset.Dataset, sub, div []float64) (*dataset.Dataset, error)
 }
 
+// ViewFuser is implemented by windowing transformers that can emit a
+// zero-copy window view (dataset.Win) over the source series — with an
+// optional pending upstream affine applied per gathered element — instead
+// of materialising the window matrix. TransformWindowView(ds, sub, div)
+// must yield windows whose gathered values, derived targets and affine
+// metadata are bit-identical to TransformAffine (or Transform, when
+// sub/div are nil). Only CascadedWindows implements it today.
+type ViewFuser interface {
+	Transformer
+	TransformWindowView(ds *dataset.Dataset, sub, div []float64) (*dataset.Dataset, error)
+}
+
+// WindowViewConsumer is implemented by estimators whose Fit/Predict accept
+// a dataset carrying a window view (dataset.Win with nil X). The pipeline
+// only takes the ViewFuser path when the terminal estimator opts in via
+// this marker; everything else receives materialized windows as before.
+type WindowViewConsumer interface {
+	ConsumesWindowView() bool
+}
+
 // Pipeline is one concrete root-to-leaf path instantiated with its own
 // (unshared) component copies: a sequence of transformer nodes ending in an
 // estimator node. Fit implements Figure 5's training semantics — internal
@@ -181,6 +201,13 @@ func (p *Pipeline) runTransformers(start int, ds *dataset.Dataset, fit bool) (*d
 			steps = append(steps, pipeStep{node: n.Name, t: t})
 		}
 	}
+	// Window→conv fusion eligibility: the terminal transformer step can
+	// emit a zero-copy window view instead of the window matrix, but only
+	// when the estimator declares it consumes views.
+	viewOK := false
+	if wc, ok := p.Estimator().(WindowViewConsumer); ok {
+		viewOK = wc.ConsumesWindowView()
+	}
 	cur := ds
 	for i := 0; i < len(steps); i++ {
 		st := steps[i]
@@ -201,6 +228,20 @@ func (p *Pipeline) runTransformers(start int, ds *dataset.Dataset, fit bool) (*d
 								return nil, fmt.Errorf("core: fitting node %q: %w", steps[i+1].node, err)
 							}
 						}
+						// Three-way scaler×windower×conv fusion: when the
+						// windower ends the chain and the estimator takes
+						// views, skip materializing the windows too.
+						if viewOK && i+1 == len(steps)-1 {
+							if vf, okView := steps[i+1].t.(ViewFuser); okView {
+								next, err := vf.TransformWindowView(cur, sub, div)
+								if err != nil {
+									return nil, fmt.Errorf("core: fused transform %q -> %q: %w", st.node, steps[i+1].node, err)
+								}
+								cur = next
+								i++
+								continue
+							}
+						}
 						next, err := fuser.TransformAffine(cur, sub, div)
 						if err != nil {
 							return nil, fmt.Errorf("core: fused transform %q -> %q: %w", st.node, steps[i+1].node, err)
@@ -210,6 +251,18 @@ func (p *Pipeline) runTransformers(start int, ds *dataset.Dataset, fit bool) (*d
 						continue
 					}
 				}
+			}
+		}
+		// A terminal windower with no pending scaler affine still fuses
+		// with a view-consuming estimator (identity affine is exact).
+		if viewOK && i == len(steps)-1 {
+			if vf, okView := st.t.(ViewFuser); okView {
+				next, err := vf.TransformWindowView(cur, nil, nil)
+				if err != nil {
+					return nil, fmt.Errorf("core: fused transform %q: %w", st.node, err)
+				}
+				cur = next
+				continue
 			}
 		}
 		next, err := st.t.Transform(cur)

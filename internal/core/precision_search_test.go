@@ -1,0 +1,111 @@
+package core_test
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"coda/internal/core"
+	"coda/internal/crossval"
+	"coda/internal/matrix"
+	"coda/internal/metrics"
+	"coda/internal/nnmodels"
+	"coda/internal/preprocess"
+	"coda/internal/tswindow"
+)
+
+// precisionSearch runs the kernel-stress search graph with the network
+// precision hyperparameter pinned to the given width.
+func precisionSearch(t *testing.T, seed int64, precision float64) *core.SearchResult {
+	t.Helper()
+	g := core.NewGraph()
+	g.AddFeatureScalers(preprocess.NewStandardScaler(), preprocess.NewMinMaxScaler())
+	g.AddTransformerStage("windowing", tswindow.NewCascadedWindows(6, 1, 3))
+	g.AddEstimatorStage("model",
+		nnmodels.NewLSTMRegressor(false),
+		nnmodels.NewCNNRegressor(false),
+	)
+	scorer, err := metrics.ScorerByName("rmse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Search(context.Background(), g, fusionSeries(60), core.SearchOptions{
+		Splitter: crossval.KFold{K: 2, Shuffle: true},
+		Scorer:   scorer,
+		ParamGrid: map[string][]float64{
+			"lstm__epochs": {2}, "cnn__epochs": {2},
+			"lstm__precision": {precision}, "cnn__precision": {precision},
+		},
+		Parallelism: 8,
+		Seed:        seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestSearchF32KernelStressDeterministic drives core.Search at Parallelism
+// 8 with the matrix kernel worker budget at 8 on the float32 compute path
+// (run under -race in CI to stress the f32 arenas), and checks bitwise
+// determinism across runs: the f32 kernels' fixed summation order makes
+// even the reduced-precision search reproducible.
+func TestSearchF32KernelStressDeterministic(t *testing.T) {
+	prev := matrix.Parallelism()
+	matrix.SetMaxWorkers(8)
+	defer matrix.SetMaxWorkers(prev)
+
+	a := precisionSearch(t, 7, 32)
+	b := precisionSearch(t, 7, 32)
+	if a.Best == nil || b.Best == nil {
+		t.Fatalf("search found no best: %+v / %+v", a.Best, b.Best)
+	}
+	if math.Float64bits(a.Best.Mean) != math.Float64bits(b.Best.Mean) {
+		t.Fatalf("best mean not deterministic: %v vs %v", a.Best.Mean, b.Best.Mean)
+	}
+	if a.Best.Spec != b.Best.Spec {
+		t.Fatalf("winner not deterministic: %q vs %q", a.Best.Spec, b.Best.Spec)
+	}
+	if len(a.Units) != len(b.Units) {
+		t.Fatalf("unit counts differ: %d vs %d", len(a.Units), len(b.Units))
+	}
+	for i := range a.Units {
+		ua, ub := a.Units[i], b.Units[i]
+		for f := range ua.Scores {
+			if math.Float64bits(ua.Scores[f]) != math.Float64bits(ub.Scores[f]) {
+				t.Fatalf("unit %d fold %d score %v vs %v", i, f, ua.Scores[f], ub.Scores[f])
+			}
+		}
+	}
+}
+
+// TestSearchF32TracksF64 checks the acceptance criterion that a reduced-
+// precision search scores every unit within the documented tolerance of
+// the float64 search, so model selection quality carries over.
+func TestSearchF32TracksF64(t *testing.T) {
+	r64 := precisionSearch(t, 7, 64)
+	r32 := precisionSearch(t, 7, 32)
+	if len(r64.Units) != len(r32.Units) {
+		t.Fatalf("unit counts differ: %d vs %d", len(r64.Units), len(r32.Units))
+	}
+	const relTol = 5e-2 // documented f32-vs-f64 search-score tolerance
+	for i := range r64.Units {
+		u64, u32 := r64.Units[i], r32.Units[i]
+		if (u64.Err == "") != (u32.Err == "") {
+			t.Fatalf("unit %d error mismatch: %q vs %q", i, u64.Err, u32.Err)
+		}
+		if len(u64.Scores) != len(u32.Scores) {
+			t.Fatalf("unit %d fold counts differ", i)
+		}
+		for f, s64 := range u64.Scores {
+			s32 := u32.Scores[f]
+			if math.IsNaN(s32) != math.IsNaN(s64) {
+				t.Fatalf("unit %d fold %d NaN mismatch: %v vs %v", i, f, s32, s64)
+			}
+			if math.Abs(s32-s64) > relTol*(math.Abs(s64)+1e-6) {
+				t.Fatalf("unit %d fold %d: f32 score %v vs f64 %v exceeds %v rel tol",
+					i, f, s32, s64, relTol)
+			}
+		}
+	}
+}

@@ -35,8 +35,13 @@ var (
 	mPrefixMisses    = obs.GetCounter("coda_search_prefix_cache_misses_total")
 	mPrefixEvictions = obs.GetCounter("coda_search_prefix_cache_evictions_total")
 	mPrefixFits      = obs.GetCounter("coda_search_prefix_fits_total")
-	gPrefixBytes     = obs.GetGauge("coda_search_prefix_cache_bytes")
-	mFoldsBuilt      = obs.GetCounter("coda_search_fold_datasets_total")
+	// Cache bytes are split by element width: the f64 series counts the
+	// cached datasets themselves (8 bytes/element), the f32 series counts
+	// lazily built float32 mirrors (4 bytes/element) that reduced-precision
+	// fits hang off cached entries. Both count against -prefix-cache-mb.
+	gPrefixBytesF64 = obs.GetGauge(`coda_search_prefix_cache_bytes{precision="f64"}`)
+	gPrefixBytesF32 = obs.GetGauge(`coda_search_prefix_cache_bytes{precision="f32"}`)
+	mFoldsBuilt     = obs.GetCounter("coda_search_fold_datasets_total")
 )
 
 // DefaultPrefixCacheMB is the prefix-cache capacity used when
@@ -99,6 +104,10 @@ type prefixEntry struct {
 	train, test *dataset.Dataset
 	err         error
 	size        int64
+	// size32 is the portion of size contributed by float32 mirrors built
+	// after the entry landed (reduced-precision fits); tracked separately
+	// so the per-width gauges stay exact through eviction.
+	size32 int64
 	// ready flips under the cache lock when results are in; only ready
 	// entries are evictable, so an in-flight computation is never torn
 	// out from under its waiters.
@@ -116,6 +125,7 @@ type prefixCache struct {
 	mu       sync.Mutex
 	maxBytes int64
 	bytes    int64
+	bytes32  int64 // portion of bytes held by float32 mirrors
 	entries  map[prefixKey]*list.Element
 	ll       *list.List // of *prefixEntry; front = most recently used
 	// seen records every key ever requested, never evicted, so stats can
@@ -207,11 +217,13 @@ func (c *prefixCache) getOrCompute(ctx context.Context, key prefixKey, compute f
 		// input datasets, so an aliased entry is charged again; that only
 		// makes eviction earlier, never correctness-relevant.
 		e.size = datasetBytes(train) + datasetBytes(test)
+		c.installMirror(e, train)
+		c.installMirror(e, test)
 	}
 	e.ready = true
 	if !e.evicted {
 		c.bytes += e.size
-		gPrefixBytes.Add(float64(e.size))
+		gPrefixBytesF64.Add(float64(e.size))
 		c.evictLocked(el)
 	}
 	c.mu.Unlock()
@@ -219,12 +231,44 @@ func (c *prefixCache) getOrCompute(ctx context.Context, key prefixKey, compute f
 	return train, test, err
 }
 
-// datasetBytes estimates a dataset's retained memory.
+// installMirror hangs a lazy float32 mirror off a cached dataset so
+// reduced-precision estimators sharing the entry convert X/Y once instead
+// of per fit. The mirror's build callback charges its 4-byte-per-element
+// footprint to the entry (and the cap) the moment it materializes. Caller
+// holds c.mu; aliased datasets (NoOp pass-through) keep their first mirror.
+func (c *prefixCache) installMirror(e *prefixEntry, ds *dataset.Dataset) {
+	if ds == nil || ds.X == nil || ds.Mirror != nil {
+		return
+	}
+	ds.Mirror = dataset.NewF32Mirror(func(b int64) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		e.size += b
+		e.size32 += b
+		if e.evicted {
+			return
+		}
+		c.bytes += b
+		c.bytes32 += b
+		gPrefixBytesF32.Add(float64(b))
+		c.evictLocked(nil)
+	})
+}
+
+// datasetBytes estimates a dataset's retained memory at its actual element
+// width: float64 payloads at 8 bytes per element. A fused window view (X
+// nil) aliases the source series, so only its affine vectors are charged;
+// float32 mirror bytes are charged separately when a mirror materializes.
 func datasetBytes(ds *dataset.Dataset) int64 {
 	if ds == nil {
 		return 0
 	}
-	n := int64(len(ds.X.Data())+len(ds.Y)+len(ds.ColScale)+len(ds.ColOffset)) * 8
+	n := int64(len(ds.Y)+len(ds.ColScale)+len(ds.ColOffset)) * 8
+	if ds.X != nil {
+		n += int64(len(ds.X.Data())) * 8
+	} else if ds.Win != nil {
+		n += int64(len(ds.Win.Sub)+len(ds.Win.Div)) * 8
+	}
 	for _, s := range ds.ColNames {
 		n += int64(len(s))
 	}
@@ -253,7 +297,9 @@ func (c *prefixCache) evictLocked(keep *list.Element) {
 		delete(c.entries, e.key)
 		e.evicted = true
 		c.bytes -= e.size
-		gPrefixBytes.Add(-float64(e.size))
+		c.bytes32 -= e.size32
+		gPrefixBytesF64.Add(-float64(e.size - e.size32))
+		gPrefixBytesF32.Add(-float64(e.size32))
 		c.evictions++
 		mPrefixEvictions.Inc()
 	}
@@ -264,8 +310,10 @@ func (c *prefixCache) evictLocked(keep *list.Element) {
 func (c *prefixCache) release() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	gPrefixBytes.Add(-float64(c.bytes))
+	gPrefixBytesF64.Add(-float64(c.bytes - c.bytes32))
+	gPrefixBytesF32.Add(-float64(c.bytes32))
 	c.bytes = 0
+	c.bytes32 = 0
 }
 
 // stats snapshots the cache counters for SearchResult.

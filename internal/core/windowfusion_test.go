@@ -1,0 +1,194 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"coda/internal/core"
+	"coda/internal/dataset"
+	"coda/internal/nnmodels"
+	"coda/internal/preprocess"
+	"coda/internal/tswindow"
+)
+
+// winProbe is a do-nothing estimator that opts into window-view fusion and
+// records whether the pipeline actually delivered a fused view, so the
+// runTransformers lookahead wiring is tested directly.
+type winProbe struct {
+	fitWin, predictWin bool
+}
+
+func (p *winProbe) Name() string                   { return "winprobe" }
+func (p *winProbe) SetParam(string, float64) error { return nil }
+func (p *winProbe) Params() map[string]float64     { return nil }
+func (p *winProbe) Clone() core.Estimator          { return p }
+func (p *winProbe) ConsumesWindowView() bool       { return true }
+func (p *winProbe) Fit(ds *dataset.Dataset) error  { p.fitWin = ds.Win != nil; return nil }
+func (p *winProbe) Predict(ds *dataset.Dataset) ([]float64, error) {
+	p.predictWin = ds.Win != nil
+	return make([]float64, ds.NumSamples()), nil
+}
+
+// TestWindowViewReachesOptedInEstimator checks both fused shapes: the
+// scaler×windower pair (three-way fusion) and a standalone terminal
+// windower (identity affine) must both hand the estimator a window view,
+// for fit and predict alike.
+func TestWindowViewReachesOptedInEstimator(t *testing.T) {
+	ds := fusionSeries(60)
+
+	t.Run("scaler_windower", func(t *testing.T) {
+		probe := &winProbe{}
+		p, err := core.NewPipeline(core.Path{
+			{Name: "scaling", Transformers: []core.Transformer{preprocess.NewMinMaxScaler()}},
+			{Name: "window", Transformers: []core.Transformer{tswindow.NewCascadedWindows(5, 1, 3)}},
+			{Name: "model", Estimator: probe},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Fit(ds); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Predict(fusionSeries(40)); err != nil {
+			t.Fatal(err)
+		}
+		if !probe.fitWin || !probe.predictWin {
+			t.Fatalf("window view not delivered: fit=%v predict=%v", probe.fitWin, probe.predictWin)
+		}
+	})
+
+	t.Run("windower_only", func(t *testing.T) {
+		probe := &winProbe{}
+		p, err := core.NewPipeline(core.Path{
+			{Name: "window", Transformers: []core.Transformer{tswindow.NewCascadedWindows(5, 1, 3)}},
+			{Name: "model", Estimator: probe},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Fit(ds); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Predict(fusionSeries(40)); err != nil {
+			t.Fatal(err)
+		}
+		if !probe.fitWin || !probe.predictWin {
+			t.Fatalf("window view not delivered: fit=%v predict=%v", probe.fitWin, probe.predictWin)
+		}
+	})
+
+	t.Run("non_consumer_gets_materialized", func(t *testing.T) {
+		// An estimator that does not opt in must keep receiving a
+		// materialized window matrix.
+		est := nnmodels.NewDNNRegressor(false)
+		if err := est.SetParam("epochs", 2); err != nil {
+			t.Fatal(err)
+		}
+		p, err := core.NewPipeline(core.Path{
+			{Name: "window", Transformers: []core.Transformer{tswindow.NewFlatWindowing(4, 1, 3)}},
+			{Name: "model", Estimator: est},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Fit(ds); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Predict(fusionSeries(40)); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestFusedWindowConvMatchesMaterialized is the zero-copy window→conv
+// equivalence proof: for every scaler × conv estimator pair, the fused
+// pipeline (Conv1D gathering im2col straight from the source series through
+// the window view) must produce bitwise-identical predictions and truths to
+// the hand-rolled unfused chain that materializes the scaled series and the
+// window matrix. Identical rng consumption in FitWindowed vs Fit makes the
+// whole training trajectory comparable, not just one forward pass.
+func TestFusedWindowConvMatchesMaterialized(t *testing.T) {
+	train := fusionSeries(80)
+	test := fusionSeries(40)
+
+	scalers := []core.Transformer{
+		preprocess.NewStandardScaler(),
+		preprocess.NewMinMaxScaler(),
+		preprocess.NewRobustScaler(),
+	}
+	models := map[string]func() core.Estimator{
+		"cnn":       func() core.Estimator { return nnmodels.NewCNNRegressor(false) },
+		"wavenet":   func() core.Estimator { return nnmodels.NewWaveNetRegressor() },
+		"seriesnet": func() core.Estimator { return nnmodels.NewSeriesNetRegressor() },
+	}
+
+	for _, sc := range scalers {
+		for mname, mk := range models {
+			t.Run(fmt.Sprintf("%s_%s", sc.Name(), mname), func(t *testing.T) {
+				wind := tswindow.NewCascadedWindows(6, 1, 3)
+				est := mk()
+				if err := est.SetParam("epochs", 3); err != nil {
+					t.Fatal(err)
+				}
+				if err := est.SetParam("seed", 9); err != nil {
+					t.Fatal(err)
+				}
+
+				p, err := core.NewPipeline(core.Path{
+					{Name: "scaling", Transformers: []core.Transformer{sc.Clone()}},
+					{Name: "window", Transformers: []core.Transformer{wind.Clone().(core.Transformer)}},
+					{Name: "model", Estimator: est.Clone()},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := p.Fit(train); err != nil {
+					t.Fatal(err)
+				}
+				gotHat, gotTrue, err := p.PredictWithTruth(test)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				// Manual unfused chain on fresh clones of the same components.
+				sc2 := sc.Clone()
+				w2 := wind.Clone()
+				e2 := est.Clone()
+				if err := sc2.Fit(train); err != nil {
+					t.Fatal(err)
+				}
+				mid, err := sc2.Transform(train)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := w2.Fit(mid); err != nil {
+					t.Fatal(err)
+				}
+				wtrain, err := w2.Transform(mid)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := e2.Fit(wtrain); err != nil {
+					t.Fatal(err)
+				}
+				midTest, err := sc2.Transform(test)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wtest, err := w2.Transform(midTest)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantHatScaled, err := e2.Predict(wtest)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantHat := wtest.DenormY(wantHatScaled)
+				wantTrue := wtest.DenormY(wtest.Y)
+
+				bitsEqualSlice(t, "yhat", gotHat, wantHat)
+				bitsEqualSlice(t, "ytrue", gotTrue, wantTrue)
+			})
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package dataset
+
+import (
+	"fmt"
+	"sync"
+
+	"coda/internal/matrix"
+)
+
+// WindowView is a zero-copy, affine-scaled view of cascaded history windows
+// over a raw series: window w covers rows w .. w+History-1 of Src, and every
+// element passes through the per-column scaler affine (x - Sub[j]) / Div[j]
+// (Div[j] == 0 forces exactly 0 — the MinMax constant-column sentinel) as it
+// is read. It is what tswindow.CascadedWindows produces under window→conv
+// fusion instead of materializing the L x (History*v) window matrix, and it
+// structurally implements nn.WindowSource so the first Conv1D layer's im2col
+// can gather timesteps straight from the series.
+//
+// The view is read-only and safe for concurrent use; Src must not be
+// mutated while the view is alive.
+type WindowView struct {
+	Src     *matrix.Matrix // raw T x v series
+	History int            // window length p
+	Horizon int            // prediction horizon (windows stop early by it)
+	Sub     []float64      // per-column affine subtrahend (len = v)
+	Div     []float64      // per-column affine divisor (len = v, 0 = sentinel)
+}
+
+// NewWindowView builds a view over src; sub/div nil means the identity
+// affine (subtract 0, divide by 1 — exact for every float).
+func NewWindowView(src *matrix.Matrix, history, horizon int, sub, div []float64) (*WindowView, error) {
+	v := src.Cols()
+	if sub == nil {
+		sub = make([]float64, v)
+		div = make([]float64, v)
+		for j := range div {
+			div[j] = 1
+		}
+	}
+	if len(sub) != v || len(div) != v {
+		return nil, fmt.Errorf("dataset: window view affine of %d/%d cols on %d-col series", len(sub), len(div), v)
+	}
+	w := &WindowView{Src: src, History: history, Horizon: horizon, Sub: sub, Div: div}
+	if w.Windows() < 1 {
+		return nil, fmt.Errorf("dataset: series of %d too short for history %d + horizon %d", src.Rows(), history, horizon)
+	}
+	return w, nil
+}
+
+// Windows returns the number of windows L = T - History - Horizon + 1.
+func (w *WindowView) Windows() int { return w.Src.Rows() - w.History - w.Horizon + 1 }
+
+// WindowLen returns the timesteps per window.
+func (w *WindowView) WindowLen() int { return w.History }
+
+// Vars returns the channels per timestep.
+func (w *WindowView) Vars() int { return w.Src.Cols() }
+
+// affine applies the scaler map to one element (see tswindow.applyAffine —
+// kept bit-identical so fused gathers match materialized windows exactly).
+func affine(x, sub, div float64) float64 {
+	v := x - sub
+	if div != 0 {
+		return v / div
+	}
+	return 0
+}
+
+// CopyStep writes the scaled values of window ww at timestep t into dst.
+func (w *WindowView) CopyStep(dst []float64, ww, t int) {
+	src := w.Src.Row(ww + t)
+	for j, x := range src {
+		dst[j] = affine(x, w.Sub[j], w.Div[j])
+	}
+}
+
+// CopyStep32 is CopyStep with one f64→f32 rounding per element.
+func (w *WindowView) CopyStep32(dst []float32, ww, t int) {
+	src := w.Src.Row(ww + t)
+	for j, x := range src {
+		dst[j] = float32(affine(x, w.Sub[j], w.Div[j]))
+	}
+}
+
+// F32Mirror lazily caches a float32 conversion of a dataset's X and Y so
+// repeated reduced-precision fits over a shared (cached) dataset convert
+// once instead of per fit. The mirror lives behind a pointer so the shallow
+// dataset copies transformers make (WithX drops it) share one build and one
+// lock. The prefix cache installs it on cached fitted datasets and accounts
+// the extra bytes via the onBuild callback.
+type F32Mirror struct {
+	mu      sync.Mutex
+	x       *matrix.Mat[float32]
+	y       []float32
+	built   bool
+	onBuild func(bytes int64)
+}
+
+// NewF32Mirror returns an empty mirror; onBuild (may be nil) runs once, on
+// the first Get, with the number of bytes the converted copies occupy.
+func NewF32Mirror(onBuild func(bytes int64)) *F32Mirror {
+	return &F32Mirror{onBuild: onBuild}
+}
+
+// Bytes returns the bytes a built mirror of d would occupy (4 per element).
+func (d *Dataset) f32MirrorBytes() int64 {
+	n := int64(len(d.Y))
+	if d.X != nil {
+		n += int64(len(d.X.Data()))
+	}
+	return n * 4
+}
+
+// F32 returns the float32 conversion of d's X and Y, building it under the
+// mirror's lock on first use. It returns ok = false when d carries no
+// mirror (callers then convert locally into their own scratch).
+func (d *Dataset) F32() (x *matrix.Mat[float32], y []float32, ok bool) {
+	m := d.Mirror
+	if m == nil {
+		return nil, nil, false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.built {
+		if d.X != nil {
+			m.x = matrix.ConvertInto[float32](nil, d.X)
+		}
+		m.y = matrix.ConvertVec[float32](nil, d.Y)
+		m.built = true
+		if m.onBuild != nil {
+			m.onBuild(d.f32MirrorBytes())
+		}
+	}
+	return m.x, m.y, true
+}

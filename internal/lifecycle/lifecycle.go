@@ -89,6 +89,34 @@ func (m *Manager) Observe(updateBytes int, current *dataset.Dataset) (retrained 
 	return true, nil
 }
 
+// ObserveUpdate is the push-driven counterpart of Observe: it folds one
+// notification frame from a lease subscription (replication.Update, as
+// delivered by the store's push stream or its long-poll fallback) into the
+// change-detection trigger, and when the trigger fires it fetches fresh
+// training data via refresh and retrains. refresh runs only on trigger
+// fire, so subscribers pay the data pull exactly when a retrain happens —
+// the notify-mode economy Section III describes.
+func (m *Manager) ObserveUpdate(u replication.Update, refresh func() (*dataset.Dataset, error)) (retrained bool, err error) {
+	m.mu.RLock()
+	trained := m.trained
+	m.mu.RUnlock()
+	if !trained {
+		return false, fmt.Errorf("%w: call Train before ObserveUpdate", ErrNotTrained)
+	}
+	m.monitor.ObserveUpdate(u)
+	if !m.monitor.Check() {
+		return false, nil
+	}
+	current, err := refresh()
+	if err != nil {
+		return false, fmt.Errorf("lifecycle: refreshing training data: %w", err)
+	}
+	if err := m.Train(current); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
 // Predict serves predictions from the currently deployed model.
 func (m *Manager) Predict(ds *dataset.Dataset) ([]float64, error) {
 	m.mu.RLock()

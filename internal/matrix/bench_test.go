@@ -87,6 +87,64 @@ func BenchmarkKernelTranspose1024(b *testing.B) {
 	}
 }
 
+func benchMat32(rows, cols int, seed int64) *Mat[float32] {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewOf[float32](rows, cols)
+	for i := range m.data {
+		m.data[i] = float32(rng.NormFloat64())
+	}
+	return m
+}
+
+// Precision A/B at 256^3: identical seeds and blocking, only the element
+// width (and the f32 kernel's unrolled accumulation) differs. The CI
+// bench-kernels job asserts the f32 kernel beats the f64 one on the same
+// machine; README "Kernel performance" documents the expected ratio.
+
+func BenchmarkPrecisionMulF64_256(b *testing.B) {
+	a := benchMat(256, 256, 1)
+	c := benchMat(256, 256, 2)
+	var dst *Matrix
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, _ = MulInto(dst, a, c)
+	}
+}
+
+func BenchmarkPrecisionMulF32_256(b *testing.B) {
+	a := benchMat32(256, 256, 1)
+	c := benchMat32(256, 256, 2)
+	var dst *Mat[float32]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, _ = MulInto(dst, a, c)
+	}
+}
+
+func BenchmarkPrecisionMulTransposeB_F64_256(b *testing.B) {
+	a := benchMat(256, 256, 3)
+	c := benchMat(256, 256, 4)
+	var dst *Matrix
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, _ = MulTransposeBInto(dst, a, c)
+	}
+}
+
+func BenchmarkPrecisionMulTransposeB_F32_256(b *testing.B) {
+	a := benchMat32(256, 256, 3)
+	c := benchMat32(256, 256, 4)
+	var dst *Mat[float32]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, _ = MulTransposeBInto(dst, a, c)
+	}
+}
+
 func BenchmarkKernelCovariance(b *testing.B) {
 	m := benchMat(2048, 64, 8)
 	b.ReportAllocs()

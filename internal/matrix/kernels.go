@@ -7,14 +7,23 @@ import (
 
 // Cache-blocked, goroutine-tiled compute kernels.
 //
-// Every kernel here is bit-compatible with the straightforward serial loop
-// it replaces: tiling only reorders WHICH (i,j) cell is worked on when,
-// never the order of the floating-point additions that accumulate into a
-// given cell (k ascending, exactly like the naive triple loop). Row
+// Every float64 kernel here is bit-compatible with the straightforward
+// serial loop it replaces: tiling only reorders WHICH (i,j) cell is worked
+// on when, never the order of the floating-point additions that accumulate
+// into a given cell (k ascending, exactly like the naive triple loop). Row
 // parallelism assigns each output row to exactly one goroutine, so results
 // are bitwise identical at any worker count — a property the determinism
 // tests (kernels_test.go) and the search-level equivalence benchmark rely
 // on.
+//
+// The float32 kernels have a weaker — but still deterministic — contract:
+// each output cell is produced by exactly one goroutine with a fixed
+// summation order, so results never depend on the worker budget, but the
+// hot kernels (MulInto, MulTransposeBInto) unroll the k loop four-way and
+// reassociate the four partial products. That reassociation is what buys
+// f32 its speedup on scalar hardware (instruction-level parallelism plus
+// halved memory traffic); it means the f32 product is not bit-equal to a
+// naive f32 triple loop, only to itself.
 
 const (
 	// mulBlockK is the k-tile: how many rows of b are streamed per tile.
@@ -32,8 +41,10 @@ const (
 
 // MulInto computes dst = a*b, reusing dst's backing array when it has
 // capacity (dst may be nil or any shape) and returning the result matrix.
-// The product is bitwise identical to the naive triple-loop product.
-func MulInto(dst, a, b *Matrix) (*Matrix, error) {
+// The float64 product is bitwise identical to the naive triple-loop
+// product; the float32 product uses the unrolled kernel (deterministic,
+// see the package comment).
+func MulInto[T Float](dst, a, b *Mat[T]) (*Mat[T], error) {
 	if a.cols != b.rows {
 		return nil, shapeErr("mul", a, b)
 	}
@@ -49,10 +60,15 @@ func MulInto(dst, a, b *Matrix) (*Matrix, error) {
 	return dst, nil
 }
 
-// mulBlockedRange computes rows [lo, hi) of dst = a*b with k/j tiling.
-// Per output cell the additions run in ascending k order with the same
+// mulBlockedRange computes rows [lo, hi) of dst = a*b with k/j tiling,
+// dispatching float32 operands to the unrolled kernel. In the float64
+// kernel the per-cell additions run in ascending k order with the same
 // skip-zero test as the naive kernel, so the result is bitwise identical.
-func mulBlockedRange(dst, a, b *Matrix, lo, hi int) {
+func mulBlockedRange[T Float](dst, a, b *Mat[T], lo, hi int) {
+	if d32, ok := any(dst).(*Mat[float32]); ok {
+		mulBlockedRange32(d32, any(a).(*Mat[float32]), any(b).(*Mat[float32]), lo, hi)
+		return
+	}
 	k, n := a.cols, b.cols
 	for i := lo; i < hi; i++ {
 		clear(dst.data[i*n : (i+1)*n])
@@ -61,15 +77,9 @@ func mulBlockedRange(dst, a, b *Matrix, lo, hi int) {
 		return
 	}
 	for k0 := 0; k0 < k; k0 += mulBlockK {
-		k1 := k0 + mulBlockK
-		if k1 > k {
-			k1 = k
-		}
+		k1 := min(k0+mulBlockK, k)
 		for j0 := 0; j0 < n; j0 += mulBlockJ {
-			j1 := j0 + mulBlockJ
-			if j1 > n {
-				j1 = n
-			}
+			j1 := min(j0+mulBlockJ, n)
 			for i := lo; i < hi; i++ {
 				arow := a.data[i*k : (i+1)*k]
 				crow := dst.data[i*n+j0 : i*n+j1]
@@ -88,11 +98,59 @@ func mulBlockedRange(dst, a, b *Matrix, lo, hi int) {
 	}
 }
 
+// mulBlockedRange32 is the float32 matmul kernel: same k/j tiling as the
+// float64 kernel but with the k loop unrolled four-way, accumulating
+// (a0*b0 + a1*b1) + (a2*b2 + a3*b3) into each cell per step. The four
+// independent products give the scalar pipeline real ILP — float32 gains
+// nothing per-ALU-op over float64, so unrolling plus halved memory traffic
+// is where the speedup comes from. Summation order is fixed and
+// row-partitioned, so results are identical at any worker count.
+func mulBlockedRange32(dst, a, b *Mat[float32], lo, hi int) {
+	k, n := a.cols, b.cols
+	for i := lo; i < hi; i++ {
+		clear(dst.data[i*n : (i+1)*n])
+	}
+	if n == 0 {
+		return
+	}
+	for k0 := 0; k0 < k; k0 += mulBlockK {
+		k1 := min(k0+mulBlockK, k)
+		for j0 := 0; j0 < n; j0 += mulBlockJ {
+			j1 := min(j0+mulBlockJ, n)
+			for i := lo; i < hi; i++ {
+				arow := a.data[i*k : (i+1)*k]
+				crow := dst.data[i*n+j0 : i*n+j1]
+				kk := k0
+				for ; kk+4 <= k1; kk += 4 {
+					a0, a1, a2, a3 := arow[kk], arow[kk+1], arow[kk+2], arow[kk+3]
+					b0 := b.data[kk*n+j0 : kk*n+j1][:len(crow)]
+					b1 := b.data[(kk+1)*n+j0 : (kk+1)*n+j1][:len(crow)]
+					b2 := b.data[(kk+2)*n+j0 : (kk+2)*n+j1][:len(crow)]
+					b3 := b.data[(kk+3)*n+j0 : (kk+3)*n+j1][:len(crow)]
+					for j := range crow {
+						crow[j] += (a0*b0[j] + a1*b1[j]) + (a2*b2[j] + a3*b3[j])
+					}
+				}
+				for ; kk < k1; kk++ {
+					av := arow[kk]
+					if av == 0 {
+						continue
+					}
+					brow := b.data[kk*n+j0 : kk*n+j1]
+					for j, bv := range brow {
+						crow[j] += av * bv
+					}
+				}
+			}
+		}
+	}
+}
+
 // naiveMulInto is the pre-blocking reference kernel (single goroutine,
 // no tiling). It is kept as the benchmark baseline the CI bench-kernels
 // job compares the blocked kernel against, and as the bit-exactness oracle
-// in tests.
-func naiveMulInto(dst, a, b *Matrix) *Matrix {
+// in tests (float64 only; the float32 kernel reassociates, see above).
+func naiveMulInto[T Float](dst, a, b *Mat[T]) *Mat[T] {
 	dst = Recycle(dst, a.rows, b.cols)
 	for i := 0; i < a.rows; i++ {
 		arow := a.Row(i)
@@ -113,19 +171,19 @@ func naiveMulInto(dst, a, b *Matrix) *Matrix {
 // MulVecInto computes dst = m*v, reusing dst when cap(dst) >= m.rows.
 // Each output element is an ascending-index dot product — identical
 // order to the serial kernel — parallelised across rows.
-func MulVecInto(dst []float64, m *Matrix, v []float64) ([]float64, error) {
+func MulVecInto[T Float](dst []T, m *Mat[T], v []T) ([]T, error) {
 	if m.cols != len(v) {
 		return nil, shapeErrVec("mulvec", m, len(v))
 	}
 	if cap(dst) >= m.rows {
 		dst = dst[:m.rows]
 	} else {
-		dst = make([]float64, m.rows)
+		dst = make([]T, m.rows)
 	}
 	parallelRows(m.rows, 4*parMinRows, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			row := m.data[i*m.cols : (i+1)*m.cols]
-			s := 0.0
+			var s T
 			for j, a := range row {
 				s += a * v[j]
 			}
@@ -137,20 +195,14 @@ func MulVecInto(dst []float64, m *Matrix, v []float64) ([]float64, error) {
 
 // TInto writes m's transpose into dst (reused when capacity allows) using
 // square tiles so both source and destination are walked cache-friendly.
-func TInto(dst, m *Matrix) *Matrix {
+func TInto[T Float](dst, m *Mat[T]) *Mat[T] {
 	dst = RecycleNoClear(dst, m.cols, m.rows)
 	const tile = 32 // 32x32 float64 tile = 8 KiB working set
 	r, c := m.rows, m.cols
 	for i0 := 0; i0 < r; i0 += tile {
-		i1 := i0 + tile
-		if i1 > r {
-			i1 = r
-		}
+		i1 := min(i0+tile, r)
 		for j0 := 0; j0 < c; j0 += tile {
-			j1 := j0 + tile
-			if j1 > c {
-				j1 = c
-			}
+			j1 := min(j0+tile, c)
 			for i := i0; i < i1; i++ {
 				row := m.data[i*c : (i+1)*c]
 				for j := j0; j < j1; j++ {
@@ -165,7 +217,7 @@ func TInto(dst, m *Matrix) *Matrix {
 // MulTransposeAInto computes dst = aᵀ*b without materialising aᵀ.
 // a is n x p, b is n x q, dst is p x q. Per output cell the additions run
 // in ascending-k order, bitwise identical to naive aᵀ then Mul.
-func MulTransposeAInto(dst, a, b *Matrix) (*Matrix, error) {
+func MulTransposeAInto[T Float](dst, a, b *Mat[T]) (*Mat[T], error) {
 	if a.rows != b.rows {
 		return nil, shapeErr("mulTa", a, b)
 	}
@@ -175,7 +227,7 @@ func MulTransposeAInto(dst, a, b *Matrix) (*Matrix, error) {
 
 // MulTransposeAAccum computes dst += aᵀ*b (dst must already be p x q).
 // Gradient accumulation uses this to fold the += into the matmul.
-func MulTransposeAAccum(dst, a, b *Matrix) error {
+func MulTransposeAAccum[T Float](dst, a, b *Mat[T]) error {
 	if a.rows != b.rows {
 		return shapeErr("mulTa", a, b)
 	}
@@ -185,7 +237,7 @@ func MulTransposeAAccum(dst, a, b *Matrix) error {
 	return mulTransposeAAccum(dst, a, b)
 }
 
-func mulTransposeAAccum(dst, a, b *Matrix) error {
+func mulTransposeAAccum[T Float](dst, a, b *Mat[T]) error {
 	n, p, q := a.rows, a.cols, b.cols
 	if q == 0 || p == 0 {
 		return nil
@@ -213,13 +265,18 @@ func mulTransposeAAccum(dst, a, b *Matrix) error {
 }
 
 // MulTransposeBInto computes dst = a*bᵀ without materialising bᵀ.
-// a is m x k, b is n x k, dst is m x n: dst[i][j] = dot(a.Row(i), b.Row(j)),
-// each dot in ascending-index order (bitwise identical to naive a*(bᵀ)).
-func MulTransposeBInto(dst, a, b *Matrix) (*Matrix, error) {
+// a is m x k, b is n x k, dst is m x n: dst[i][j] = dot(a.Row(i), b.Row(j)).
+// The float64 dots run in ascending-index order (bitwise identical to naive
+// a*(bᵀ)); float32 dots use the unrolled four-accumulator form.
+func MulTransposeBInto[T Float](dst, a, b *Mat[T]) (*Mat[T], error) {
 	if a.cols != b.cols {
 		return nil, shapeErr("mulTb", a, b)
 	}
 	dst = RecycleNoClear(dst, a.rows, b.rows)
+	if d32, ok := any(dst).(*Mat[float32]); ok {
+		mulTransposeB32(d32, any(a).(*Mat[float32]), any(b).(*Mat[float32]))
+		return dst, nil
+	}
 	k, n := a.cols, b.rows
 	parallelRows(a.rows, parMinRows, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -227,7 +284,7 @@ func MulTransposeBInto(dst, a, b *Matrix) (*Matrix, error) {
 			crow := dst.data[i*n : (i+1)*n]
 			for j := 0; j < n; j++ {
 				brow := b.data[j*k : (j+1)*k]
-				s := 0.0
+				var s T
 				for kk, av := range arow {
 					s += av * brow[kk]
 				}
@@ -238,9 +295,37 @@ func MulTransposeBInto(dst, a, b *Matrix) (*Matrix, error) {
 	return dst, nil
 }
 
+// mulTransposeB32 is the float32 a*bᵀ kernel: each dot product runs with
+// four independent accumulators folded pairwise at the end — deterministic,
+// worker-count independent, but reassociated relative to a serial dot.
+func mulTransposeB32(dst, a, b *Mat[float32]) {
+	k, n := a.cols, b.rows
+	parallelRows(a.rows, parMinRows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.data[i*k : (i+1)*k]
+			crow := dst.data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				brow := b.data[j*k : (j+1)*k][:len(arow)]
+				var s0, s1, s2, s3 float32
+				kk := 0
+				for ; kk+4 <= len(arow); kk += 4 {
+					s0 += arow[kk] * brow[kk]
+					s1 += arow[kk+1] * brow[kk+1]
+					s2 += arow[kk+2] * brow[kk+2]
+					s3 += arow[kk+3] * brow[kk+3]
+				}
+				for ; kk < len(arow); kk++ {
+					s0 += arow[kk] * brow[kk]
+				}
+				crow[j] = (s0 + s1) + (s2 + s3)
+			}
+		}
+	})
+}
+
 // AddInto computes dst = a + b elementwise, reusing dst when capacity
 // allows. dst may alias a or b for in-place accumulation.
-func AddInto(dst, a, b *Matrix) (*Matrix, error) {
+func AddInto[T Float](dst, a, b *Mat[T]) (*Mat[T], error) {
 	if a.rows != b.rows || a.cols != b.cols {
 		return nil, shapeErr("add", a, b)
 	}
@@ -257,7 +342,7 @@ func AddInto(dst, a, b *Matrix) (*Matrix, error) {
 // Recycle returns a zeroed rows x cols matrix, reusing m's backing array
 // when it has capacity. m may be nil or any shape; the returned matrix may
 // alias m's storage, so callers must treat m as invalidated.
-func Recycle(m *Matrix, rows, cols int) *Matrix {
+func Recycle[T Float](m *Mat[T], rows, cols int) *Mat[T] {
 	m = RecycleNoClear(m, rows, cols)
 	clear(m.data)
 	return m
@@ -265,27 +350,27 @@ func Recycle(m *Matrix, rows, cols int) *Matrix {
 
 // RecycleNoClear is Recycle without zeroing; every element will be
 // overwritten by the caller.
-func RecycleNoClear(m *Matrix, rows, cols int) *Matrix {
+func RecycleNoClear[T Float](m *Mat[T], rows, cols int) *Mat[T] {
 	n := rows * cols
 	if m != nil && cap(m.data) >= n {
 		m.data = m.data[:n]
 		m.rows, m.cols = rows, cols
 		return m
 	}
-	return New(rows, cols)
+	return NewOf[T](rows, cols)
 }
 
 // RecycleVec returns a length-n slice reusing v's capacity when possible,
 // without zeroing.
-func RecycleVec(v []float64, n int) []float64 {
+func RecycleVec[T Float](v []T, n int) []T {
 	if cap(v) >= n {
 		return v[:n]
 	}
-	return make([]float64, n)
+	return make([]T, n)
 }
 
 // SelectRowsInto copies rows idx of m into dst, reusing dst's backing.
-func SelectRowsInto(dst, m *Matrix, idx []int) *Matrix {
+func SelectRowsInto[T Float](dst, m *Mat[T], idx []int) *Mat[T] {
 	dst = RecycleNoClear(dst, len(idx), m.cols)
 	for k, i := range idx {
 		copy(dst.Row(k), m.Row(i))
@@ -297,14 +382,14 @@ func SelectRowsInto(dst, m *Matrix, idx []int) *Matrix {
 // in a single pass, shifted by row 0 for numerical stability (see ColStds).
 // The returned means equal shift + Σ(x-shift)/n, which can differ from
 // ColMeans (Σx/n) in the last bits; StandardScaler uses this fused form.
-func (m *Matrix) ColMeansStds() (means, stds []float64) {
-	means = make([]float64, m.cols)
-	stds = make([]float64, m.cols)
+func (m *Mat[T]) ColMeansStds() (means, stds []T) {
+	means = make([]T, m.cols)
+	stds = make([]T, m.cols)
 	if m.rows == 0 {
 		return means, stds
 	}
 	shift := m.RowCopy(0)
-	d1 := make([]float64, m.cols) // Σ (x - shift)
+	d1 := make([]T, m.cols) // Σ (x - shift)
 	for i := 0; i < m.rows; i++ {
 		row := m.Row(i)
 		for j, v := range row {
@@ -313,7 +398,7 @@ func (m *Matrix) ColMeansStds() (means, stds []float64) {
 			stds[j] += d * d // Σ (x - shift)^2, accumulated in place
 		}
 	}
-	n := float64(m.rows)
+	n := T(m.rows)
 	for j := range means {
 		md := d1[j] / n
 		means[j] = shift[j] + md
@@ -323,15 +408,15 @@ func (m *Matrix) ColMeansStds() (means, stds []float64) {
 		if v < 0 {
 			v = 0 // guard rounding for constant columns
 		}
-		stds[j] = math.Sqrt(v)
+		stds[j] = T(math.Sqrt(float64(v)))
 	}
 	return means, stds
 }
 
-func shapeErr(op string, a, b *Matrix) error {
+func shapeErr[T Float](op string, a, b *Mat[T]) error {
 	return fmt.Errorf("%w: %s %dx%d by %dx%d", ErrShape, op, a.rows, a.cols, b.rows, b.cols)
 }
 
-func shapeErrVec(op string, m *Matrix, n int) error {
+func shapeErrVec[T Float](op string, m *Mat[T], n int) error {
 	return fmt.Errorf("%w: %s %dx%d by %d", ErrShape, op, m.rows, m.cols, n)
 }

@@ -1,10 +1,19 @@
 // Package matrix provides the dense linear-algebra substrate used by every
-// analytics component in coda: row-major float64 matrices with arithmetic,
-// QR-based least squares, and a Jacobi eigendecomposition for PCA.
+// analytics component in coda: row-major matrices generic over float32 and
+// float64, with arithmetic, QR-based least squares, and a Jacobi
+// eigendecomposition for PCA.
 //
 // The package is deliberately small and allocation-conscious rather than a
 // general BLAS replacement; components in internal/preprocess,
 // internal/mlmodels and internal/nn only need the operations defined here.
+//
+// Matrix (= Mat[float64]) is the default element type across the repo; the
+// float32 instantiation backs the reduced-precision NN training path (see
+// internal/nn). The float64 kernels keep their historical bitwise contract
+// (identical to the naive serial loops at any worker count); the float32
+// kernels are deterministic — fixed summation order, independent of the
+// worker budget — but use a reassociated, unrolled accumulation order chosen
+// for speed (see kernels.go).
 package matrix
 
 import (
@@ -16,32 +25,48 @@ import (
 // ErrShape is returned (wrapped) whenever operand dimensions are incompatible.
 var ErrShape = errors.New("matrix: incompatible shapes")
 
-// Matrix is a dense, row-major matrix of float64 values.
-//
-// The zero value is an empty 0x0 matrix. Use New or NewFromRows to build
-// non-empty matrices.
-type Matrix struct {
-	rows, cols int
-	data       []float64 // len == rows*cols, row-major
+// Float constrains matrix element types to the two IEEE-754 widths the
+// compute kernels support.
+type Float interface {
+	float32 | float64
 }
 
-// New returns a zeroed rows x cols matrix.
+// Mat is a dense, row-major matrix of T values.
+//
+// The zero value is an empty 0x0 matrix. Use New/NewOf or NewFromRows to
+// build non-empty matrices.
+type Mat[T Float] struct {
+	rows, cols int
+	data       []T // len == rows*cols, row-major
+}
+
+// Matrix is the float64 matrix every f64 code path uses; it predates the
+// generic Mat and remains the package's primary type.
+type Matrix = Mat[float64]
+
+// New returns a zeroed rows x cols float64 matrix.
 // It panics if rows or cols is negative; a zero dimension is allowed.
 func New(rows, cols int) *Matrix {
+	return NewOf[float64](rows, cols)
+}
+
+// NewOf returns a zeroed rows x cols matrix of T.
+// It panics if rows or cols is negative; a zero dimension is allowed.
+func NewOf[T Float](rows, cols int) *Mat[T] {
 	if rows < 0 || cols < 0 {
 		panic(fmt.Sprintf("matrix: negative dimension %dx%d", rows, cols))
 	}
-	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+	return &Mat[T]{rows: rows, cols: cols, data: make([]T, rows*cols)}
 }
 
 // NewFromRows builds a matrix from a slice of equal-length rows, copying the
 // data. It returns an error if rows are ragged.
-func NewFromRows(rows [][]float64) (*Matrix, error) {
+func NewFromRows[T Float](rows [][]T) (*Mat[T], error) {
 	if len(rows) == 0 {
-		return New(0, 0), nil
+		return NewOf[T](0, 0), nil
 	}
 	cols := len(rows[0])
-	m := New(len(rows), cols)
+	m := NewOf[T](len(rows), cols)
 	for i, r := range rows {
 		if len(r) != cols {
 			return nil, fmt.Errorf("%w: row %d has %d cols, want %d", ErrShape, i, len(r), cols)
@@ -53,38 +78,59 @@ func NewFromRows(rows [][]float64) (*Matrix, error) {
 
 // FromSlice wraps an existing row-major backing slice without copying.
 // len(data) must equal rows*cols.
-func FromSlice(rows, cols int, data []float64) (*Matrix, error) {
+func FromSlice[T Float](rows, cols int, data []T) (*Mat[T], error) {
 	if len(data) != rows*cols {
 		return nil, fmt.Errorf("%w: data length %d != %d*%d", ErrShape, len(data), rows, cols)
 	}
-	return &Matrix{rows: rows, cols: cols, data: data}, nil
+	return &Mat[T]{rows: rows, cols: cols, data: data}, nil
+}
+
+// ConvertInto copies src into dst element-by-element, converting precision
+// and reusing dst's backing array when it has capacity. Used at the f64↔f32
+// boundary of the reduced-precision NN path.
+func ConvertInto[D, S Float](dst *Mat[D], src *Mat[S]) *Mat[D] {
+	dst = RecycleNoClear(dst, src.rows, src.cols)
+	for i, v := range src.data {
+		dst.data[i] = D(v)
+	}
+	return dst
+}
+
+// ConvertVec copies src into a []D, converting precision and reusing dst
+// when it has capacity.
+func ConvertVec[D, S Float](dst []D, src []S) []D {
+	dst = RecycleVec(dst, len(src))
+	for i, v := range src {
+		dst[i] = D(v)
+	}
+	return dst
 }
 
 // Rows returns the number of rows.
-func (m *Matrix) Rows() int { return m.rows }
+func (m *Mat[T]) Rows() int { return m.rows }
 
 // Cols returns the number of columns.
-func (m *Matrix) Cols() int { return m.cols }
+func (m *Mat[T]) Cols() int { return m.cols }
 
 // At returns the element at row i, column j.
-func (m *Matrix) At(i, j int) float64 { return m.data[i*m.cols+j] }
+func (m *Mat[T]) At(i, j int) T { return m.data[i*m.cols+j] }
 
 // Set assigns v to the element at row i, column j.
-func (m *Matrix) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+func (m *Mat[T]) Set(i, j int, v T) { m.data[i*m.cols+j] = v }
 
 // Row returns a view (not a copy) of row i as a slice.
-func (m *Matrix) Row(i int) []float64 { return m.data[i*m.cols : (i+1)*m.cols] }
+func (m *Mat[T]) Row(i int) []T { return m.data[i*m.cols : (i+1)*m.cols] }
 
 // RowCopy returns a copy of row i.
-func (m *Matrix) RowCopy(i int) []float64 {
-	out := make([]float64, m.cols)
+func (m *Mat[T]) RowCopy(i int) []T {
+	out := make([]T, m.cols)
 	copy(out, m.Row(i))
 	return out
 }
 
 // ColCopy returns a copy of column j.
-func (m *Matrix) ColCopy(j int) []float64 {
-	out := make([]float64, m.rows)
+func (m *Mat[T]) ColCopy(j int) []T {
+	out := make([]T, m.rows)
 	for i := 0; i < m.rows; i++ {
 		out[i] = m.At(i, j)
 	}
@@ -92,18 +138,18 @@ func (m *Matrix) ColCopy(j int) []float64 {
 }
 
 // Data returns the underlying row-major backing slice (not a copy).
-func (m *Matrix) Data() []float64 { return m.data }
+func (m *Mat[T]) Data() []T { return m.data }
 
 // Clone returns a deep copy of m.
-func (m *Matrix) Clone() *Matrix {
-	c := New(m.rows, m.cols)
+func (m *Mat[T]) Clone() *Mat[T] {
+	c := NewOf[T](m.rows, m.cols)
 	copy(c.data, m.data)
 	return c
 }
 
 // SelectRows returns a new matrix containing rows idx (in order), copying data.
-func (m *Matrix) SelectRows(idx []int) *Matrix {
-	out := New(len(idx), m.cols)
+func (m *Mat[T]) SelectRows(idx []int) *Mat[T] {
+	out := NewOf[T](len(idx), m.cols)
 	for k, i := range idx {
 		copy(out.Row(k), m.Row(i))
 	}
@@ -111,8 +157,8 @@ func (m *Matrix) SelectRows(idx []int) *Matrix {
 }
 
 // SelectCols returns a new matrix containing columns idx (in order).
-func (m *Matrix) SelectCols(idx []int) *Matrix {
-	out := New(m.rows, len(idx))
+func (m *Mat[T]) SelectCols(idx []int) *Mat[T] {
+	out := NewOf[T](m.rows, len(idx))
 	for i := 0; i < m.rows; i++ {
 		src := m.Row(i)
 		dst := out.Row(i)
@@ -124,19 +170,19 @@ func (m *Matrix) SelectCols(idx []int) *Matrix {
 }
 
 // SliceRows returns a copy of rows [a, b).
-func (m *Matrix) SliceRows(a, b int) *Matrix {
-	out := New(b-a, m.cols)
+func (m *Mat[T]) SliceRows(a, b int) *Mat[T] {
+	out := NewOf[T](b-a, m.cols)
 	copy(out.data, m.data[a*m.cols:b*m.cols])
 	return out
 }
 
 // T returns the transpose of m as a new matrix (tiled; see TInto).
-func (m *Matrix) T() *Matrix {
+func (m *Mat[T]) T() *Mat[T] {
 	return TInto(nil, m)
 }
 
 // Add returns m + b.
-func (m *Matrix) Add(b *Matrix) (*Matrix, error) {
+func (m *Mat[T]) Add(b *Mat[T]) (*Mat[T], error) {
 	if m.rows != b.rows || m.cols != b.cols {
 		return nil, fmt.Errorf("%w: add %dx%d and %dx%d", ErrShape, m.rows, m.cols, b.rows, b.cols)
 	}
@@ -148,7 +194,7 @@ func (m *Matrix) Add(b *Matrix) (*Matrix, error) {
 }
 
 // Sub returns m - b.
-func (m *Matrix) Sub(b *Matrix) (*Matrix, error) {
+func (m *Mat[T]) Sub(b *Mat[T]) (*Mat[T], error) {
 	if m.rows != b.rows || m.cols != b.cols {
 		return nil, fmt.Errorf("%w: sub %dx%d and %dx%d", ErrShape, m.rows, m.cols, b.rows, b.cols)
 	}
@@ -160,7 +206,7 @@ func (m *Matrix) Sub(b *Matrix) (*Matrix, error) {
 }
 
 // Scale returns s*m as a new matrix.
-func (m *Matrix) Scale(s float64) *Matrix {
+func (m *Mat[T]) Scale(s T) *Mat[T] {
 	out := m.Clone()
 	for i := range out.data {
 		out.data[i] *= s
@@ -169,22 +215,22 @@ func (m *Matrix) Scale(s float64) *Matrix {
 }
 
 // Mul returns the matrix product m*b. The kernel is cache-blocked and
-// parallel above a size cutoff (see kernels.go) but bitwise identical to
-// the naive triple loop at any worker count.
-func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
+// parallel above a size cutoff (see kernels.go); the float64 kernel is
+// bitwise identical to the naive triple loop at any worker count.
+func (m *Mat[T]) Mul(b *Mat[T]) (*Mat[T], error) {
 	return MulInto(nil, m, b)
 }
 
 // MulVec returns the matrix-vector product m*v. Each element is an
 // ascending-index dot product; rows are computed in parallel above a
 // size cutoff with bitwise-identical results.
-func (m *Matrix) MulVec(v []float64) ([]float64, error) {
+func (m *Mat[T]) MulVec(v []T) ([]T, error) {
 	return MulVecInto(nil, m, v)
 }
 
 // ColMeans returns the per-column mean.
-func (m *Matrix) ColMeans() []float64 {
-	means := make([]float64, m.cols)
+func (m *Mat[T]) ColMeans() []T {
+	means := make([]T, m.cols)
 	if m.rows == 0 {
 		return means
 	}
@@ -194,7 +240,7 @@ func (m *Matrix) ColMeans() []float64 {
 		}
 	}
 	for j := range means {
-		means[j] /= float64(m.rows)
+		means[j] /= T(m.rows)
 	}
 	return means
 }
@@ -204,14 +250,14 @@ func (m *Matrix) ColMeans() []float64 {
 // column's own magnitude — so the one-pass variance Σd²/n - (Σd/n)²
 // stays numerically benign even for large-offset data (unlike the
 // textbook ΣX²-based one-pass form); see TestColStatsStability.
-func (m *Matrix) ColStds() []float64 {
+func (m *Mat[T]) ColStds() []T {
 	_, stds := m.ColMeansStds()
 	return stds
 }
 
 // ColMins returns the per-column minimum. For an empty matrix all zeros.
-func (m *Matrix) ColMins() []float64 {
-	mins := make([]float64, m.cols)
+func (m *Mat[T]) ColMins() []T {
+	mins := make([]T, m.cols)
 	if m.rows == 0 {
 		return mins
 	}
@@ -227,8 +273,8 @@ func (m *Matrix) ColMins() []float64 {
 }
 
 // ColMaxs returns the per-column maximum. For an empty matrix all zeros.
-func (m *Matrix) ColMaxs() []float64 {
-	maxs := make([]float64, m.cols)
+func (m *Mat[T]) ColMaxs() []T {
+	maxs := make([]T, m.cols)
 	if m.rows == 0 {
 		return maxs
 	}
@@ -254,15 +300,15 @@ func (m *Matrix) ColMaxs() []float64 {
 // (see TestCovarianceStability). The kernel is serial: it feeds the Jacobi
 // eigensolver, which dominates PCA cost, and serial accumulation keeps the
 // result independent of the worker budget.
-func (m *Matrix) Covariance() *Matrix {
-	cov := New(m.cols, m.cols)
+func (m *Mat[T]) Covariance() *Mat[T] {
+	cov := NewOf[T](m.cols, m.cols)
 	if m.rows < 2 {
 		return cov
 	}
 	c := m.cols
 	shift := m.RowCopy(0)
-	d := make([]float64, c)    // per-column Σ (x - shift)
-	drow := make([]float64, c) // current row minus shift
+	d := make([]T, c)    // per-column Σ (x - shift)
+	drow := make([]T, c) // current row minus shift
 	for i := 0; i < m.rows; i++ {
 		row := m.Row(i)
 		for j, v := range row {
@@ -281,8 +327,8 @@ func (m *Matrix) Covariance() *Matrix {
 			}
 		}
 	}
-	n := float64(m.rows)
-	n1 := float64(m.rows - 1)
+	n := T(m.rows)
+	n1 := T(m.rows - 1)
 	for a := 0; a < c; a++ {
 		for b := a; b < c; b++ {
 			v := (cov.At(a, b) - d[a]*d[b]/n) / n1
@@ -295,12 +341,12 @@ func (m *Matrix) Covariance() *Matrix {
 
 // Equal reports whether m and b have identical shape and all entries within
 // tol of each other.
-func (m *Matrix) Equal(b *Matrix, tol float64) bool {
+func (m *Mat[T]) Equal(b *Mat[T], tol float64) bool {
 	if m.rows != b.rows || m.cols != b.cols {
 		return false
 	}
 	for i, v := range m.data {
-		if math.Abs(v-b.data[i]) > tol {
+		if math.Abs(float64(v)-float64(b.data[i])) > tol {
 			return false
 		}
 	}
@@ -308,7 +354,7 @@ func (m *Matrix) Equal(b *Matrix, tol float64) bool {
 }
 
 // String renders small matrices for debugging.
-func (m *Matrix) String() string {
+func (m *Mat[T]) String() string {
 	s := fmt.Sprintf("Matrix(%dx%d)", m.rows, m.cols)
 	if m.rows*m.cols <= 64 {
 		s += "["

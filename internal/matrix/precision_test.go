@@ -1,0 +1,113 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// randMat32 converts a deterministic f64 random matrix down to float32.
+func randMat32(rng *rand.Rand, rows, cols int) *Mat[float32] {
+	return ConvertInto[float32](nil, randMat(rng, rows, cols))
+}
+
+func bits32Equal(t *testing.T, name string, got, want *Mat[float32]) {
+	t.Helper()
+	if got.rows != want.rows || got.cols != want.cols {
+		t.Fatalf("%s: shape %dx%d, want %dx%d", name, got.rows, got.cols, want.rows, want.cols)
+	}
+	for i := range want.data {
+		if math.Float32bits(got.data[i]) != math.Float32bits(want.data[i]) {
+			t.Fatalf("%s: element %d = %v, want %v (bitwise)", name, i, got.data[i], want.data[i])
+		}
+	}
+}
+
+// TestF32KernelsWorkerCountIndependent pins the float32 kernels'
+// determinism contract: the unrolled f32 summation order is fixed per
+// element, so results must be bitwise identical at any worker budget.
+func TestF32KernelsWorkerCountIndependent(t *testing.T) {
+	defer SetMaxWorkers(runtime.GOMAXPROCS(0))
+	rng := rand.New(rand.NewSource(2))
+	a := randMat32(rng, 211, 97)
+	b := randMat32(rng, 97, 180)
+	v := make([]float32, 97)
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+	}
+
+	SetMaxWorkers(1)
+	serial, err := MulInto(nil, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialTA, err := MulTransposeAInto(nil, a.SliceRows(0, 97), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialTB, err := MulTransposeBInto(nil, a, b.T())
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialVec, err := MulVecInto(nil, a.SliceRows(0, 97), v)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{2, 3, 8} {
+		SetMaxWorkers(workers)
+		par, err := MulInto(nil, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bits32Equal(t, "f32 mul", par, serial)
+		parTA, err := MulTransposeAInto(nil, a.SliceRows(0, 97), b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bits32Equal(t, "f32 mulTA", parTA, serialTA)
+		parTB, err := MulTransposeBInto(nil, a, b.T())
+		if err != nil {
+			t.Fatal(err)
+		}
+		bits32Equal(t, "f32 mulTB", parTB, serialTB)
+		parVec, err := MulVecInto(nil, a.SliceRows(0, 97), v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range serialVec {
+			if math.Float32bits(parVec[i]) != math.Float32bits(serialVec[i]) {
+				t.Fatalf("f32 mulvec workers=%d element %d = %v, want %v", workers, i, parVec[i], serialVec[i])
+			}
+		}
+	}
+}
+
+// TestF32MulTracksF64 bounds the rounding gap between the two widths: the
+// f32 product of down-converted inputs must match the f64 product within
+// accumulated single-precision rounding.
+func TestF32MulTracksF64(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randMat(rng, 96, 128)
+	b := randMat(rng, 128, 64)
+	want, err := MulInto(nil, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MulInto(nil, ConvertInto[float32](nil, a), ConvertInto[float32](nil, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~k*eps32 worst case with k=128; the blocked/unrolled accumulation
+	// keeps the observed error far below this bound.
+	const tol = 128 * 1.2e-7 * 8
+	for i := 0; i < want.Rows(); i++ {
+		for j := 0; j < want.Cols(); j++ {
+			w := want.At(i, j)
+			if d := math.Abs(float64(got.At(i, j)) - w); d > tol*(math.Abs(w)+1) {
+				t.Fatalf("(%d,%d): f32 %v vs f64 %v (diff %v)", i, j, got.At(i, j), w, d)
+			}
+		}
+	}
+}

@@ -40,3 +40,106 @@ func BenchmarkGatedResidualBlock(b *testing.B) {
 	rng := rand.New(rand.NewSource(4))
 	benchForwardBackward(b, NewGatedResidualBlock(32, 8, 2, 2, rng), randInput(rng, 16, 256))
 }
+
+// Precision A/B on a full training epoch: same architecture, data and
+// seeds, only the element width differs. The CI bench-kernels job records
+// both so the f32 end-to-end speedup stays visible next to the raw matmul
+// ratio.
+
+func benchFitNet[T matrix.Float](b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	x64 := randInput(rng, 64, 128)
+	y64 := make([]float64, 64)
+	for i := range y64 {
+		y64[i] = rng.NormFloat64()
+	}
+	x := matrix.ConvertInto[T](nil, x64)
+	y := matrix.ConvertVec[T](nil, y64)
+	net := NewNetworkOf[T](NewAdamOf[T](0.01),
+		NewDenseOf[T](128, 128, rng), NewReLUOf[T](), NewDenseOf[T](128, 1, rng))
+	cfg := FitConfig{Epochs: 1, BatchSize: 32, Seed: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := net.Fit(x, y, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNetworkFitF64(b *testing.B) { benchFitNet[float64](b) }
+func BenchmarkNetworkFitF32(b *testing.B) { benchFitNet[float32](b) }
+
+// benchSeries is a fixed-size WindowSource for the window→conv fusion A/B.
+type benchSeries struct {
+	data *matrix.Matrix
+	hist int
+}
+
+func (s *benchSeries) Windows() int   { return s.data.Rows() - s.hist }
+func (s *benchSeries) WindowLen() int { return s.hist }
+func (s *benchSeries) Vars() int      { return s.data.Cols() }
+func (s *benchSeries) CopyStep(dst []float64, w, t int) {
+	copy(dst, s.data.Row(w+t))
+}
+func (s *benchSeries) CopyStep32(dst []float32, w, t int) {
+	for j, v := range s.data.Row(w + t) {
+		dst[j] = float32(v)
+	}
+}
+
+func windowBenchSetup() (*benchSeries, []float64) {
+	rng := rand.New(rand.NewSource(8))
+	src := &benchSeries{data: randInput(rng, 220, 2), hist: 16}
+	y := make([]float64, src.Windows())
+	for i := range y {
+		y[i] = rng.NormFloat64()
+	}
+	return src, y
+}
+
+func windowBenchNet(rngSeed int64) *Network {
+	rng := rand.New(rand.NewSource(rngSeed))
+	return NewNetwork(NewAdam(0.01),
+		NewConv1D(16, 2, 8, 3, 1, false, rng),
+		NewReLU(),
+		NewLastTimestep(14, 8),
+		NewDense(8, 1, rng),
+	)
+}
+
+// Window→conv fusion A/B: the materialized variant re-gathers the full
+// (windows × hist*vars) matrix every epoch before training, the fused
+// variant trains straight off the window source. The CI bench-kernels job
+// gates on the fused variant allocating less per op.
+
+func BenchmarkWindowConvMaterialized(b *testing.B) {
+	src, y := windowBenchSetup()
+	net := windowBenchNet(5)
+	cfg := FitConfig{Epochs: 1, BatchSize: 32, Seed: 1}
+	idx := make([]int, src.Windows())
+	for i := range idx {
+		idx[i] = i
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := gatherWindows[float64](nil, src, idx)
+		if err := net.Fit(x, y, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWindowConvFused(b *testing.B) {
+	src, y := windowBenchSetup()
+	net := windowBenchNet(5)
+	cfg := FitConfig{Epochs: 1, BatchSize: 32, Seed: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := net.FitWindowed(src, y, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -8,36 +8,45 @@ import (
 	"coda/internal/matrix"
 )
 
-// GatedResidualBlock is one WaveNet building block: two dilated causal
+// GatedResidualBlockOf is one WaveNet building block: two dilated causal
 // convolutions feed a gated activation tanh(f) * sigmoid(g), a 1x1
 // convolution projects the result back, and the block output adds the
 // input (residual connection). Channel count is preserved so blocks stack.
-type GatedResidualBlock struct {
+type GatedResidualBlockOf[T matrix.Float] struct {
 	SeqLen   int
 	Channels int
 
-	convF, convG *Conv1D // dilated causal convs
-	proj         *Conv1D // 1x1 projection
+	convF, convG *Conv1DOf[T] // dilated causal convs
+	proj         *Conv1DOf[T] // 1x1 projection
 
-	lastA, lastB *matrix.Matrix // pre-activation conv outputs
-	lastGated    *matrix.Matrix
+	lastA, lastB *matrix.Mat[T] // pre-activation conv outputs
+	lastGated    *matrix.Mat[T]
 
-	out, da, db, dxSum *matrix.Matrix // reused scratch (see Layer)
+	out, da, db, dxSum *matrix.Mat[T] // reused scratch (see LayerOf)
 }
 
-// NewGatedResidualBlock builds a block with the given kernel and dilation.
-func NewGatedResidualBlock(seqLen, channels, kernel, dilation int, rng *rand.Rand) *GatedResidualBlock {
-	return &GatedResidualBlock{
+// GatedResidualBlock is the float64 WaveNet block.
+type GatedResidualBlock = GatedResidualBlockOf[float64]
+
+// NewGatedResidualBlockOf builds a block with the given kernel and dilation.
+func NewGatedResidualBlockOf[T matrix.Float](seqLen, channels, kernel, dilation int, rng *rand.Rand) *GatedResidualBlockOf[T] {
+	return &GatedResidualBlockOf[T]{
 		SeqLen:   seqLen,
 		Channels: channels,
-		convF:    NewConv1D(seqLen, channels, channels, kernel, dilation, true, rng),
-		convG:    NewConv1D(seqLen, channels, channels, kernel, dilation, true, rng),
-		proj:     NewConv1D(seqLen, channels, channels, 1, 1, true, rng),
+		convF:    NewConv1DOf[T](seqLen, channels, channels, kernel, dilation, true, rng),
+		convG:    NewConv1DOf[T](seqLen, channels, channels, kernel, dilation, true, rng),
+		proj:     NewConv1DOf[T](seqLen, channels, channels, 1, 1, true, rng),
 	}
 }
 
+// NewGatedResidualBlock builds a float64 block with the given kernel and
+// dilation.
+func NewGatedResidualBlock(seqLen, channels, kernel, dilation int, rng *rand.Rand) *GatedResidualBlock {
+	return NewGatedResidualBlockOf[float64](seqLen, channels, kernel, dilation, rng)
+}
+
 // Forward computes x + proj(tanh(convF(x)) * sigmoid(convG(x))).
-func (b *GatedResidualBlock) Forward(x *matrix.Matrix, training bool) (*matrix.Matrix, error) {
+func (b *GatedResidualBlockOf[T]) Forward(x *matrix.Mat[T], training bool) (*matrix.Mat[T], error) {
 	a, err := b.convF.Forward(x, training)
 	if err != nil {
 		return nil, fmt.Errorf("nn: gated block filter conv: %w", err)
@@ -50,7 +59,7 @@ func (b *GatedResidualBlock) Forward(x *matrix.Matrix, training bool) (*matrix.M
 	gated := matrix.RecycleNoClear(b.lastGated, a.Rows(), a.Cols())
 	ad, gd, od := a.Data(), g.Data(), gated.Data()
 	for i := range od {
-		od[i] = math.Tanh(ad[i]) * sigmoidNN(gd[i])
+		od[i] = T(math.Tanh(float64(ad[i])) * sigmoidNN(float64(gd[i])))
 	}
 	b.lastGated = gated
 	r, err := b.proj.Forward(gated, training)
@@ -66,7 +75,7 @@ func (b *GatedResidualBlock) Forward(x *matrix.Matrix, training bool) (*matrix.M
 }
 
 // Backward propagates through the residual sum, gate, and convolutions.
-func (b *GatedResidualBlock) Backward(grad *matrix.Matrix) (*matrix.Matrix, error) {
+func (b *GatedResidualBlockOf[T]) Backward(grad *matrix.Mat[T]) (*matrix.Mat[T], error) {
 	if b.lastA == nil {
 		return nil, fmt.Errorf("nn: gated block backward before forward")
 	}
@@ -80,10 +89,11 @@ func (b *GatedResidualBlock) Backward(grad *matrix.Matrix) (*matrix.Matrix, erro
 	ad, gd := b.lastA.Data(), b.lastB.Data()
 	dgd, dad, dbd := dGated.Data(), da.Data(), db.Data()
 	for i := range dgd {
-		ta := math.Tanh(ad[i])
-		sg := sigmoidNN(gd[i])
-		dad[i] = dgd[i] * sg * (1 - ta*ta)
-		dbd[i] = dgd[i] * ta * sg * (1 - sg)
+		ta := math.Tanh(float64(ad[i]))
+		sg := sigmoidNN(float64(gd[i]))
+		dg := float64(dgd[i])
+		dad[i] = T(dg * sg * (1 - ta*ta))
+		dbd[i] = T(dg * ta * sg * (1 - sg))
 	}
 	dxF, err := b.convF.Backward(da)
 	if err != nil {
@@ -105,42 +115,51 @@ func (b *GatedResidualBlock) Backward(grad *matrix.Matrix) (*matrix.Matrix, erro
 	return dx, nil
 }
 
-// Parameters implements Layer.
-func (b *GatedResidualBlock) Parameters() []*Param {
-	var out []*Param
+// Parameters implements LayerOf.
+func (b *GatedResidualBlockOf[T]) Parameters() []*ParamOf[T] {
+	var out []*ParamOf[T]
 	out = append(out, b.convF.Parameters()...)
 	out = append(out, b.convG.Parameters()...)
 	out = append(out, b.proj.Parameters()...)
 	return out
 }
 
-// ResidualConvBlock is the SeriesNet-style block: a dilated causal
+// ResidualConvBlockOf is the SeriesNet-style block: a dilated causal
 // convolution with ReLU, a 1x1 projection, and a linear residual
 // connection (no gating).
-type ResidualConvBlock struct {
+type ResidualConvBlockOf[T matrix.Float] struct {
 	SeqLen   int
 	Channels int
 
-	conv *Conv1D
-	proj *Conv1D
-	relu *ReLU
+	conv *Conv1DOf[T]
+	proj *Conv1DOf[T]
+	relu *ReLUOf[T]
 
-	out, dxSum *matrix.Matrix // reused scratch (see Layer)
+	out, dxSum *matrix.Mat[T] // reused scratch (see LayerOf)
 }
 
-// NewResidualConvBlock builds a block with the given kernel and dilation.
-func NewResidualConvBlock(seqLen, channels, kernel, dilation int, rng *rand.Rand) *ResidualConvBlock {
-	return &ResidualConvBlock{
+// ResidualConvBlock is the float64 SeriesNet block.
+type ResidualConvBlock = ResidualConvBlockOf[float64]
+
+// NewResidualConvBlockOf builds a block with the given kernel and dilation.
+func NewResidualConvBlockOf[T matrix.Float](seqLen, channels, kernel, dilation int, rng *rand.Rand) *ResidualConvBlockOf[T] {
+	return &ResidualConvBlockOf[T]{
 		SeqLen:   seqLen,
 		Channels: channels,
-		conv:     NewConv1D(seqLen, channels, channels, kernel, dilation, true, rng),
-		proj:     NewConv1D(seqLen, channels, channels, 1, 1, true, rng),
-		relu:     NewReLU(),
+		conv:     NewConv1DOf[T](seqLen, channels, channels, kernel, dilation, true, rng),
+		proj:     NewConv1DOf[T](seqLen, channels, channels, 1, 1, true, rng),
+		relu:     NewReLUOf[T](),
 	}
 }
 
+// NewResidualConvBlock builds a float64 block with the given kernel and
+// dilation.
+func NewResidualConvBlock(seqLen, channels, kernel, dilation int, rng *rand.Rand) *ResidualConvBlock {
+	return NewResidualConvBlockOf[float64](seqLen, channels, kernel, dilation, rng)
+}
+
 // Forward computes x + proj(relu(conv(x))).
-func (b *ResidualConvBlock) Forward(x *matrix.Matrix, training bool) (*matrix.Matrix, error) {
+func (b *ResidualConvBlockOf[T]) Forward(x *matrix.Mat[T], training bool) (*matrix.Mat[T], error) {
 	z, err := b.conv.Forward(x, training)
 	if err != nil {
 		return nil, fmt.Errorf("nn: residual block conv: %w", err)
@@ -162,7 +181,7 @@ func (b *ResidualConvBlock) Forward(x *matrix.Matrix, training bool) (*matrix.Ma
 }
 
 // Backward propagates through the residual sum and convolutions.
-func (b *ResidualConvBlock) Backward(grad *matrix.Matrix) (*matrix.Matrix, error) {
+func (b *ResidualConvBlockOf[T]) Backward(grad *matrix.Mat[T]) (*matrix.Mat[T], error) {
 	dz, err := b.proj.Backward(grad)
 	if err != nil {
 		return nil, fmt.Errorf("nn: residual block projection backward: %w", err)
@@ -183,9 +202,9 @@ func (b *ResidualConvBlock) Backward(grad *matrix.Matrix) (*matrix.Matrix, error
 	return dx, nil
 }
 
-// Parameters implements Layer.
-func (b *ResidualConvBlock) Parameters() []*Param {
-	var out []*Param
+// Parameters implements LayerOf.
+func (b *ResidualConvBlockOf[T]) Parameters() []*ParamOf[T] {
+	var out []*ParamOf[T]
 	out = append(out, b.conv.Parameters()...)
 	out = append(out, b.proj.Parameters()...)
 	return out

@@ -8,7 +8,7 @@ import (
 	"coda/internal/matrix"
 )
 
-// Conv1D is a 1-D convolution over time-major sequence rows. With Causal
+// Conv1DOf is a 1-D convolution over time-major sequence rows. With Causal
 // set, the output has the same length as the input and position t sees only
 // inputs at or before t (left zero padding), enabling the WaveNet-style
 // dilated stacks; otherwise the convolution is "valid" and the output
@@ -21,7 +21,11 @@ import (
 // through the blocked kernels. Output values can differ from the previous
 // scalar loops in the last bits (the bias is now added after the taps);
 // gradients follow the same im2col/col2im structure.
-type Conv1D struct {
+//
+// As the first layer of a network, the im2col gather can also read straight
+// from a WindowSource (ForwardWindows) — the fused window→conv path — in
+// which case the materialized windowed input matrix never exists.
+type Conv1DOf[T matrix.Float] struct {
 	SeqLen     int // input timesteps
 	InChannels int
 	Filters    int
@@ -29,35 +33,51 @@ type Conv1D struct {
 	Dilation   int  // 1 = ordinary convolution
 	Causal     bool // left-pad so output length == SeqLen
 
-	w, b  *Param // w is (Kernel*InChannels) x Filters
-	lastX *matrix.Matrix
+	w, b  *ParamOf[T] // w is (Kernel*InChannels) x Filters
+	lastX *matrix.Mat[T]
 
-	cols  *matrix.Matrix // (batch*outLen) x (Kernel*InChannels) im2col
-	out   *matrix.Matrix
-	dcols *matrix.Matrix
-	dx    *matrix.Matrix
+	// Windowed-forward state: when winMode is set the layer's last Forward
+	// was a ForwardWindows gather of winBatch windows, lastX is nil, and
+	// Backward skips the dcols/col2im input-gradient stage (the source
+	// series is not a trainable input).
+	winMode  bool
+	winBatch int
+
+	cols  *matrix.Mat[T] // (batch*outLen) x (Kernel*InChannels) im2col
+	out   *matrix.Mat[T]
+	dcols *matrix.Mat[T]
+	dx    *matrix.Mat[T]
 }
 
-// NewConv1D builds a convolution with He-uniform initialization.
-func NewConv1D(seqLen, inChannels, filters, kernel, dilation int, causal bool, rng *rand.Rand) *Conv1D {
+// Conv1D is the float64 1-D convolution layer.
+type Conv1D = Conv1DOf[float64]
+
+// NewConv1DOf builds a convolution with He-uniform initialization. The rng
+// stream is consumed identically for either element type.
+func NewConv1DOf[T matrix.Float](seqLen, inChannels, filters, kernel, dilation int, causal bool, rng *rand.Rand) *Conv1DOf[T] {
 	if dilation < 1 {
 		dilation = 1
 	}
-	c := &Conv1D{
+	c := &Conv1DOf[T]{
 		SeqLen: seqLen, InChannels: inChannels, Filters: filters,
 		Kernel: kernel, Dilation: dilation, Causal: causal,
-		w: newParam(kernel*inChannels, filters), b: newParam(1, filters),
+		w: newParam[T](kernel*inChannels, filters), b: newParam[T](1, filters),
 	}
 	limit := math.Sqrt(6.0 / float64(kernel*inChannels))
 	wd := c.w.W.Data()
 	for i := range wd {
-		wd[i] = (2*rng.Float64() - 1) * limit
+		wd[i] = T((2*rng.Float64() - 1) * limit)
 	}
 	return c
 }
 
+// NewConv1D builds a float64 convolution with He-uniform initialization.
+func NewConv1D(seqLen, inChannels, filters, kernel, dilation int, causal bool, rng *rand.Rand) *Conv1D {
+	return NewConv1DOf[float64](seqLen, inChannels, filters, kernel, dilation, causal, rng)
+}
+
 // OutLen returns the output sequence length.
-func (c *Conv1D) OutLen() int {
+func (c *Conv1DOf[T]) OutLen() int {
 	if c.Causal {
 		return c.SeqLen
 	}
@@ -66,7 +86,7 @@ func (c *Conv1D) OutLen() int {
 
 // inTime maps (output timestep t, kernel tap k) to the input timestep, or
 // -1 when the tap falls into the causal zero padding.
-func (c *Conv1D) inTime(t, k int) int {
+func (c *Conv1DOf[T]) inTime(t, k int) int {
 	if c.Causal {
 		tin := t - (c.Kernel-1-k)*c.Dilation
 		if tin < 0 {
@@ -78,7 +98,7 @@ func (c *Conv1D) inTime(t, k int) int {
 }
 
 // Forward applies the convolution to every row.
-func (c *Conv1D) Forward(x *matrix.Matrix, _ bool) (*matrix.Matrix, error) {
+func (c *Conv1DOf[T]) Forward(x *matrix.Mat[T], _ bool) (*matrix.Mat[T], error) {
 	if x.Cols() != c.SeqLen*c.InChannels {
 		return nil, fmt.Errorf("%w: conv1d expects %d cols (%d x %d), got %d", ErrShape, c.SeqLen*c.InChannels, c.SeqLen, c.InChannels, x.Cols())
 	}
@@ -87,6 +107,7 @@ func (c *Conv1D) Forward(x *matrix.Matrix, _ bool) (*matrix.Matrix, error) {
 		return nil, fmt.Errorf("%w: conv1d kernel %d dilation %d too large for %d steps", ErrShape, c.Kernel, c.Dilation, c.SeqLen)
 	}
 	c.lastX = x
+	c.winMode = false
 	batch := x.Rows()
 	ic := c.InChannels
 	cols := matrix.Recycle(c.cols, batch*outLen, c.Kernel*ic) // zeros feed causal padding
@@ -104,13 +125,77 @@ func (c *Conv1D) Forward(x *matrix.Matrix, _ bool) (*matrix.Matrix, error) {
 			}
 		}
 	}
+	return c.matmulCols(batch, outLen)
+}
+
+// ForwardWindows is the fused window→conv forward: it builds the im2col
+// buffer by gathering (affine-scaled) timesteps of the windows idx directly
+// from src, so the (len(idx) x SeqLen*InChannels) windowed input matrix is
+// never materialized. Each gathered element passes through the same affine
+// scaling a materializing windower would apply, making the im2col buffer —
+// and hence the output — bitwise identical to Forward on the materialized
+// windows (f64; for f32 both paths round identically too, as the gather is
+// elementwise).
+//
+// Only valid as the first layer of a network: Backward after a windowed
+// forward accumulates weight/bias gradients but returns a nil input
+// gradient (the source series is not trainable).
+func (c *Conv1DOf[T]) ForwardWindows(src WindowSource, idx []int, _ bool) (*matrix.Mat[T], error) {
+	if src.WindowLen() != c.SeqLen || src.Vars() != c.InChannels {
+		return nil, fmt.Errorf("%w: conv1d expects %dx%d windows, source has %dx%d", ErrShape, c.SeqLen, c.InChannels, src.WindowLen(), src.Vars())
+	}
+	outLen := c.OutLen()
+	if outLen < 1 {
+		return nil, fmt.Errorf("%w: conv1d kernel %d dilation %d too large for %d steps", ErrShape, c.Kernel, c.Dilation, c.SeqLen)
+	}
+	c.lastX = nil
+	c.winMode = true
+	c.winBatch = len(idx)
+	batch := len(idx)
+	ic := c.InChannels
+	cols := matrix.Recycle(c.cols, batch*outLen, c.Kernel*ic)
+	c.cols = cols
+	switch cw := any(cols).(type) {
+	case *matrix.Mat[float64]:
+		for i, w := range idx {
+			for t := 0; t < outLen; t++ {
+				dst := cw.Row(i*outLen + t)
+				for k := 0; k < c.Kernel; k++ {
+					tin := c.inTime(t, k)
+					if tin < 0 {
+						continue
+					}
+					src.CopyStep(dst[k*ic:(k+1)*ic], w, tin)
+				}
+			}
+		}
+	case *matrix.Mat[float32]:
+		for i, w := range idx {
+			for t := 0; t < outLen; t++ {
+				dst := cw.Row(i*outLen + t)
+				for k := 0; k < c.Kernel; k++ {
+					tin := c.inTime(t, k)
+					if tin < 0 {
+						continue
+					}
+					src.CopyStep32(dst[k*ic:(k+1)*ic], w, tin)
+				}
+			}
+		}
+	}
+	return c.matmulCols(batch, outLen)
+}
+
+// matmulCols multiplies the populated im2col buffer by the filter bank and
+// adds the bias, shared by both forward entry points.
+func (c *Conv1DOf[T]) matmulCols(batch, outLen int) (*matrix.Mat[T], error) {
 	out := matrix.RecycleNoClear(c.out, batch, outLen*c.Filters)
 	c.out = out
 	outView, err := matrix.FromSlice(batch*outLen, c.Filters, out.Data())
 	if err != nil {
 		return nil, fmt.Errorf("nn: conv1d forward view: %w", err)
 	}
-	if _, err := matrix.MulInto(outView, cols, c.w.W); err != nil {
+	if _, err := matrix.MulInto(outView, c.cols, c.w.W); err != nil {
 		return nil, fmt.Errorf("nn: conv1d forward: %w", err)
 	}
 	bias := c.b.W.Row(0)
@@ -123,13 +208,19 @@ func (c *Conv1D) Forward(x *matrix.Matrix, _ bool) (*matrix.Matrix, error) {
 	return out, nil
 }
 
-// Backward accumulates weight/bias gradients and returns the input gradient.
-func (c *Conv1D) Backward(grad *matrix.Matrix) (*matrix.Matrix, error) {
-	if c.lastX == nil {
+// Backward accumulates weight/bias gradients and returns the input gradient
+// (nil after a windowed forward — see ForwardWindows).
+func (c *Conv1DOf[T]) Backward(grad *matrix.Mat[T]) (*matrix.Mat[T], error) {
+	var batch int
+	switch {
+	case c.winMode:
+		batch = c.winBatch
+	case c.lastX != nil:
+		batch = c.lastX.Rows()
+	default:
 		return nil, fmt.Errorf("nn: conv1d backward before forward")
 	}
 	outLen := c.OutLen()
-	batch := c.lastX.Rows()
 	if grad.Cols() != outLen*c.Filters || grad.Rows() != batch {
 		return nil, fmt.Errorf("%w: conv1d backward grad %dx%d", ErrShape, grad.Rows(), grad.Cols())
 	}
@@ -146,6 +237,12 @@ func (c *Conv1D) Backward(grad *matrix.Matrix) (*matrix.Matrix, error) {
 	// dW += colsᵀ * grad over every (sample, step) row at once.
 	if err := matrix.MulTransposeAAccum(c.w.Grad, c.cols, gview); err != nil {
 		return nil, fmt.Errorf("nn: conv1d backward dW: %w", err)
+	}
+	if c.winMode {
+		// Fused first layer: the input is the raw source series, which has
+		// no gradient consumer, so dcols and the col2im scatter are skipped
+		// entirely — the second allocation/bandwidth win of the fusion.
+		return nil, nil
 	}
 	dcols, err := matrix.MulTransposeBInto(c.dcols, gview, c.w.W)
 	if err != nil {
@@ -176,31 +273,39 @@ func (c *Conv1D) Backward(grad *matrix.Matrix) (*matrix.Matrix, error) {
 	return dx, nil
 }
 
-// Parameters implements Layer.
-func (c *Conv1D) Parameters() []*Param { return []*Param{c.w, c.b} }
+// Parameters implements LayerOf.
+func (c *Conv1DOf[T]) Parameters() []*ParamOf[T] { return []*ParamOf[T]{c.w, c.b} }
 
-// MaxPool1D downsamples each channel by taking the maximum over
+// MaxPool1DOf downsamples each channel by taking the maximum over
 // non-overlapping windows of Pool timesteps.
-type MaxPool1D struct {
+type MaxPool1DOf[T matrix.Float] struct {
 	SeqLen   int
 	Channels int
 	Pool     int
 
 	argmax  []int // per forward: flattened output position -> input col
 	rows    int
-	out, dx *matrix.Matrix
+	out, dx *matrix.Mat[T]
 }
 
-// NewMaxPool1D builds a pooling layer; SeqLen must be >= Pool.
+// MaxPool1D is the float64 max-pooling layer.
+type MaxPool1D = MaxPool1DOf[float64]
+
+// NewMaxPool1DOf builds a pooling layer; SeqLen must be >= Pool.
+func NewMaxPool1DOf[T matrix.Float](seqLen, channels, pool int) *MaxPool1DOf[T] {
+	return &MaxPool1DOf[T]{SeqLen: seqLen, Channels: channels, Pool: pool}
+}
+
+// NewMaxPool1D builds a float64 pooling layer; SeqLen must be >= Pool.
 func NewMaxPool1D(seqLen, channels, pool int) *MaxPool1D {
-	return &MaxPool1D{SeqLen: seqLen, Channels: channels, Pool: pool}
+	return NewMaxPool1DOf[float64](seqLen, channels, pool)
 }
 
 // OutLen returns the pooled sequence length.
-func (m *MaxPool1D) OutLen() int { return m.SeqLen / m.Pool }
+func (m *MaxPool1DOf[T]) OutLen() int { return m.SeqLen / m.Pool }
 
 // Forward pools each row.
-func (m *MaxPool1D) Forward(x *matrix.Matrix, _ bool) (*matrix.Matrix, error) {
+func (m *MaxPool1DOf[T]) Forward(x *matrix.Mat[T], _ bool) (*matrix.Mat[T], error) {
 	if m.Pool < 1 || m.OutLen() < 1 {
 		return nil, fmt.Errorf("%w: maxpool pool=%d over %d steps", ErrShape, m.Pool, m.SeqLen)
 	}
@@ -222,7 +327,7 @@ func (m *MaxPool1D) Forward(x *matrix.Matrix, _ bool) (*matrix.Matrix, error) {
 		dst := out.Row(i)
 		for t := 0; t < outLen; t++ {
 			for ch := 0; ch < m.Channels; ch++ {
-				best := math.Inf(-1)
+				best := T(math.Inf(-1))
 				bestCol := -1
 				for k := 0; k < m.Pool; k++ {
 					col := (t*m.Pool+k)*m.Channels + ch
@@ -241,7 +346,7 @@ func (m *MaxPool1D) Forward(x *matrix.Matrix, _ bool) (*matrix.Matrix, error) {
 }
 
 // Backward routes gradients to the argmax positions.
-func (m *MaxPool1D) Backward(grad *matrix.Matrix) (*matrix.Matrix, error) {
+func (m *MaxPool1DOf[T]) Backward(grad *matrix.Mat[T]) (*matrix.Mat[T], error) {
 	outLen := m.OutLen()
 	if m.argmax == nil || grad.Rows() != m.rows || grad.Cols() != outLen*m.Channels {
 		return nil, fmt.Errorf("%w: maxpool backward without matching forward", ErrShape)
@@ -258,25 +363,33 @@ func (m *MaxPool1D) Backward(grad *matrix.Matrix) (*matrix.Matrix, error) {
 	return dx, nil
 }
 
-// Parameters implements Layer.
-func (m *MaxPool1D) Parameters() []*Param { return nil }
+// Parameters implements LayerOf.
+func (m *MaxPool1DOf[T]) Parameters() []*ParamOf[T] { return nil }
 
-// LastTimestep extracts the final timestep's channel vector from a sequence
-// row, the standard head for causal stacks: (batch, T*C) -> (batch, C).
-type LastTimestep struct {
+// LastTimestepOf extracts the final timestep's channel vector from a
+// sequence row, the standard head for causal stacks: (batch, T*C) -> (batch, C).
+type LastTimestepOf[T matrix.Float] struct {
 	SeqLen   int
 	Channels int
 	rows     int
-	out, dx  *matrix.Matrix
+	out, dx  *matrix.Mat[T]
 }
 
-// NewLastTimestep builds the extraction layer.
+// LastTimestep is the float64 extraction layer.
+type LastTimestep = LastTimestepOf[float64]
+
+// NewLastTimestepOf builds the extraction layer.
+func NewLastTimestepOf[T matrix.Float](seqLen, channels int) *LastTimestepOf[T] {
+	return &LastTimestepOf[T]{SeqLen: seqLen, Channels: channels}
+}
+
+// NewLastTimestep builds the float64 extraction layer.
 func NewLastTimestep(seqLen, channels int) *LastTimestep {
-	return &LastTimestep{SeqLen: seqLen, Channels: channels}
+	return NewLastTimestepOf[float64](seqLen, channels)
 }
 
 // Forward slices out the last timestep.
-func (l *LastTimestep) Forward(x *matrix.Matrix, _ bool) (*matrix.Matrix, error) {
+func (l *LastTimestepOf[T]) Forward(x *matrix.Mat[T], _ bool) (*matrix.Mat[T], error) {
 	if x.Cols() != l.SeqLen*l.Channels {
 		return nil, fmt.Errorf("%w: lasttimestep expects %d cols, got %d", ErrShape, l.SeqLen*l.Channels, x.Cols())
 	}
@@ -291,7 +404,7 @@ func (l *LastTimestep) Forward(x *matrix.Matrix, _ bool) (*matrix.Matrix, error)
 }
 
 // Backward scatters the gradient into the last timestep slot.
-func (l *LastTimestep) Backward(grad *matrix.Matrix) (*matrix.Matrix, error) {
+func (l *LastTimestepOf[T]) Backward(grad *matrix.Mat[T]) (*matrix.Mat[T], error) {
 	if grad.Rows() != l.rows || grad.Cols() != l.Channels {
 		return nil, fmt.Errorf("%w: lasttimestep backward grad %dx%d", ErrShape, grad.Rows(), grad.Cols())
 	}
@@ -304,5 +417,5 @@ func (l *LastTimestep) Backward(grad *matrix.Matrix) (*matrix.Matrix, error) {
 	return dx, nil
 }
 
-// Parameters implements Layer.
-func (l *LastTimestep) Parameters() []*Param { return nil }
+// Parameters implements LayerOf.
+func (l *LastTimestepOf[T]) Parameters() []*ParamOf[T] { return nil }

@@ -8,28 +8,36 @@ import (
 	"coda/internal/matrix"
 )
 
-// Dense is a fully-connected layer: out = x*W + b.
-type Dense struct {
+// DenseOf is a fully-connected layer: out = x*W + b.
+type DenseOf[T matrix.Float] struct {
 	In, Out int
-	w, b    *Param
-	lastX   *matrix.Matrix
+	w, b    *ParamOf[T]
+	lastX   *matrix.Mat[T]
 
-	out, dx *matrix.Matrix // reused forward/backward scratch (see Layer)
+	out, dx *matrix.Mat[T] // reused forward/backward scratch (see LayerOf)
 }
 
-// NewDense builds a Dense layer with Glorot-uniform initialization from rng.
-func NewDense(in, out int, rng *rand.Rand) *Dense {
-	d := &Dense{In: in, Out: out, w: newParam(in, out), b: newParam(1, out)}
+// Dense is the float64 fully-connected layer.
+type Dense = DenseOf[float64]
+
+// NewDenseOf builds a Dense layer with Glorot-uniform initialization from
+// rng. The rng stream is consumed identically for either element type, so
+// f32 and f64 layers built from the same seed share (rounded) weights.
+func NewDenseOf[T matrix.Float](in, out int, rng *rand.Rand) *DenseOf[T] {
+	d := &DenseOf[T]{In: in, Out: out, w: newParam[T](in, out), b: newParam[T](1, out)}
 	limit := math.Sqrt(6.0 / float64(in+out))
 	wd := d.w.W.Data()
 	for i := range wd {
-		wd[i] = (2*rng.Float64() - 1) * limit
+		wd[i] = T((2*rng.Float64() - 1) * limit)
 	}
 	return d
 }
 
+// NewDense builds a float64 Dense layer with Glorot-uniform initialization.
+func NewDense(in, out int, rng *rand.Rand) *Dense { return NewDenseOf[float64](in, out, rng) }
+
 // Forward computes x*W + b.
-func (d *Dense) Forward(x *matrix.Matrix, _ bool) (*matrix.Matrix, error) {
+func (d *DenseOf[T]) Forward(x *matrix.Mat[T], _ bool) (*matrix.Mat[T], error) {
 	if x.Cols() != d.In {
 		return nil, fmt.Errorf("%w: dense expects %d inputs, got %d", ErrShape, d.In, x.Cols())
 	}
@@ -50,7 +58,7 @@ func (d *Dense) Forward(x *matrix.Matrix, _ bool) (*matrix.Matrix, error) {
 }
 
 // Backward accumulates dW = x^T*grad, db = colsum(grad), returns grad*W^T.
-func (d *Dense) Backward(grad *matrix.Matrix) (*matrix.Matrix, error) {
+func (d *DenseOf[T]) Backward(grad *matrix.Mat[T]) (*matrix.Mat[T], error) {
 	if d.lastX == nil {
 		return nil, fmt.Errorf("nn: dense backward before forward")
 	}
@@ -72,20 +80,26 @@ func (d *Dense) Backward(grad *matrix.Matrix) (*matrix.Matrix, error) {
 	return dx, nil
 }
 
-// Parameters implements Layer.
-func (d *Dense) Parameters() []*Param { return []*Param{d.w, d.b} }
+// Parameters implements LayerOf.
+func (d *DenseOf[T]) Parameters() []*ParamOf[T] { return []*ParamOf[T]{d.w, d.b} }
 
-// ReLU applies max(0, x) elementwise.
-type ReLU struct {
+// ReLUOf applies max(0, x) elementwise.
+type ReLUOf[T matrix.Float] struct {
 	mask    []bool
-	out, dx *matrix.Matrix
+	out, dx *matrix.Mat[T]
 }
 
-// NewReLU returns a ReLU activation.
-func NewReLU() *ReLU { return &ReLU{} }
+// ReLU is the float64 ReLU activation.
+type ReLU = ReLUOf[float64]
+
+// NewReLUOf returns a ReLU activation.
+func NewReLUOf[T matrix.Float]() *ReLUOf[T] { return &ReLUOf[T]{} }
+
+// NewReLU returns a float64 ReLU activation.
+func NewReLU() *ReLU { return NewReLUOf[float64]() }
 
 // Forward applies the activation.
-func (r *ReLU) Forward(x *matrix.Matrix, _ bool) (*matrix.Matrix, error) {
+func (r *ReLUOf[T]) Forward(x *matrix.Mat[T], _ bool) (*matrix.Mat[T], error) {
 	out := matrix.RecycleNoClear(r.out, x.Rows(), x.Cols())
 	r.out = out
 	src, d := x.Data(), out.Data()
@@ -107,7 +121,7 @@ func (r *ReLU) Forward(x *matrix.Matrix, _ bool) (*matrix.Matrix, error) {
 }
 
 // Backward gates gradients through the positive mask.
-func (r *ReLU) Backward(grad *matrix.Matrix) (*matrix.Matrix, error) {
+func (r *ReLUOf[T]) Backward(grad *matrix.Mat[T]) (*matrix.Mat[T], error) {
 	if r.mask == nil || len(r.mask) != len(grad.Data()) {
 		return nil, fmt.Errorf("%w: relu backward without matching forward", ErrShape)
 	}
@@ -124,31 +138,37 @@ func (r *ReLU) Backward(grad *matrix.Matrix) (*matrix.Matrix, error) {
 	return out, nil
 }
 
-// Parameters implements Layer.
-func (r *ReLU) Parameters() []*Param { return nil }
+// Parameters implements LayerOf.
+func (r *ReLUOf[T]) Parameters() []*ParamOf[T] { return nil }
 
-// Tanh applies tanh elementwise.
-type Tanh struct {
-	lastOut *matrix.Matrix
-	dx      *matrix.Matrix
+// TanhOf applies tanh elementwise (computed in float64 for either width).
+type TanhOf[T matrix.Float] struct {
+	lastOut *matrix.Mat[T]
+	dx      *matrix.Mat[T]
 }
 
-// NewTanh returns a tanh activation.
-func NewTanh() *Tanh { return &Tanh{} }
+// Tanh is the float64 tanh activation.
+type Tanh = TanhOf[float64]
+
+// NewTanhOf returns a tanh activation.
+func NewTanhOf[T matrix.Float]() *TanhOf[T] { return &TanhOf[T]{} }
+
+// NewTanh returns a float64 tanh activation.
+func NewTanh() *Tanh { return NewTanhOf[float64]() }
 
 // Forward applies tanh.
-func (t *Tanh) Forward(x *matrix.Matrix, _ bool) (*matrix.Matrix, error) {
+func (t *TanhOf[T]) Forward(x *matrix.Mat[T], _ bool) (*matrix.Mat[T], error) {
 	out := matrix.RecycleNoClear(t.lastOut, x.Rows(), x.Cols())
 	t.lastOut = out
 	src, d := x.Data(), out.Data()
 	for i, v := range src {
-		d[i] = math.Tanh(v)
+		d[i] = T(math.Tanh(float64(v)))
 	}
 	return out, nil
 }
 
 // Backward multiplies by 1 - tanh^2.
-func (t *Tanh) Backward(grad *matrix.Matrix) (*matrix.Matrix, error) {
+func (t *TanhOf[T]) Backward(grad *matrix.Mat[T]) (*matrix.Mat[T], error) {
 	if t.lastOut == nil || len(t.lastOut.Data()) != len(grad.Data()) {
 		return nil, fmt.Errorf("%w: tanh backward without matching forward", ErrShape)
 	}
@@ -162,25 +182,31 @@ func (t *Tanh) Backward(grad *matrix.Matrix) (*matrix.Matrix, error) {
 	return out, nil
 }
 
-// Parameters implements Layer.
-func (t *Tanh) Parameters() []*Param { return nil }
+// Parameters implements LayerOf.
+func (t *TanhOf[T]) Parameters() []*ParamOf[T] { return nil }
 
-// Dropout zeroes each activation with probability Rate during training,
+// DropoutOf zeroes each activation with probability Rate during training,
 // scaling survivors by 1/(1-Rate) (inverted dropout); inference is identity.
-type Dropout struct {
+type DropoutOf[T matrix.Float] struct {
 	Rate    float64
 	rng     *rand.Rand
-	mask    []float64
-	out, dx *matrix.Matrix
+	mask    []T
+	out, dx *matrix.Mat[T]
 }
 
-// NewDropout builds a dropout layer; rate must be in [0, 1).
-func NewDropout(rate float64, rng *rand.Rand) *Dropout {
-	return &Dropout{Rate: rate, rng: rng}
+// Dropout is the float64 dropout layer.
+type Dropout = DropoutOf[float64]
+
+// NewDropoutOf builds a dropout layer; rate must be in [0, 1).
+func NewDropoutOf[T matrix.Float](rate float64, rng *rand.Rand) *DropoutOf[T] {
+	return &DropoutOf[T]{Rate: rate, rng: rng}
 }
+
+// NewDropout builds a float64 dropout layer; rate must be in [0, 1).
+func NewDropout(rate float64, rng *rand.Rand) *Dropout { return NewDropoutOf[float64](rate, rng) }
 
 // Forward applies the stochastic mask during training.
-func (d *Dropout) Forward(x *matrix.Matrix, training bool) (*matrix.Matrix, error) {
+func (d *DropoutOf[T]) Forward(x *matrix.Mat[T], training bool) (*matrix.Mat[T], error) {
 	if d.Rate < 0 || d.Rate >= 1 {
 		return nil, fmt.Errorf("nn: dropout rate %v outside [0,1)", d.Rate)
 	}
@@ -194,13 +220,14 @@ func (d *Dropout) Forward(x *matrix.Matrix, training bool) (*matrix.Matrix, erro
 	if cap(d.mask) >= len(data) {
 		d.mask = d.mask[:len(data)]
 	} else {
-		d.mask = make([]float64, len(data))
+		d.mask = make([]T, len(data))
 	}
 	keep := 1 - d.Rate
+	scale := T(1 / keep)
 	for i, v := range src {
 		if d.rng.Float64() < keep {
-			d.mask[i] = 1 / keep
-			data[i] = v * d.mask[i]
+			d.mask[i] = scale
+			data[i] = v * scale
 		} else {
 			d.mask[i] = 0
 			data[i] = 0
@@ -210,7 +237,7 @@ func (d *Dropout) Forward(x *matrix.Matrix, training bool) (*matrix.Matrix, erro
 }
 
 // Backward applies the same mask to the gradient.
-func (d *Dropout) Backward(grad *matrix.Matrix) (*matrix.Matrix, error) {
+func (d *DropoutOf[T]) Backward(grad *matrix.Mat[T]) (*matrix.Mat[T], error) {
 	if d.mask == nil {
 		return grad, nil
 	}
@@ -226,5 +253,5 @@ func (d *Dropout) Backward(grad *matrix.Matrix) (*matrix.Matrix, error) {
 	return out, nil
 }
 
-// Parameters implements Layer.
-func (d *Dropout) Parameters() []*Param { return nil }
+// Parameters implements LayerOf.
+func (d *DropoutOf[T]) Parameters() []*ParamOf[T] { return nil }

@@ -8,7 +8,7 @@ import (
 	"coda/internal/matrix"
 )
 
-// LSTM processes time-major sequence rows through a single LSTM layer.
+// LSTMOf processes time-major sequence rows through a single LSTM layer.
 // With ReturnSeq false it emits the final hidden state
 // (batch, SeqLen*InSize) -> (batch, Hidden); with ReturnSeq true it emits
 // every hidden state (batch, SeqLen*Hidden), allowing LSTMs to stack for
@@ -25,46 +25,51 @@ import (
 // input gradient are each a single matmul. Values can differ from a
 // per-element recurrence in the last bits (summation order), bounded by
 // normal dot-product rounding; results are still deterministic for a seed.
-type LSTM struct {
+// Gate activations run in float64 for either element type.
+type LSTMOf[T matrix.Float] struct {
 	SeqLen    int
 	InSize    int
 	Hidden    int
 	ReturnSeq bool
 
-	wx *Param // InSize x 4*Hidden
-	wh *Param // Hidden x 4*Hidden
-	b  *Param // 1 x 4*Hidden
+	wx *ParamOf[T] // InSize x 4*Hidden
+	wh *ParamOf[T] // Hidden x 4*Hidden
+	b  *ParamOf[T] // 1 x 4*Hidden
 
 	// Forward caches for BPTT (per timestep), recycled across calls.
-	lastX *matrix.Matrix
-	hs    []*matrix.Matrix // hidden states, hs[t] is batch x Hidden (t = -1 stored at index 0)
-	cs    []*matrix.Matrix // cell states, same indexing
-	gates []*matrix.Matrix // post-activation gates, batch x 4*Hidden
+	lastX *matrix.Mat[T]
+	hs    []*matrix.Mat[T] // hidden states, hs[t] is batch x Hidden (t = -1 stored at index 0)
+	cs    []*matrix.Mat[T] // cell states, same indexing
+	gates []*matrix.Mat[T] // post-activation gates, batch x 4*Hidden
 
-	// Scratch buffers (see Layer contract).
-	xw         *matrix.Matrix // (batch*SeqLen) x 4H input projections
-	hw         *matrix.Matrix // batch x 4H recurrent projection
-	out        *matrix.Matrix
-	dGt        *matrix.Matrix // batch x 4H pre-activation gate grads at t
-	dGAll      *matrix.Matrix // (batch*SeqLen) x 4H collected gate grads
-	dh, dhNext *matrix.Matrix
-	dc         *matrix.Matrix
-	dx         *matrix.Matrix
+	// Scratch buffers (see LayerOf contract).
+	xw         *matrix.Mat[T] // (batch*SeqLen) x 4H input projections
+	hw         *matrix.Mat[T] // batch x 4H recurrent projection
+	out        *matrix.Mat[T]
+	dGt        *matrix.Mat[T] // batch x 4H pre-activation gate grads at t
+	dGAll      *matrix.Mat[T] // (batch*SeqLen) x 4H collected gate grads
+	dh, dhNext *matrix.Mat[T]
+	dc         *matrix.Mat[T]
+	dx         *matrix.Mat[T]
 }
 
-// NewLSTM builds an LSTM with Glorot-uniform weights and forget-gate bias 1.
-func NewLSTM(seqLen, inSize, hidden int, rng *rand.Rand) *LSTM {
-	l := &LSTM{
+// LSTM is the float64 LSTM layer.
+type LSTM = LSTMOf[float64]
+
+// NewLSTMOf builds an LSTM with Glorot-uniform weights and forget-gate
+// bias 1. The rng stream is consumed identically for either element type.
+func NewLSTMOf[T matrix.Float](seqLen, inSize, hidden int, rng *rand.Rand) *LSTMOf[T] {
+	l := &LSTMOf[T]{
 		SeqLen: seqLen, InSize: inSize, Hidden: hidden,
-		wx: newParam(inSize, 4*hidden),
-		wh: newParam(hidden, 4*hidden),
-		b:  newParam(1, 4*hidden),
+		wx: newParam[T](inSize, 4*hidden),
+		wh: newParam[T](hidden, 4*hidden),
+		b:  newParam[T](1, 4*hidden),
 	}
-	initUniform := func(p *Param, fanIn int) {
+	initUniform := func(p *ParamOf[T], fanIn int) {
 		limit := math.Sqrt(6.0 / float64(fanIn+4*hidden))
 		d := p.W.Data()
 		for i := range d {
-			d[i] = (2*rng.Float64() - 1) * limit
+			d[i] = T((2*rng.Float64() - 1) * limit)
 		}
 	}
 	initUniform(l.wx, inSize)
@@ -76,19 +81,25 @@ func NewLSTM(seqLen, inSize, hidden int, rng *rand.Rand) *LSTM {
 	return l
 }
 
+// NewLSTM builds a float64 LSTM with Glorot-uniform weights and forget-gate
+// bias 1.
+func NewLSTM(seqLen, inSize, hidden int, rng *rand.Rand) *LSTM {
+	return NewLSTMOf[float64](seqLen, inSize, hidden, rng)
+}
+
 // recycleStates resizes a per-timestep buffer slice, keeping entries so
 // their backing arrays are reused.
-func recycleStates(ms []*matrix.Matrix, n int) []*matrix.Matrix {
+func recycleStates[T matrix.Float](ms []*matrix.Mat[T], n int) []*matrix.Mat[T] {
 	if cap(ms) >= n {
 		return ms[:n]
 	}
-	out := make([]*matrix.Matrix, n)
+	out := make([]*matrix.Mat[T], n)
 	copy(out, ms)
 	return out
 }
 
 // Forward runs the recurrence and returns the final hidden state.
-func (l *LSTM) Forward(x *matrix.Matrix, _ bool) (*matrix.Matrix, error) {
+func (l *LSTMOf[T]) Forward(x *matrix.Mat[T], _ bool) (*matrix.Mat[T], error) {
 	if x.Cols() != l.SeqLen*l.InSize {
 		return nil, fmt.Errorf("%w: lstm expects %d cols (%d x %d), got %d", ErrShape, l.SeqLen*l.InSize, l.SeqLen, l.InSize, x.Cols())
 	}
@@ -136,13 +147,13 @@ func (l *LSTM) Forward(x *matrix.Matrix, _ bool) (*matrix.Matrix, error) {
 			cprow := cPrev.Row(i)
 			hnrow := hNew.Row(i)
 			for j := 0; j < l.Hidden; j++ {
-				ig := sigmoidNN(grow[j])
-				fg := sigmoidNN(grow[l.Hidden+j])
-				cg := math.Tanh(grow[2*l.Hidden+j])
-				og := sigmoidNN(grow[3*l.Hidden+j])
-				grow[j], grow[l.Hidden+j], grow[2*l.Hidden+j], grow[3*l.Hidden+j] = ig, fg, cg, og
-				crow[j] = fg*cprow[j] + ig*cg
-				hnrow[j] = og * math.Tanh(crow[j])
+				ig := sigmoidNN(float64(grow[j]))
+				fg := sigmoidNN(float64(grow[l.Hidden+j]))
+				cg := math.Tanh(float64(grow[2*l.Hidden+j]))
+				og := sigmoidNN(float64(grow[3*l.Hidden+j]))
+				grow[j], grow[l.Hidden+j], grow[2*l.Hidden+j], grow[3*l.Hidden+j] = T(ig), T(fg), T(cg), T(og)
+				crow[j] = T(fg*float64(cprow[j]) + ig*cg)
+				hnrow[j] = T(og * math.Tanh(float64(crow[j])))
 			}
 		}
 		l.gates[t] = g
@@ -167,7 +178,7 @@ func (l *LSTM) Forward(x *matrix.Matrix, _ bool) (*matrix.Matrix, error) {
 }
 
 // Backward runs BPTT from the final-hidden-state gradient.
-func (l *LSTM) Backward(grad *matrix.Matrix) (*matrix.Matrix, error) {
+func (l *LSTMOf[T]) Backward(grad *matrix.Mat[T]) (*matrix.Mat[T], error) {
 	if l.lastX == nil {
 		return nil, fmt.Errorf("nn: lstm backward before forward")
 	}
@@ -180,7 +191,7 @@ func (l *LSTM) Backward(grad *matrix.Matrix) (*matrix.Matrix, error) {
 	if grad.Rows() != batch || grad.Cols() != wantCols {
 		return nil, fmt.Errorf("%w: lstm backward grad %dx%d, want %dx%d", ErrShape, grad.Rows(), grad.Cols(), batch, wantCols)
 	}
-	var dh *matrix.Matrix
+	var dh *matrix.Mat[T]
 	if l.ReturnSeq {
 		dh = matrix.Recycle(l.dh, batch, l.Hidden)
 	} else {
@@ -217,15 +228,18 @@ func (l *LSTM) Backward(grad *matrix.Matrix) (*matrix.Matrix, error) {
 			dcrow := dc.Row(i)
 			dgrow := dGt.Row(i)
 			for j := 0; j < l.Hidden; j++ {
-				ig, fg, cg, og := grow[j], grow[l.Hidden+j], grow[2*l.Hidden+j], grow[3*l.Hidden+j]
-				tc := math.Tanh(crow[j])
-				dct := dcrow[j] + dhrow[j]*og*(1-tc*tc)
-				dgrow[j] = dct * cg * ig * (1 - ig)
-				dgrow[l.Hidden+j] = dct * cprow[j] * fg * (1 - fg)
-				dgrow[2*l.Hidden+j] = dct * ig * (1 - cg*cg)
-				dgrow[3*l.Hidden+j] = dhrow[j] * tc * og * (1 - og)
+				ig := float64(grow[j])
+				fg := float64(grow[l.Hidden+j])
+				cg := float64(grow[2*l.Hidden+j])
+				og := float64(grow[3*l.Hidden+j])
+				tc := math.Tanh(float64(crow[j]))
+				dct := float64(dcrow[j]) + float64(dhrow[j])*og*(1-tc*tc)
+				dgrow[j] = T(dct * cg * ig * (1 - ig))
+				dgrow[l.Hidden+j] = T(dct * float64(cprow[j]) * fg * (1 - fg))
+				dgrow[2*l.Hidden+j] = T(dct * ig * (1 - cg*cg))
+				dgrow[3*l.Hidden+j] = T(float64(dhrow[j]) * tc * og * (1 - og))
 				// Next (earlier) timestep's cell gradient.
-				dcrow[j] = dct * fg
+				dcrow[j] = T(dct * fg)
 			}
 			copy(dGAll.Row(i*l.SeqLen+t), dgrow)
 		}
@@ -272,8 +286,8 @@ func (l *LSTM) Backward(grad *matrix.Matrix) (*matrix.Matrix, error) {
 	return dx, nil
 }
 
-// Parameters implements Layer.
-func (l *LSTM) Parameters() []*Param { return []*Param{l.wx, l.wh, l.b} }
+// Parameters implements LayerOf.
+func (l *LSTMOf[T]) Parameters() []*ParamOf[T] { return []*ParamOf[T]{l.wx, l.wh, l.b} }
 
 func sigmoidNN(z float64) float64 {
 	if z >= 0 {

@@ -8,6 +8,16 @@
 // interpret each row time-major as [t0c0, t0c1, ..., t0cV, t1c0, ...] —
 // exactly the layout produced by tswindow.CascadedWindows — with the
 // sequence length and channel count fixed at layer construction.
+//
+// Every layer and the network are generic over the matrix element type
+// (float32 | float64). The float64 instantiations keep their historical
+// names (Network, Dense, ...) and bitwise behaviour; the float32
+// instantiations form the reduced-precision training path: activations and
+// gradients are computed and stored in float32 through the f32 matrix
+// kernels, while the optimizers keep float64 master weights and the MSE
+// loss/output gradient are accumulated in float64, so training stays close
+// to the f64 trajectory (see the tolerance tests in precision_test.go and
+// README "Kernel performance").
 package nn
 
 import (
@@ -21,26 +31,29 @@ import (
 // ErrShape is wrapped by layer shape-mismatch errors.
 var ErrShape = errors.New("nn: shape mismatch")
 
-// Param is one learnable tensor with its accumulated gradient.
-type Param struct {
-	W    *matrix.Matrix
-	Grad *matrix.Matrix
+// ParamOf is one learnable tensor with its accumulated gradient.
+type ParamOf[T matrix.Float] struct {
+	W    *matrix.Mat[T]
+	Grad *matrix.Mat[T]
 }
 
+// Param is the float64 parameter type.
+type Param = ParamOf[float64]
+
 // newParam allocates a weight matrix and its gradient buffer.
-func newParam(rows, cols int) *Param {
-	return &Param{W: matrix.New(rows, cols), Grad: matrix.New(rows, cols)}
+func newParam[T matrix.Float](rows, cols int) *ParamOf[T] {
+	return &ParamOf[T]{W: matrix.NewOf[T](rows, cols), Grad: matrix.NewOf[T](rows, cols)}
 }
 
 // zeroGrad clears the gradient buffer.
-func (p *Param) zeroGrad() {
+func (p *ParamOf[T]) zeroGrad() {
 	d := p.Grad.Data()
 	for i := range d {
 		d[i] = 0
 	}
 }
 
-// Layer is one differentiable stage of a network. Forward must cache
+// LayerOf is one differentiable stage of a network. Forward must cache
 // whatever Backward needs; Backward receives dLoss/dOutput and returns
 // dLoss/dInput while accumulating parameter gradients.
 //
@@ -51,38 +64,50 @@ func (p *Param) zeroGrad() {
 // clobbers a held Forward output). Callers that keep a result across calls
 // must Clone it. Layers must not mutate their input x after Forward
 // returns, nor the incoming grad — both belong to neighbouring layers.
-type Layer interface {
-	Forward(x *matrix.Matrix, training bool) (*matrix.Matrix, error)
-	Backward(grad *matrix.Matrix) (*matrix.Matrix, error)
-	Parameters() []*Param
+type LayerOf[T matrix.Float] interface {
+	Forward(x *matrix.Mat[T], training bool) (*matrix.Mat[T], error)
+	Backward(grad *matrix.Mat[T]) (*matrix.Mat[T], error)
+	Parameters() []*ParamOf[T]
 }
 
-// Network is a sequential stack of layers trained with mini-batch gradient
-// descent on mean-squared error (regression) — the loss all estimators in
-// the time-series pipeline optimize.
-type Network struct {
-	Layers    []Layer
-	Optimizer Optimizer
+// Layer is the float64 layer interface.
+type Layer = LayerOf[float64]
+
+// NetworkOf is a sequential stack of layers trained with mini-batch
+// gradient descent on mean-squared error (regression) — the loss all
+// estimators in the time-series pipeline optimize.
+type NetworkOf[T matrix.Float] struct {
+	Layers    []LayerOf[T]
+	Optimizer OptimizerOf[T]
 
 	// Per-batch training scratch, reused across steps so Fit does not
 	// allocate per mini-batch.
-	bx   *matrix.Matrix
-	gbuf *matrix.Matrix
-	by   []float64
+	bx   *matrix.Mat[T]
+	gbuf *matrix.Mat[T]
+	by   []T
 }
 
-// NewNetwork builds a sequential network; opt may be nil, defaulting to
+// Network is the float64 network.
+type Network = NetworkOf[float64]
+
+// NewNetworkOf builds a sequential network; opt may be nil, defaulting to
 // Adam(1e-2).
-func NewNetwork(opt Optimizer, layers ...Layer) *Network {
+func NewNetworkOf[T matrix.Float](opt OptimizerOf[T], layers ...LayerOf[T]) *NetworkOf[T] {
 	if opt == nil {
-		opt = NewAdam(0.01)
+		opt = NewAdamOf[T](0.01)
 	}
-	return &Network{Layers: layers, Optimizer: opt}
+	return &NetworkOf[T]{Layers: layers, Optimizer: opt}
+}
+
+// NewNetwork builds a float64 sequential network; opt may be nil,
+// defaulting to Adam(1e-2).
+func NewNetwork(opt Optimizer, layers ...Layer) *Network {
+	return NewNetworkOf[float64](opt, layers...)
 }
 
 // Parameters returns all learnable parameters in layer order.
-func (n *Network) Parameters() []*Param {
-	var out []*Param
+func (n *NetworkOf[T]) Parameters() []*ParamOf[T] {
+	var out []*ParamOf[T]
 	for _, l := range n.Layers {
 		out = append(out, l.Parameters()...)
 	}
@@ -90,7 +115,7 @@ func (n *Network) Parameters() []*Param {
 }
 
 // Forward runs the full stack.
-func (n *Network) Forward(x *matrix.Matrix, training bool) (*matrix.Matrix, error) {
+func (n *NetworkOf[T]) Forward(x *matrix.Mat[T], training bool) (*matrix.Mat[T], error) {
 	var err error
 	for i, l := range n.Layers {
 		x, err = l.Forward(x, training)
@@ -102,7 +127,7 @@ func (n *Network) Forward(x *matrix.Matrix, training bool) (*matrix.Matrix, erro
 }
 
 // backward runs the full stack in reverse.
-func (n *Network) backward(grad *matrix.Matrix) error {
+func (n *NetworkOf[T]) backward(grad *matrix.Mat[T]) error {
 	var err error
 	for i := len(n.Layers) - 1; i >= 0; i-- {
 		grad, err = n.Layers[i].Backward(grad)
@@ -120,20 +145,24 @@ type FitConfig struct {
 	Seed      int64 // shuffling seed
 }
 
-// Fit trains on (x, y) minimizing MSE. y has one value per row.
-func (n *Network) Fit(x *matrix.Matrix, y []float64, cfg FitConfig) error {
-	if x.Rows() != len(y) {
-		return fmt.Errorf("%w: %d rows vs %d targets", ErrShape, x.Rows(), len(y))
-	}
-	if x.Rows() == 0 {
-		return fmt.Errorf("nn: empty training set")
-	}
+func (cfg *FitConfig) setDefaults() {
 	if cfg.Epochs <= 0 {
 		cfg.Epochs = 50
 	}
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = 32
 	}
+}
+
+// Fit trains on (x, y) minimizing MSE. y has one value per row.
+func (n *NetworkOf[T]) Fit(x *matrix.Mat[T], y []T, cfg FitConfig) error {
+	if x.Rows() != len(y) {
+		return fmt.Errorf("%w: %d rows vs %d targets", ErrShape, x.Rows(), len(y))
+	}
+	if x.Rows() == 0 {
+		return fmt.Errorf("nn: empty training set")
+	}
+	cfg.setDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	params := n.Parameters()
 	order := make([]int, x.Rows())
@@ -143,46 +172,52 @@ func (n *Network) Fit(x *matrix.Matrix, y []float64, cfg FitConfig) error {
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
 		for start := 0; start < len(order); start += cfg.BatchSize {
-			end := start + cfg.BatchSize
-			if end > len(order) {
-				end = len(order)
-			}
+			end := min(start+cfg.BatchSize, len(order))
 			idx := order[start:end]
 			n.bx = matrix.SelectRowsInto(n.bx, x, idx)
-			bx := n.bx
-			n.by = matrix.RecycleVec(n.by, len(idx))
-			by := n.by
-			for k, i := range idx {
-				by[k] = y[i]
-			}
-			for _, p := range params {
-				p.zeroGrad()
-			}
-			out, err := n.Forward(bx, true)
-			if err != nil {
+			if err := n.fitStep(n.bx, idx, y, params); err != nil {
 				return err
 			}
-			if out.Cols() != 1 {
-				return fmt.Errorf("%w: network output has %d cols, want 1", ErrShape, out.Cols())
-			}
-			// dMSE/dout = 2*(out - y)/batch.
-			n.gbuf = matrix.RecycleNoClear(n.gbuf, out.Rows(), 1)
-			grad := n.gbuf
-			inv := 2.0 / float64(out.Rows())
-			for i := 0; i < out.Rows(); i++ {
-				grad.Set(i, 0, inv*(out.At(i, 0)-by[i]))
-			}
-			if err := n.backward(grad); err != nil {
-				return err
-			}
-			n.Optimizer.Step(params)
 		}
 	}
 	return nil
 }
 
+// fitStep runs one mini-batch: forward, MSE gradient, backward, optimizer
+// step. bx holds the gathered batch rows; idx indexes y.
+func (n *NetworkOf[T]) fitStep(bx *matrix.Mat[T], idx []int, y []T, params []*ParamOf[T]) error {
+	n.by = matrix.RecycleVec(n.by, len(idx))
+	by := n.by
+	for k, i := range idx {
+		by[k] = y[i]
+	}
+	for _, p := range params {
+		p.zeroGrad()
+	}
+	out, err := n.Forward(bx, true)
+	if err != nil {
+		return err
+	}
+	if out.Cols() != 1 {
+		return fmt.Errorf("%w: network output has %d cols, want 1", ErrShape, out.Cols())
+	}
+	// dMSE/dout = 2*(out - y)/batch, accumulated in float64 and rounded
+	// once into the gradient's element type.
+	n.gbuf = matrix.RecycleNoClear(n.gbuf, out.Rows(), 1)
+	grad := n.gbuf
+	inv := 2.0 / float64(out.Rows())
+	for i := 0; i < out.Rows(); i++ {
+		grad.Set(i, 0, T(inv*(float64(out.At(i, 0))-float64(by[i]))))
+	}
+	if err := n.backward(grad); err != nil {
+		return err
+	}
+	n.Optimizer.Step(params)
+	return nil
+}
+
 // Predict runs inference, returning one value per row.
-func (n *Network) Predict(x *matrix.Matrix) ([]float64, error) {
+func (n *NetworkOf[T]) Predict(x *matrix.Mat[T]) ([]float64, error) {
 	out, err := n.Forward(x, false)
 	if err != nil {
 		return nil, err
@@ -192,20 +227,21 @@ func (n *Network) Predict(x *matrix.Matrix) ([]float64, error) {
 	}
 	preds := make([]float64, out.Rows())
 	for i := range preds {
-		preds[i] = out.At(i, 0)
+		preds[i] = float64(out.At(i, 0))
 	}
 	return preds, nil
 }
 
 // MSELoss computes mean squared error between a 1-column output and y,
-// exposed for tests and training diagnostics.
-func MSELoss(out *matrix.Matrix, y []float64) (float64, error) {
+// exposed for tests and training diagnostics. The sum runs in float64 for
+// either element type.
+func MSELoss[T matrix.Float](out *matrix.Mat[T], y []T) (float64, error) {
 	if out.Rows() != len(y) || out.Cols() != 1 {
 		return 0, fmt.Errorf("%w: loss on %dx%d vs %d targets", ErrShape, out.Rows(), out.Cols(), len(y))
 	}
 	s := 0.0
 	for i := range y {
-		d := out.At(i, 0) - y[i]
+		d := float64(out.At(i, 0)) - float64(y[i])
 		s += d * d
 	}
 	return s / float64(len(y)), nil

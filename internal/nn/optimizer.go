@@ -1,85 +1,160 @@
 package nn
 
-import "math"
+import (
+	"math"
 
-// Optimizer updates parameters from their accumulated gradients.
-type Optimizer interface {
-	Step(params []*Param)
+	"coda/internal/matrix"
+)
+
+// OptimizerOf updates parameters from their accumulated gradients.
+//
+// Both optimizers run their update math in float64 against per-parameter
+// master weights. When T is float64 the master IS the weight slice itself —
+// zero-copy, updating in place exactly as the historical non-generic code
+// did. When T is float32 a float64 master copy is kept in the optimizer
+// state and rounded back into the f32 weights after each step, so the
+// reduced-precision path loses precision only in activations/gradients,
+// not in the accumulated weight trajectory.
+type OptimizerOf[T matrix.Float] interface {
+	Step(params []*ParamOf[T])
 }
 
-// SGD is stochastic gradient descent with optional momentum.
-type SGD struct {
-	LR       float64
-	Momentum float64
-	velocity map[*Param][]float64
+// Optimizer is the float64 optimizer interface.
+type Optimizer = OptimizerOf[float64]
+
+// masterWeights returns the float64 master slice for w: w itself when T is
+// float64, else a lazily-initialised shadow copy stored in *store.
+func masterWeights[T matrix.Float](store *[]float64, w []T) []float64 {
+	if w64, ok := any(w).([]float64); ok {
+		return w64
+	}
+	if *store == nil {
+		m := make([]float64, len(w))
+		for i, v := range w {
+			m[i] = float64(v)
+		}
+		*store = m
+	}
+	return *store
 }
 
-// NewSGD returns an SGD optimizer.
-func NewSGD(lr, momentum float64) *SGD {
-	return &SGD{LR: lr, Momentum: momentum, velocity: map[*Param][]float64{}}
-}
-
-// Step applies one update.
-func (s *SGD) Step(params []*Param) {
-	for _, p := range params {
-		g := p.Grad.Data()
-		w := p.W.Data()
-		if s.Momentum == 0 {
-			for i := range w {
-				w[i] -= s.LR * g[i]
-			}
-			continue
-		}
-		v, ok := s.velocity[p]
-		if !ok {
-			v = make([]float64, len(w))
-			s.velocity[p] = v
-		}
-		for i := range w {
-			v[i] = s.Momentum*v[i] - s.LR*g[i]
-			w[i] += v[i]
-		}
+// storeMaster rounds the master weights back into w when they are distinct
+// slices (no-op for float64, where master aliases w).
+func storeMaster[T matrix.Float](w []T, master []float64) {
+	if _, ok := any(w).([]float64); ok {
+		return
+	}
+	for i := range w {
+		w[i] = T(master[i])
 	}
 }
 
-// Adam is the Adam optimizer (Kingma & Ba) with bias correction.
-type Adam struct {
+type sgdState struct {
+	velocity []float64
+	master   []float64
+}
+
+// SGDOf is stochastic gradient descent with optional momentum.
+type SGDOf[T matrix.Float] struct {
+	LR       float64
+	Momentum float64
+	state    map[*ParamOf[T]]*sgdState
+}
+
+// SGD is the float64 SGD optimizer.
+type SGD = SGDOf[float64]
+
+// NewSGDOf returns SGD with the given learning rate and momentum.
+func NewSGDOf[T matrix.Float](lr, momentum float64) *SGDOf[T] {
+	return &SGDOf[T]{LR: lr, Momentum: momentum, state: make(map[*ParamOf[T]]*sgdState)}
+}
+
+// NewSGD returns a float64 SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD { return NewSGDOf[float64](lr, momentum) }
+
+// Step applies one SGD update.
+func (s *SGDOf[T]) Step(params []*ParamOf[T]) {
+	if s.state == nil {
+		s.state = make(map[*ParamOf[T]]*sgdState)
+	}
+	for _, p := range params {
+		w := p.W.Data()
+		g := p.Grad.Data()
+		st := s.state[p]
+		if st == nil {
+			st = &sgdState{}
+			s.state[p] = st
+		}
+		master := masterWeights(&st.master, w)
+		if s.Momentum == 0 {
+			for i := range master {
+				master[i] -= s.LR * float64(g[i])
+			}
+		} else {
+			if st.velocity == nil {
+				st.velocity = make([]float64, len(w))
+			}
+			v := st.velocity
+			for i := range master {
+				v[i] = s.Momentum*v[i] - s.LR*float64(g[i])
+				master[i] += v[i]
+			}
+		}
+		storeMaster(w, master)
+	}
+}
+
+type adamState struct {
+	m      []float64
+	v      []float64
+	master []float64
+}
+
+// AdamOf is the Adam optimizer (Kingma & Ba) with bias correction.
+type AdamOf[T matrix.Float] struct {
 	LR, Beta1, Beta2, Eps float64
 
-	t int
-	m map[*Param][]float64
-	v map[*Param][]float64
+	t     int
+	state map[*ParamOf[T]]*adamState
 }
 
-// NewAdam returns Adam with standard betas (0.9, 0.999).
-func NewAdam(lr float64) *Adam {
-	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, m: map[*Param][]float64{}, v: map[*Param][]float64{}}
+// Adam is the float64 Adam optimizer.
+type Adam = AdamOf[float64]
+
+// NewAdamOf returns Adam with standard betas (0.9, 0.999) and eps 1e-8.
+func NewAdamOf[T matrix.Float](lr float64) *AdamOf[T] {
+	return &AdamOf[T]{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, state: make(map[*ParamOf[T]]*adamState)}
 }
 
-// Step applies one update.
-func (a *Adam) Step(params []*Param) {
+// NewAdam returns a float64 Adam optimizer.
+func NewAdam(lr float64) *Adam { return NewAdamOf[float64](lr) }
+
+// Step applies one Adam update.
+func (a *AdamOf[T]) Step(params []*ParamOf[T]) {
+	if a.state == nil {
+		a.state = make(map[*ParamOf[T]]*adamState)
+	}
 	a.t++
 	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
 	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
 	for _, p := range params {
-		g := p.Grad.Data()
 		w := p.W.Data()
-		m, ok := a.m[p]
-		if !ok {
-			m = make([]float64, len(w))
-			a.m[p] = m
+		g := p.Grad.Data()
+		st := a.state[p]
+		if st == nil {
+			st = &adamState{m: make([]float64, len(w)), v: make([]float64, len(w))}
+			a.state[p] = st
 		}
-		v, ok := a.v[p]
-		if !ok {
-			v = make([]float64, len(w))
-			a.v[p] = v
-		}
-		for i := range w {
-			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g[i]
-			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g[i]*g[i]
+		m, v := st.m, st.v
+		master := masterWeights(&st.master, w)
+		for i := range master {
+			gi := float64(g[i])
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*gi
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*gi*gi
 			mhat := m[i] / c1
 			vhat := v[i] / c2
-			w[i] -= a.LR * mhat / (math.Sqrt(vhat) + a.Eps)
+			master[i] -= a.LR * mhat / (math.Sqrt(vhat) + a.Eps)
 		}
+		storeMaster(w, master)
 	}
 }

@@ -1,0 +1,38 @@
+package nn
+
+import "fmt"
+
+// Precision selects the element width of the NN compute path. F64 is the
+// historical default with bitwise-reproducible kernels; F32 halves the
+// memory traffic of activations/gradients and uses the f32 matrix kernels,
+// with optimizers keeping float64 master weights so predictions track the
+// f64 trajectory within the documented tolerance (README "Kernel
+// performance").
+type Precision int
+
+const (
+	// F64 trains and predicts in float64 (default).
+	F64 Precision = 64
+	// F32 trains and predicts in float32 with f64 master weights.
+	F32 Precision = 32
+)
+
+// ParsePrecision accepts "f64"/"f32" (and the aliases "float64"/"float32",
+// "64"/"32", ""); the empty string means F64.
+func ParsePrecision(s string) (Precision, error) {
+	switch s {
+	case "", "f64", "float64", "64":
+		return F64, nil
+	case "f32", "float32", "32":
+		return F32, nil
+	}
+	return F64, fmt.Errorf("nn: unknown precision %q (want f32 or f64)", s)
+}
+
+// String returns "f32" or "f64".
+func (p Precision) String() string {
+	if p == F32 {
+		return "f32"
+	}
+	return "f64"
+}

@@ -1,0 +1,180 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"coda/internal/matrix"
+)
+
+// raceNet32 is the float32 twin of raceNet: identical architectures and
+// seeds, so the two precisions start from the same (rounded) weights.
+func raceNet32(kind int, seed int64) *NetworkOf[float32] {
+	rng := rand.New(rand.NewSource(seed))
+	switch kind % 3 {
+	case 0:
+		return NewNetworkOf[float32](NewAdamOf[float32](0.01),
+			NewDenseOf[float32](8, 12, rng), NewReLUOf[float32](), NewDenseOf[float32](12, 1, rng))
+	case 1:
+		return NewNetworkOf[float32](NewAdamOf[float32](0.01),
+			NewLSTMOf[float32](4, 2, 6, rng), NewDenseOf[float32](6, 1, rng))
+	default:
+		return NewNetworkOf[float32](NewAdamOf[float32](0.01),
+			NewConv1DOf[float32](4, 2, 5, 2, 1, true, rng),
+			NewLastTimestepOf[float32](4, 5),
+			NewDenseOf[float32](5, 1, rng))
+	}
+}
+
+// TestF32FitTracksF64 is the precision contract test: for every layer
+// family and several seeds, training the float32 network must track the
+// float64 network trained from the same seed within a small relative
+// tolerance, both in predictions and in final training loss. The f64
+// master-weight accumulator in the optimizers is what keeps the drift this
+// small over many updates.
+func TestF32FitTracksF64(t *testing.T) {
+	x, y := raceData()
+	x32 := matrix.ConvertInto[float32](nil, x)
+	y32 := matrix.ConvertVec[float32](nil, y)
+	cfg := FitConfig{Epochs: 5, BatchSize: 8, Seed: 0}
+
+	const relTol = 2e-2 // documented f32-vs-f64 tolerance (README)
+	for kind := 0; kind < 3; kind++ {
+		for _, seed := range []int64{101, 202, 303} {
+			t.Run(fmt.Sprintf("kind%d_seed%d", kind, seed), func(t *testing.T) {
+				cfg := cfg
+				cfg.Seed = seed
+				n64 := raceNet(kind, seed)
+				if err := n64.Fit(x, y, cfg); err != nil {
+					t.Fatal(err)
+				}
+				p64, err := n64.Predict(x)
+				if err != nil {
+					t.Fatal(err)
+				}
+				n32 := raceNet32(kind, seed)
+				if err := n32.Fit(x32, y32, cfg); err != nil {
+					t.Fatal(err)
+				}
+				p32, err := n32.Predict(x32)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(p32) != len(p64) {
+					t.Fatalf("prediction lengths differ: %d vs %d", len(p32), len(p64))
+				}
+				scale := 0.0
+				for _, v := range p64 {
+					scale = math.Max(scale, math.Abs(v))
+				}
+				for i := range p64 {
+					diff := math.Abs(p32[i] - p64[i])
+					if diff > relTol*(scale+1) {
+						t.Fatalf("prediction %d diverged: f32 %v vs f64 %v (diff %v > tol %v)",
+							i, p32[i], p64[i], diff, relTol*(scale+1))
+					}
+				}
+
+				out64, err := n64.Forward(x, false)
+				if err != nil {
+					t.Fatal(err)
+				}
+				out32, err := n32.Forward(x32, false)
+				if err != nil {
+					t.Fatal(err)
+				}
+				l64, err := MSELoss(out64, y)
+				if err != nil {
+					t.Fatal(err)
+				}
+				l32, err := MSELoss(out32, y32)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Abs(l32-l64) > relTol*(l64+1e-3) {
+					t.Fatalf("training loss diverged: f32 %v vs f64 %v", l32, l64)
+				}
+			})
+		}
+	}
+}
+
+// TestF32ParallelNetworksMatchSerial is the float32 twin of
+// TestParallelNetworksMatchSerial: the reduced-precision kernels keep the
+// deterministic-summation contract, so concurrently trained f32 networks
+// (kernel workers at 8, many goroutines) must be bitwise identical to
+// serial twins. Run under -race in CI this also stresses the f32 arenas.
+func TestF32ParallelNetworksMatchSerial(t *testing.T) {
+	prev := matrix.Parallelism()
+	matrix.SetMaxWorkers(8)
+	defer matrix.SetMaxWorkers(prev)
+
+	x, y := raceData()
+	x32 := matrix.ConvertInto[float32](nil, x)
+	y32 := matrix.ConvertVec[float32](nil, y)
+	cfg := FitConfig{Epochs: 3, BatchSize: 8, Seed: 5}
+
+	const n = 9
+	want := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		net := raceNet32(i, int64(100+i))
+		if err := net.Fit(x32, y32, cfg); err != nil {
+			t.Fatal(err)
+		}
+		preds, err := net.Predict(x32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = preds
+	}
+
+	got := make([][]float64, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			net := raceNet32(i, int64(100+i))
+			if err := net.Fit(x32, y32, cfg); err != nil {
+				errs[i] = err
+				return
+			}
+			got[i], errs[i] = net.Predict(x32)
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("net %d: %v", i, errs[i])
+		}
+		for k := range got[i] {
+			if math.Float64bits(got[i][k]) != math.Float64bits(want[i][k]) {
+				t.Fatalf("net %d pred %d: parallel %v != serial %v", i, k, got[i][k], want[i][k])
+			}
+		}
+	}
+}
+
+// TestParsePrecision pins the flag grammar for -nn-precision.
+func TestParsePrecision(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Precision
+	}{
+		{"", F64}, {"f64", F64}, {"float64", F64}, {"64", F64},
+		{"f32", F32}, {"float32", F32}, {"32", F32},
+	} {
+		got, err := ParsePrecision(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParsePrecision(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := ParsePrecision("f16"); err == nil {
+		t.Fatal("want error for f16")
+	}
+}

@@ -1,0 +1,176 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"coda/internal/matrix"
+)
+
+// WindowSource is a strided, affine-scaled view of a raw time series: window
+// w covers WindowLen consecutive timesteps of Vars channels, and CopyStep
+// yields one (scaled) timestep of one window. It is the zero-copy
+// counterpart of a materialized windowed dataset matrix — implemented by
+// dataset.WindowView — and lets the first Conv1D layer's im2col gather read
+// straight from the source series, skipping the (windows x WindowLen*Vars)
+// intermediate entirely.
+//
+// CopyStep and CopyStep32 must produce the same values a materializing
+// windower would: each element scaled independently, so the f64 gather is
+// bitwise identical to reading the materialized matrix and the f32 gather
+// rounds each element exactly once.
+type WindowSource interface {
+	Windows() int   // number of windows
+	WindowLen() int // timesteps per window
+	Vars() int      // channels per timestep
+
+	// CopyStep writes the Vars scaled values of window w at timestep t
+	// (0 <= t < WindowLen) into dst, which has length >= Vars.
+	CopyStep(dst []float64, w, t int)
+	// CopyStep32 is CopyStep with a single f64→f32 rounding per element.
+	CopyStep32(dst []float32, w, t int)
+}
+
+// windowForwarder is implemented by layers (Conv1DOf) whose forward pass can
+// gather its input directly from a WindowSource.
+type windowForwarder[T matrix.Float] interface {
+	ForwardWindows(src WindowSource, idx []int, training bool) (*matrix.Mat[T], error)
+}
+
+// gatherWindows materializes the windows idx of src into dst, one full
+// window per row — the fallback when the first layer cannot gather for
+// itself. Element values are identical to the fused path's gathers.
+func gatherWindows[T matrix.Float](dst *matrix.Mat[T], src WindowSource, idx []int) *matrix.Mat[T] {
+	h, v := src.WindowLen(), src.Vars()
+	dst = matrix.Recycle(dst, len(idx), h*v)
+	switch d := any(dst).(type) {
+	case *matrix.Mat[float64]:
+		for k, w := range idx {
+			row := d.Row(k)
+			for t := 0; t < h; t++ {
+				src.CopyStep(row[t*v:(t+1)*v], w, t)
+			}
+		}
+	case *matrix.Mat[float32]:
+		for k, w := range idx {
+			row := d.Row(k)
+			for t := 0; t < h; t++ {
+				src.CopyStep32(row[t*v:(t+1)*v], w, t)
+			}
+		}
+	}
+	return dst
+}
+
+// forwardWindowed runs the stack on the windows idx: the first layer
+// gathers from src directly when it can (Conv1DOf), otherwise the windows
+// are materialized into the network's batch scratch first.
+func (n *NetworkOf[T]) forwardWindowed(src WindowSource, idx []int, training bool) (*matrix.Mat[T], error) {
+	if len(n.Layers) == 0 {
+		return nil, fmt.Errorf("nn: empty network")
+	}
+	var x *matrix.Mat[T]
+	var err error
+	if wf, ok := n.Layers[0].(windowForwarder[T]); ok {
+		x, err = wf.ForwardWindows(src, idx, training)
+		if err != nil {
+			return nil, fmt.Errorf("nn: layer 0 forward: %w", err)
+		}
+	} else {
+		n.bx = gatherWindows(n.bx, src, idx)
+		x, err = n.Layers[0].Forward(n.bx, training)
+		if err != nil {
+			return nil, fmt.Errorf("nn: layer 0 forward: %w", err)
+		}
+	}
+	for i := 1; i < len(n.Layers); i++ {
+		x, err = n.Layers[i].Forward(x, training)
+		if err != nil {
+			return nil, fmt.Errorf("nn: layer %d forward: %w", i, err)
+		}
+	}
+	return x, nil
+}
+
+// FitWindowed trains like Fit but draws mini-batches from a WindowSource
+// instead of a materialized window matrix. Shuffling consumes the rng
+// exactly as Fit does for the same window count, and batch targets follow
+// the same gather order, so for float64 the training trajectory is bitwise
+// identical to Fit on the materialized windows.
+func (n *NetworkOf[T]) FitWindowed(src WindowSource, y []T, cfg FitConfig) error {
+	if src.Windows() != len(y) {
+		return fmt.Errorf("%w: %d windows vs %d targets", ErrShape, src.Windows(), len(y))
+	}
+	if len(y) == 0 {
+		return fmt.Errorf("nn: empty training set")
+	}
+	cfg.setDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	params := n.Parameters()
+	order := make([]int, len(y))
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
+		for start := 0; start < len(order); start += cfg.BatchSize {
+			end := min(start+cfg.BatchSize, len(order))
+			idx := order[start:end]
+			if err := n.fitStepWindowed(src, idx, y, params); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// fitStepWindowed is fitStep with a windowed forward pass.
+func (n *NetworkOf[T]) fitStepWindowed(src WindowSource, idx []int, y []T, params []*ParamOf[T]) error {
+	n.by = matrix.RecycleVec(n.by, len(idx))
+	by := n.by
+	for k, i := range idx {
+		by[k] = y[i]
+	}
+	for _, p := range params {
+		p.zeroGrad()
+	}
+	out, err := n.forwardWindowed(src, idx, true)
+	if err != nil {
+		return err
+	}
+	if out.Cols() != 1 {
+		return fmt.Errorf("%w: network output has %d cols, want 1", ErrShape, out.Cols())
+	}
+	n.gbuf = matrix.RecycleNoClear(n.gbuf, out.Rows(), 1)
+	grad := n.gbuf
+	inv := 2.0 / float64(out.Rows())
+	for i := 0; i < out.Rows(); i++ {
+		grad.Set(i, 0, T(inv*(float64(out.At(i, 0))-float64(by[i]))))
+	}
+	if err := n.backward(grad); err != nil {
+		return err
+	}
+	n.Optimizer.Step(params)
+	return nil
+}
+
+// PredictWindowed runs inference over every window of src in one pass,
+// matching Predict on the materialized window matrix.
+func (n *NetworkOf[T]) PredictWindowed(src WindowSource) ([]float64, error) {
+	idx := make([]int, src.Windows())
+	for i := range idx {
+		idx[i] = i
+	}
+	out, err := n.forwardWindowed(src, idx, false)
+	if err != nil {
+		return nil, err
+	}
+	if out.Cols() != 1 {
+		return nil, fmt.Errorf("%w: network output has %d cols, want 1", ErrShape, out.Cols())
+	}
+	preds := make([]float64, out.Rows())
+	for i := range preds {
+		preds[i] = float64(out.At(i, 0))
+	}
+	return preds, nil
+}

@@ -11,6 +11,19 @@
 //     consuming flat windows or TS-as-IID rows.
 //
 // All models train with Adam on mean squared error.
+//
+// Every estimator takes a "precision" hyperparameter (64, the default, or
+// 32): under 32 the network is instantiated over float32 and trained
+// through the f32 matrix kernels with float64 master weights (see
+// nn.Precision). Layer weight initialization consumes the seeded rng stream
+// identically at either precision, so f32 results track f64 within the
+// documented tolerance.
+//
+// The convolutional estimators (CNN/WaveNet/SeriesNet) also opt into
+// window→conv fusion (core.WindowViewConsumer): when the pipeline hands
+// them a dataset carrying a window view instead of a materialized window
+// matrix, the first Conv1D gathers its im2col input straight from the
+// source series.
 package nnmodels
 
 import (
@@ -19,6 +32,7 @@ import (
 
 	"coda/internal/core"
 	"coda/internal/dataset"
+	"coda/internal/matrix"
 	"coda/internal/nn"
 )
 
@@ -27,20 +41,22 @@ type coreEstimator = core.Estimator
 
 // netConfig carries the hyperparameters shared by every network estimator.
 type netConfig struct {
-	Epochs  int     // training epochs (default 60)
-	Batch   int     // mini-batch size (default 32)
-	LR      float64 // Adam learning rate (default 0.01)
-	Hidden  int     // hidden width / filter count (default 16)
-	Dropout float64 // dropout rate (default 0.1)
-	Seed    int64
+	Epochs    int     // training epochs (default 60)
+	Batch     int     // mini-batch size (default 32)
+	LR        float64 // Adam learning rate (default 0.01)
+	Hidden    int     // hidden width / filter count (default 16)
+	Dropout   float64 // dropout rate (default 0.1)
+	Seed      int64
+	Precision nn.Precision // element width of the compute path (default 64)
 }
 
 func defaultConfig() netConfig {
-	return netConfig{Epochs: 60, Batch: 32, LR: 0.01, Hidden: 16, Dropout: 0.1}
+	return netConfig{Epochs: 60, Batch: 32, LR: 0.01, Hidden: 16, Dropout: 0.1, Precision: nn.F64}
 }
 
-// setParam handles the shared hyperparameters; returns false for unknown keys.
-func (c *netConfig) setParam(key string, v float64) bool {
+// setParam handles the shared hyperparameters; returns false for unknown
+// keys and an error for invalid values of known keys.
+func (c *netConfig) setParam(key string, v float64) (bool, error) {
 	switch key {
 	case "epochs":
 		c.Epochs = int(v)
@@ -54,17 +70,39 @@ func (c *netConfig) setParam(key string, v float64) bool {
 		c.Dropout = v
 	case "seed":
 		c.Seed = int64(v)
+	case "precision":
+		switch int(v) {
+		case 32:
+			c.Precision = nn.F32
+		case 64, 0:
+			c.Precision = nn.F64
+		default:
+			return true, fmt.Errorf("nnmodels: precision %v not one of 32, 64", v)
+		}
 	default:
-		return false
+		return false, nil
 	}
-	return true
+	return true, nil
 }
 
 func (c *netConfig) params() map[string]float64 {
 	return map[string]float64{
 		"epochs": float64(c.Epochs), "batch": float64(c.Batch), "lr": c.LR,
 		"hidden": float64(c.Hidden), "dropout": c.Dropout, "seed": float64(c.Seed),
+		"precision": float64(c.Precision),
 	}
+}
+
+// applyParam routes SetParam through the shared config for one model.
+func applyParam(model string, c *netConfig, key string, v float64) error {
+	known, err := c.setParam(key, v)
+	if err != nil {
+		return err
+	}
+	if !known {
+		return errUnknownParam(model, key)
+	}
+	return nil
 }
 
 func errUnknownParam(model, key string) error {
@@ -83,8 +121,53 @@ func windowDims(model string, ds *dataset.Dataset) (seqLen, channels int, err er
 	return ds.WindowLen, ds.NumVars, nil
 }
 
-func fitNetwork(net *nn.Network, ds *dataset.Dataset, cfg netConfig) error {
-	return net.Fit(ds.X, ds.Y, nn.FitConfig{Epochs: cfg.Epochs, BatchSize: cfg.Batch, Seed: cfg.Seed})
+// netRunner erases the element type of a trained network so the estimator
+// structs stay non-generic (core.Estimator is interface-driven).
+type netRunner interface {
+	fit(ds *dataset.Dataset, cfg netConfig) error
+	predict(ds *dataset.Dataset) ([]float64, error)
+}
+
+// runner binds a network instantiation to conversion scratch for the
+// dataset boundary. For float64 the dataset's X/Y are used directly (zero
+// copy — bitwise identical to the historical path); for float32 they are
+// converted once per fit/predict, preferring a shared dataset F32 mirror
+// when one is installed (prefix-cached datasets).
+type runner[T matrix.Float] struct {
+	net *nn.NetworkOf[T]
+	x   *matrix.Mat[T]
+	y   []T
+}
+
+func (r *runner[T]) inputs(ds *dataset.Dataset) (*matrix.Mat[T], []T) {
+	if x, ok := any(ds.X).(*matrix.Mat[T]); ok {
+		return x, any(ds.Y).([]T)
+	}
+	// T = float32 from here down.
+	if x32, y32, ok := ds.F32(); ok {
+		return any(x32).(*matrix.Mat[T]), any(y32).([]T)
+	}
+	r.x = matrix.ConvertInto(r.x, ds.X)
+	r.y = matrix.ConvertVec(r.y, ds.Y)
+	return r.x, r.y
+}
+
+func (r *runner[T]) fit(ds *dataset.Dataset, cfg netConfig) error {
+	fc := nn.FitConfig{Epochs: cfg.Epochs, BatchSize: cfg.Batch, Seed: cfg.Seed}
+	if ds.Win != nil {
+		r.y = matrix.ConvertVec(r.y, ds.Y)
+		return r.net.FitWindowed(ds.Win, r.y, fc)
+	}
+	x, y := r.inputs(ds)
+	return r.net.Fit(x, y, fc)
+}
+
+func (r *runner[T]) predict(ds *dataset.Dataset) ([]float64, error) {
+	if ds.Win != nil {
+		return r.net.PredictWindowed(ds.Win)
+	}
+	x, _ := r.inputs(ds)
+	return r.net.Predict(x)
 }
 
 // DNNRegressor is the paper's standard (IID) deep neural network: simple =
@@ -94,7 +177,7 @@ type DNNRegressor struct {
 	Deep bool
 	cfg  netConfig
 
-	net *nn.Network
+	run netRunner
 }
 
 // NewDNNRegressor returns an unfitted DNN (simple or deep).
@@ -112,10 +195,7 @@ func (d *DNNRegressor) Name() string {
 
 // SetParam implements core.Component.
 func (d *DNNRegressor) SetParam(key string, v float64) error {
-	if !d.cfg.setParam(key, v) {
-		return errUnknownParam(d.Name(), key)
-	}
-	return nil
+	return applyParam(d.Name(), &d.cfg, key, v)
 }
 
 // Params implements core.Component.
@@ -124,27 +204,35 @@ func (d *DNNRegressor) Params() map[string]float64 { return d.cfg.params() }
 // Clone implements core.Estimator.
 func (d *DNNRegressor) Clone() coreEstimator { return &DNNRegressor{Deep: d.Deep, cfg: d.cfg} }
 
+func buildDNN[T matrix.Float](deep bool, in int, cfg netConfig) *runner[T] {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	h := cfg.Hidden
+	hiddenLayers := 2
+	if deep {
+		hiddenLayers = 4
+	}
+	layers := make([]nn.LayerOf[T], 0, hiddenLayers*3+1)
+	width := in
+	for i := 0; i < hiddenLayers; i++ {
+		layers = append(layers, nn.NewDenseOf[T](width, h, rng), nn.NewReLUOf[T](), nn.NewDropoutOf[T](cfg.Dropout, rng))
+		width = h
+	}
+	layers = append(layers, nn.NewDenseOf[T](width, 1, rng))
+	return &runner[T]{net: nn.NewNetworkOf[T](nn.NewAdamOf[T](cfg.LR), layers...)}
+}
+
 // Fit builds and trains the network.
 func (d *DNNRegressor) Fit(ds *dataset.Dataset) error {
 	if ds.Y == nil {
 		return fmt.Errorf("nnmodels: %s requires targets", d.Name())
 	}
-	rng := rand.New(rand.NewSource(d.cfg.Seed))
 	in := ds.NumFeatures()
-	h := d.cfg.Hidden
-	hiddenLayers := 2
-	if d.Deep {
-		hiddenLayers = 4
+	if d.cfg.Precision == nn.F32 {
+		d.run = buildDNN[float32](d.Deep, in, d.cfg)
+	} else {
+		d.run = buildDNN[float64](d.Deep, in, d.cfg)
 	}
-	layers := make([]nn.Layer, 0, hiddenLayers*3+1)
-	width := in
-	for i := 0; i < hiddenLayers; i++ {
-		layers = append(layers, nn.NewDense(width, h, rng), nn.NewReLU(), nn.NewDropout(d.cfg.Dropout, rng))
-		width = h
-	}
-	layers = append(layers, nn.NewDense(width, 1, rng))
-	d.net = nn.NewNetwork(nn.NewAdam(d.cfg.LR), layers...)
-	if err := fitNetwork(d.net, ds, d.cfg); err != nil {
+	if err := d.run.fit(ds, d.cfg); err != nil {
 		return fmt.Errorf("nnmodels: %s fit: %w", d.Name(), err)
 	}
 	return nil
@@ -152,10 +240,10 @@ func (d *DNNRegressor) Fit(ds *dataset.Dataset) error {
 
 // Predict implements core.Estimator.
 func (d *DNNRegressor) Predict(ds *dataset.Dataset) ([]float64, error) {
-	if d.net == nil {
+	if d.run == nil {
 		return nil, fmt.Errorf("nnmodels: %s not fitted", d.Name())
 	}
-	return d.net.Predict(ds.X)
+	return d.run.predict(ds)
 }
 
 // LSTMRegressor is the paper's temporal LSTM model: simple = one LSTM layer
@@ -165,7 +253,7 @@ type LSTMRegressor struct {
 	Deep bool
 	cfg  netConfig
 
-	net *nn.Network
+	run netRunner
 }
 
 // NewLSTMRegressor returns an unfitted LSTM model.
@@ -185,10 +273,7 @@ func (l *LSTMRegressor) Name() string {
 
 // SetParam implements core.Component.
 func (l *LSTMRegressor) SetParam(key string, v float64) error {
-	if !l.cfg.setParam(key, v) {
-		return errUnknownParam(l.Name(), key)
-	}
-	return nil
+	return applyParam(l.Name(), &l.cfg, key, v)
 }
 
 // Params implements core.Component.
@@ -196,6 +281,26 @@ func (l *LSTMRegressor) Params() map[string]float64 { return l.cfg.params() }
 
 // Clone implements core.Estimator.
 func (l *LSTMRegressor) Clone() coreEstimator { return &LSTMRegressor{Deep: l.Deep, cfg: l.cfg} }
+
+func buildLSTM[T matrix.Float](deep bool, seqLen, channels int, cfg netConfig) *runner[T] {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	h := cfg.Hidden
+	var layers []nn.LayerOf[T]
+	if deep {
+		inSize := channels
+		for i := 0; i < 3; i++ {
+			lstm := nn.NewLSTMOf[T](seqLen, inSize, h, rng)
+			lstm.ReturnSeq = true
+			layers = append(layers, lstm, nn.NewDropoutOf[T](cfg.Dropout, rng))
+			inSize = h
+		}
+		layers = append(layers, nn.NewLSTMOf[T](seqLen, h, h, rng), nn.NewDropoutOf[T](cfg.Dropout, rng))
+	} else {
+		layers = append(layers, nn.NewLSTMOf[T](seqLen, channels, h, rng), nn.NewDropoutOf[T](cfg.Dropout, rng))
+	}
+	layers = append(layers, nn.NewDenseOf[T](h, 1, rng))
+	return &runner[T]{net: nn.NewNetworkOf[T](nn.NewAdamOf[T](cfg.LR), layers...)}
+}
 
 // Fit builds the recurrent stack from the window metadata and trains it.
 func (l *LSTMRegressor) Fit(ds *dataset.Dataset) error {
@@ -206,24 +311,12 @@ func (l *LSTMRegressor) Fit(ds *dataset.Dataset) error {
 	if err != nil {
 		return err
 	}
-	rng := rand.New(rand.NewSource(l.cfg.Seed))
-	h := l.cfg.Hidden
-	var layers []nn.Layer
-	if l.Deep {
-		inSize := channels
-		for i := 0; i < 3; i++ {
-			lstm := nn.NewLSTM(seqLen, inSize, h, rng)
-			lstm.ReturnSeq = true
-			layers = append(layers, lstm, nn.NewDropout(l.cfg.Dropout, rng))
-			inSize = h
-		}
-		layers = append(layers, nn.NewLSTM(seqLen, h, h, rng), nn.NewDropout(l.cfg.Dropout, rng))
+	if l.cfg.Precision == nn.F32 {
+		l.run = buildLSTM[float32](l.Deep, seqLen, channels, l.cfg)
 	} else {
-		layers = append(layers, nn.NewLSTM(seqLen, channels, h, rng), nn.NewDropout(l.cfg.Dropout, rng))
+		l.run = buildLSTM[float64](l.Deep, seqLen, channels, l.cfg)
 	}
-	layers = append(layers, nn.NewDense(h, 1, rng))
-	l.net = nn.NewNetwork(nn.NewAdam(l.cfg.LR), layers...)
-	if err := fitNetwork(l.net, ds, l.cfg); err != nil {
+	if err := l.run.fit(ds, l.cfg); err != nil {
 		return fmt.Errorf("nnmodels: %s fit: %w", l.Name(), err)
 	}
 	return nil
@@ -231,13 +324,13 @@ func (l *LSTMRegressor) Fit(ds *dataset.Dataset) error {
 
 // Predict implements core.Estimator.
 func (l *LSTMRegressor) Predict(ds *dataset.Dataset) ([]float64, error) {
-	if l.net == nil {
+	if l.run == nil {
 		return nil, fmt.Errorf("nnmodels: %s not fitted", l.Name())
 	}
 	if _, _, err := windowDims(l.Name(), ds); err != nil {
 		return nil, err
 	}
-	return l.net.Predict(ds.X)
+	return l.run.predict(ds)
 }
 
 // CNNRegressor is the paper's 1-D convolutional model: a convolution, max
@@ -247,7 +340,7 @@ type CNNRegressor struct {
 	Deep bool
 	cfg  netConfig
 
-	net *nn.Network
+	run netRunner
 }
 
 // NewCNNRegressor returns an unfitted CNN model.
@@ -267,10 +360,7 @@ func (c *CNNRegressor) Name() string {
 
 // SetParam implements core.Component.
 func (c *CNNRegressor) SetParam(key string, v float64) error {
-	if !c.cfg.setParam(key, v) {
-		return errUnknownParam(c.Name(), key)
-	}
-	return nil
+	return applyParam(c.Name(), &c.cfg, key, v)
 }
 
 // Params implements core.Component.
@@ -278,6 +368,41 @@ func (c *CNNRegressor) Params() map[string]float64 { return c.cfg.params() }
 
 // Clone implements core.Estimator.
 func (c *CNNRegressor) Clone() coreEstimator { return &CNNRegressor{Deep: c.Deep, cfg: c.cfg} }
+
+// ConsumesWindowView implements core.WindowViewConsumer: the first layer is
+// a Conv1D, whose im2col gathers windows straight from the source series.
+func (c *CNNRegressor) ConsumesWindowView() bool { return true }
+
+func buildCNN[T matrix.Float](deep bool, seqLen, channels int, cfg netConfig) *runner[T] {
+	const kernel = 3
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	f := cfg.Hidden
+	var layers []nn.LayerOf[T]
+	conv1 := nn.NewConv1DOf[T](seqLen, channels, f, kernel, 1, false, rng)
+	layers = append(layers, conv1, nn.NewReLUOf[T]())
+	length := conv1.OutLen()
+	if length >= 2 {
+		pool := nn.NewMaxPool1DOf[T](length, f, 2)
+		layers = append(layers, pool)
+		length = pool.OutLen()
+	}
+	if deep && length >= kernel+1 {
+		conv2 := nn.NewConv1DOf[T](length, f, f, kernel, 1, false, rng)
+		layers = append(layers, conv2, nn.NewReLUOf[T]())
+		length = conv2.OutLen()
+		if length >= 2 {
+			pool2 := nn.NewMaxPool1DOf[T](length, f, 2)
+			layers = append(layers, pool2)
+			length = pool2.OutLen()
+		}
+	}
+	layers = append(layers,
+		nn.NewDenseOf[T](length*f, cfg.Hidden, rng), nn.NewReLUOf[T](),
+		nn.NewDropoutOf[T](cfg.Dropout, rng),
+		nn.NewDenseOf[T](cfg.Hidden, 1, rng),
+	)
+	return &runner[T]{net: nn.NewNetworkOf[T](nn.NewAdamOf[T](cfg.LR), layers...)}
+}
 
 // Fit builds the convolutional stack from the window metadata.
 func (c *CNNRegressor) Fit(ds *dataset.Dataset) error {
@@ -292,34 +417,12 @@ func (c *CNNRegressor) Fit(ds *dataset.Dataset) error {
 	if seqLen < kernel+1 {
 		return fmt.Errorf("nnmodels: %s needs history >= %d, got %d", c.Name(), kernel+1, seqLen)
 	}
-	rng := rand.New(rand.NewSource(c.cfg.Seed))
-	f := c.cfg.Hidden
-	var layers []nn.Layer
-	conv1 := nn.NewConv1D(seqLen, channels, f, kernel, 1, false, rng)
-	layers = append(layers, conv1, nn.NewReLU())
-	length := conv1.OutLen()
-	if length >= 2 {
-		pool := nn.NewMaxPool1D(length, f, 2)
-		layers = append(layers, pool)
-		length = pool.OutLen()
+	if c.cfg.Precision == nn.F32 {
+		c.run = buildCNN[float32](c.Deep, seqLen, channels, c.cfg)
+	} else {
+		c.run = buildCNN[float64](c.Deep, seqLen, channels, c.cfg)
 	}
-	if c.Deep && length >= kernel+1 {
-		conv2 := nn.NewConv1D(length, f, f, kernel, 1, false, rng)
-		layers = append(layers, conv2, nn.NewReLU())
-		length = conv2.OutLen()
-		if length >= 2 {
-			pool2 := nn.NewMaxPool1D(length, f, 2)
-			layers = append(layers, pool2)
-			length = pool2.OutLen()
-		}
-	}
-	layers = append(layers,
-		nn.NewDense(length*f, c.cfg.Hidden, rng), nn.NewReLU(),
-		nn.NewDropout(c.cfg.Dropout, rng),
-		nn.NewDense(c.cfg.Hidden, 1, rng),
-	)
-	c.net = nn.NewNetwork(nn.NewAdam(c.cfg.LR), layers...)
-	if err := fitNetwork(c.net, ds, c.cfg); err != nil {
+	if err := c.run.fit(ds, c.cfg); err != nil {
 		return fmt.Errorf("nnmodels: %s fit: %w", c.Name(), err)
 	}
 	return nil
@@ -327,13 +430,13 @@ func (c *CNNRegressor) Fit(ds *dataset.Dataset) error {
 
 // Predict implements core.Estimator.
 func (c *CNNRegressor) Predict(ds *dataset.Dataset) ([]float64, error) {
-	if c.net == nil {
+	if c.run == nil {
 		return nil, fmt.Errorf("nnmodels: %s not fitted", c.Name())
 	}
 	if _, _, err := windowDims(c.Name(), ds); err != nil {
 		return nil, err
 	}
-	return c.net.Predict(ds.X)
+	return c.run.predict(ds)
 }
 
 // WaveNetRegressor stacks gated dilated causal convolutions (dilations 1,
@@ -343,7 +446,7 @@ func (c *CNNRegressor) Predict(ds *dataset.Dataset) ([]float64, error) {
 type WaveNetRegressor struct {
 	cfg netConfig
 
-	net *nn.Network
+	run netRunner
 }
 
 // NewWaveNetRegressor returns an unfitted WaveNet model.
@@ -358,10 +461,7 @@ func (w *WaveNetRegressor) Name() string { return "wavenet" }
 
 // SetParam implements core.Component.
 func (w *WaveNetRegressor) SetParam(key string, v float64) error {
-	if !w.cfg.setParam(key, v) {
-		return errUnknownParam(w.Name(), key)
-	}
-	return nil
+	return applyParam(w.Name(), &w.cfg, key, v)
 }
 
 // Params implements core.Component.
@@ -369,6 +469,24 @@ func (w *WaveNetRegressor) Params() map[string]float64 { return w.cfg.params() }
 
 // Clone implements core.Estimator.
 func (w *WaveNetRegressor) Clone() coreEstimator { return &WaveNetRegressor{cfg: w.cfg} }
+
+// ConsumesWindowView implements core.WindowViewConsumer (first layer is a
+// 1x1 causal Conv1D).
+func (w *WaveNetRegressor) ConsumesWindowView() bool { return true }
+
+func buildWaveNet[T matrix.Float](seqLen, channels int, cfg netConfig) *runner[T] {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	f := cfg.Hidden
+	layers := []nn.LayerOf[T]{
+		// 1x1 causal conv lifts the input channels to the block width.
+		nn.NewConv1DOf[T](seqLen, channels, f, 1, 1, true, rng),
+	}
+	for _, dilation := range []int{1, 2, 4} {
+		layers = append(layers, nn.NewGatedResidualBlockOf[T](seqLen, f, 2, dilation, rng))
+	}
+	layers = append(layers, nn.NewLastTimestepOf[T](seqLen, f), nn.NewDenseOf[T](f, 1, rng))
+	return &runner[T]{net: nn.NewNetworkOf[T](nn.NewAdamOf[T](cfg.LR), layers...)}
+}
 
 // Fit builds the gated dilated stack.
 func (w *WaveNetRegressor) Fit(ds *dataset.Dataset) error {
@@ -379,18 +497,12 @@ func (w *WaveNetRegressor) Fit(ds *dataset.Dataset) error {
 	if err != nil {
 		return err
 	}
-	rng := rand.New(rand.NewSource(w.cfg.Seed))
-	f := w.cfg.Hidden
-	layers := []nn.Layer{
-		// 1x1 causal conv lifts the input channels to the block width.
-		nn.NewConv1D(seqLen, channels, f, 1, 1, true, rng),
+	if w.cfg.Precision == nn.F32 {
+		w.run = buildWaveNet[float32](seqLen, channels, w.cfg)
+	} else {
+		w.run = buildWaveNet[float64](seqLen, channels, w.cfg)
 	}
-	for _, dilation := range []int{1, 2, 4} {
-		layers = append(layers, nn.NewGatedResidualBlock(seqLen, f, 2, dilation, rng))
-	}
-	layers = append(layers, nn.NewLastTimestep(seqLen, f), nn.NewDense(f, 1, rng))
-	w.net = nn.NewNetwork(nn.NewAdam(w.cfg.LR), layers...)
-	if err := fitNetwork(w.net, ds, w.cfg); err != nil {
+	if err := w.run.fit(ds, w.cfg); err != nil {
 		return fmt.Errorf("nnmodels: %s fit: %w", w.Name(), err)
 	}
 	return nil
@@ -398,13 +510,13 @@ func (w *WaveNetRegressor) Fit(ds *dataset.Dataset) error {
 
 // Predict implements core.Estimator.
 func (w *WaveNetRegressor) Predict(ds *dataset.Dataset) ([]float64, error) {
-	if w.net == nil {
+	if w.run == nil {
 		return nil, fmt.Errorf("nnmodels: %s not fitted", w.Name())
 	}
 	if _, _, err := windowDims(w.Name(), ds); err != nil {
 		return nil, err
 	}
-	return w.net.Predict(ds.X)
+	return w.run.predict(ds)
 }
 
 // SeriesNetRegressor is the WaveNet-derived architecture of Section IV-C2:
@@ -414,7 +526,7 @@ func (w *WaveNetRegressor) Predict(ds *dataset.Dataset) ([]float64, error) {
 type SeriesNetRegressor struct {
 	cfg netConfig
 
-	net *nn.Network
+	run netRunner
 }
 
 // NewSeriesNetRegressor returns an unfitted SeriesNet model.
@@ -429,10 +541,7 @@ func (s *SeriesNetRegressor) Name() string { return "seriesnet" }
 
 // SetParam implements core.Component.
 func (s *SeriesNetRegressor) SetParam(key string, v float64) error {
-	if !s.cfg.setParam(key, v) {
-		return errUnknownParam(s.Name(), key)
-	}
-	return nil
+	return applyParam(s.Name(), &s.cfg, key, v)
 }
 
 // Params implements core.Component.
@@ -440,6 +549,23 @@ func (s *SeriesNetRegressor) Params() map[string]float64 { return s.cfg.params()
 
 // Clone implements core.Estimator.
 func (s *SeriesNetRegressor) Clone() coreEstimator { return &SeriesNetRegressor{cfg: s.cfg} }
+
+// ConsumesWindowView implements core.WindowViewConsumer (first layer is a
+// 1x1 causal Conv1D).
+func (s *SeriesNetRegressor) ConsumesWindowView() bool { return true }
+
+func buildSeriesNet[T matrix.Float](seqLen, channels int, cfg netConfig) *runner[T] {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	f := cfg.Hidden
+	layers := []nn.LayerOf[T]{
+		nn.NewConv1DOf[T](seqLen, channels, f, 1, 1, true, rng),
+	}
+	for _, dilation := range []int{1, 2, 4, 8} {
+		layers = append(layers, nn.NewResidualConvBlockOf[T](seqLen, f, 2, dilation, rng))
+	}
+	layers = append(layers, nn.NewLastTimestepOf[T](seqLen, f), nn.NewDenseOf[T](f, 1, rng))
+	return &runner[T]{net: nn.NewNetworkOf[T](nn.NewAdamOf[T](cfg.LR), layers...)}
+}
 
 // Fit builds the residual dilated stack.
 func (s *SeriesNetRegressor) Fit(ds *dataset.Dataset) error {
@@ -450,17 +576,12 @@ func (s *SeriesNetRegressor) Fit(ds *dataset.Dataset) error {
 	if err != nil {
 		return err
 	}
-	rng := rand.New(rand.NewSource(s.cfg.Seed))
-	f := s.cfg.Hidden
-	layers := []nn.Layer{
-		nn.NewConv1D(seqLen, channels, f, 1, 1, true, rng),
+	if s.cfg.Precision == nn.F32 {
+		s.run = buildSeriesNet[float32](seqLen, channels, s.cfg)
+	} else {
+		s.run = buildSeriesNet[float64](seqLen, channels, s.cfg)
 	}
-	for _, dilation := range []int{1, 2, 4, 8} {
-		layers = append(layers, nn.NewResidualConvBlock(seqLen, f, 2, dilation, rng))
-	}
-	layers = append(layers, nn.NewLastTimestep(seqLen, f), nn.NewDense(f, 1, rng))
-	s.net = nn.NewNetwork(nn.NewAdam(s.cfg.LR), layers...)
-	if err := fitNetwork(s.net, ds, s.cfg); err != nil {
+	if err := s.run.fit(ds, s.cfg); err != nil {
 		return fmt.Errorf("nnmodels: %s fit: %w", s.Name(), err)
 	}
 	return nil
@@ -468,11 +589,11 @@ func (s *SeriesNetRegressor) Fit(ds *dataset.Dataset) error {
 
 // Predict implements core.Estimator.
 func (s *SeriesNetRegressor) Predict(ds *dataset.Dataset) ([]float64, error) {
-	if s.net == nil {
+	if s.run == nil {
 		return nil, fmt.Errorf("nnmodels: %s not fitted", s.Name())
 	}
 	if _, _, err := windowDims(s.Name(), ds); err != nil {
 		return nil, err
 	}
-	return s.net.Predict(ds.X)
+	return s.run.predict(ds)
 }

@@ -114,6 +114,52 @@ func (c *CascadedWindows) TransformAffine(ds *dataset.Dataset, sub, div []float6
 	return out, nil
 }
 
+// TransformWindowView implements core.ViewFuser: instead of materialising
+// the L x (History*v) window matrix, it returns a dataset whose X is nil
+// and whose Win is a zero-copy affine-scaled view over the source series.
+// Targets and affine metadata are derived exactly as TransformAffine does
+// (sub/div nil means no pending scaler — the identity affine, which is
+// exact). Only taken when the consuming estimator opts in; window values
+// gathered from the view are bit-identical to the materialised windows
+// because the affine is applied once per element on either path.
+func (c *CascadedWindows) TransformWindowView(ds *dataset.Dataset, sub, div []float64) (*dataset.Dataset, error) {
+	if c.History < 1 {
+		return nil, fmt.Errorf("tswindow: %s: history %d < 1", c.Name(), c.History)
+	}
+	if c.Horizon < 1 {
+		return nil, fmt.Errorf("tswindow: %s: horizon %d < 1", c.Name(), c.Horizon)
+	}
+	if err := validateSeries(ds, c.Target); err != nil {
+		return nil, fmt.Errorf("tswindow: %s: %w", c.Name(), err)
+	}
+	if sub != nil {
+		if err := checkAffine(ds, sub, div); err != nil {
+			return nil, fmt.Errorf("tswindow: %s: %w", c.Name(), err)
+		}
+	}
+	win, err := dataset.NewWindowView(ds.X, c.History, c.Horizon, sub, div)
+	if err != nil {
+		return nil, fmt.Errorf("tswindow: %s: %w", c.Name(), err)
+	}
+	l := win.Windows()
+	y := make([]float64, l)
+	for i := 0; i < l; i++ {
+		raw := ds.X.At(i+c.History+c.Horizon-1, c.Target)
+		if sub == nil {
+			y[i] = raw
+		} else {
+			y[i] = applyAffine(raw, sub[c.Target], div[c.Target])
+		}
+	}
+	out := &dataset.Dataset{Win: win, Y: y, TargetName: ds.TargetName, WindowLen: c.History, NumVars: ds.X.Cols()}
+	if sub == nil {
+		out.YScale, out.YOffset = ds.ColAffine(c.Target)
+	} else {
+		out.YScale, out.YOffset = composeAffine(ds, c.Target, sub, div)
+	}
+	return out, nil
+}
+
 // FlatWindowing produces the same L windows as CascadedWindows but marks
 // the output as flat transactional data (WindowLen = 0), matching Figure 8:
 // temporal history is present in the features, ordering semantics are not.
