@@ -6,12 +6,17 @@
 //
 //	coda-server -addr :8080 -claim-ttl 1m -retain 4
 //
-// The data tier is pluggable: -store-backend mem keeps versions only in
-// memory, -store-backend log appends every Put to fsynced segment files
-// under -store-dir and replays them at boot, so objects survive a restart
-// or crash; -store-shards tunes lock striping under concurrent traffic:
+// The data tier is pluggable through persistence DSNs (scheme:dir?params):
+// -store-backend and -darr-backend each accept mem:, log:<dir> (append-only
+// segment log, fsync on every write, snapshot-then-truncate compaction) or
+// bolt:<dir> (B-tree-indexed, background auto-compaction). The bare words
+// "mem" and "log" keep working — "log" resolves against -store-dir /
+// -darr-dir. A durable -darr-backend is what makes cooperative results
+// survive restarts; -persist-compact runs periodic compaction so boots
+// replay live state, not full history:
 //
-//	coda-server -addr :8080 -store-backend log -store-dir /var/lib/coda -store-shards 32
+//	coda-server -addr :8080 -store-backend log:/var/lib/coda/store \
+//	    -darr-backend bolt:/var/lib/coda/darr -persist-compact 5m -store-shards 32
 //
 // Real-time push (Section III's lease-based subscriptions): POST /leases
 // grants a lease on an object, GET /leases/{id}/stream serves coalesced
@@ -38,11 +43,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	// Linked for its metric registrations only: the search-unit latency
@@ -60,6 +68,19 @@ import (
 	"coda/internal/store"
 )
 
+// resolveDSN keeps the pre-DSN flag values working: bare "mem" is the
+// memory backend, bare "log"/"bolt" resolve against the legacy directory
+// flag, and anything with a scheme separator passes through untouched.
+func resolveDSN(v, legacyDir string) string {
+	switch v {
+	case "mem":
+		return "mem:"
+	case "log", "bolt":
+		return v + ":" + legacyDir
+	}
+	return v
+}
+
 func main() {
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
@@ -69,9 +90,13 @@ func main() {
 		fullFrac = flag.Float64("full-fraction", 0.5, "send delta only when smaller than this fraction of the full object")
 		batchMax = flag.Int("batch-max-keys", httpapi.DefaultMaxBatchKeys, "max keys/records per batched DARR request")
 
-		storeBackend = flag.String("store-backend", "mem", "data-tier backend: mem (in-memory) or log (append-only segment log, fsync on Put, crash recovery)")
-		storeDir     = flag.String("store-dir", "coda-store", "segment directory for -store-backend log")
+		storeBackend = flag.String("store-backend", "mem", "object-store persistence DSN: mem:, log:<dir> or bolt:<dir> (bare mem/log resolve against -store-dir)")
+		storeDir     = flag.String("store-dir", "coda-store", "directory a bare -store-backend log or bolt resolves to")
 		storeShards  = flag.Int("store-shards", 0, "lock shards in the object store (0 = default 16)")
+
+		darrBackend    = flag.String("darr-backend", "mem", "DARR persistence DSN: mem:, log:<dir> or bolt:<dir> (bare mem/log resolve against -darr-dir); durable backends replay records and claims at boot")
+		darrDir        = flag.String("darr-dir", "coda-darr", "directory a bare -darr-backend log or bolt resolves to")
+		persistCompact = flag.Duration("persist-compact", 0, "run backend compaction this often (0 disables; durable backends only)")
 
 		fanoutWorkers  = flag.Int("fanout-workers", 8, "lease fanout worker pool size (0 disables the push serving tier)")
 		notifyCoalesce = flag.Duration("notify-coalesce", 50*time.Millisecond, "minimum gap between pushes to one lease; publishes inside the window merge into one frame")
@@ -108,25 +133,50 @@ func main() {
 		trace.SetDefaultRecorder(trace.NewRecorder(*traceRing))
 	}
 
-	repo := darr.NewRepo(nil, *claimTTL)
-	storeOpts := store.Options{Retain: *retain, BlockSize: *block, FullFraction: *fullFrac, Shards: *storeShards}
-	var hs store.ObjectStore
-	switch *storeBackend {
-	case "mem":
-		hs = store.NewHomeStore(storeOpts)
-	case "log":
-		st, err := store.OpenLog(*storeDir, storeOpts)
+	var repo *darr.Repo
+	if dsn := resolveDSN(*darrBackend, *darrDir); dsn == "mem:" {
+		repo = darr.NewRepo(nil, *claimTTL)
+	} else {
+		var err error
+		repo, err = darr.NewDurableRepo(dsn, nil, *claimTTL)
 		if err != nil {
-			logger.Error("opening log-backed store", "dir", *storeDir, "err", err)
+			logger.Error("opening durable DARR", "dsn", dsn, "err", err)
 			os.Exit(1)
 		}
-		logger.Info("log-backed store recovered", "dir", *storeDir, "objects", len(st.Keys()))
-		hs = st
-	default:
-		fmt.Fprintf(os.Stderr, "coda-server: unknown -store-backend %q (want mem or log)\n", *storeBackend)
-		os.Exit(2)
+		logger.Info("durable DARR recovered",
+			"backend", repo.Backend(), "records", repo.Len(), "active_claims", repo.ActiveClaims())
 	}
+	defer repo.Close()
+
+	storeOpts := store.Options{Retain: *retain, BlockSize: *block, FullFraction: *fullFrac, Shards: *storeShards}
+	storeDSN := resolveDSN(*storeBackend, *storeDir)
+	st, err := store.OpenDSN(storeDSN, storeOpts)
+	if err != nil {
+		logger.Error("opening object store", "dsn", storeDSN, "err", err)
+		os.Exit(1)
+	}
+	if storeDSN != "mem:" {
+		objects := 0
+		st.Each(func(string) bool { objects++; return true })
+		logger.Info("object store recovered", "backend", st.Backend(), "objects", objects)
+	}
+	var hs store.ObjectStore = st
 	defer hs.Close()
+
+	if *persistCompact > 0 {
+		ticker := time.NewTicker(*persistCompact)
+		defer ticker.Stop()
+		go func() {
+			for range ticker.C {
+				if err := st.CompactBackend(); err != nil {
+					logger.Warn("store compaction failed", "err", err)
+				}
+				if err := repo.Compact(); err != nil {
+					logger.Warn("darr compaction failed", "err", err)
+				}
+			}
+		}()
+	}
 	api := httpapi.NewServer(repo, hs)
 	api.MaxBatchKeys = *batchMax
 	if *fanoutWorkers > 0 {
@@ -182,8 +232,20 @@ func main() {
 	}
 	logger.Info("coda-server listening",
 		"addr", *addr, "claim_ttl", *claimTTL, "retain", *retain)
-	if err := srv.ListenAndServe(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
 		logger.Error("coda-server exiting", "err", err)
 		os.Exit(1)
+	case <-ctx.Done():
+		// Graceful stop: drain in-flight requests, then let the deferred
+		// Closes flush and release the durable backends.
+		logger.Info("coda-server shutting down")
+		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shCtx)
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"coda/internal/obs"
+	"coda/internal/persist"
 )
 
 // DARR telemetry: cooperative reuse shows up as the hit/miss ratio, and
@@ -68,11 +69,15 @@ type claim struct {
 	expires  time.Time
 }
 
-// Repo is the in-memory DARR implementation; the HTTP tier exposes it to
-// remote clients.
+// Repo is the DARR implementation; the HTTP tier exposes it to remote
+// clients. It serves from memory; with a persistence backend attached
+// (NewDurableRepo) every record and claim is written through to the
+// shared persist layer before it becomes visible, and a restart replays
+// them — the paper's "results outlive any one search" property.
 type Repo struct {
 	now      func() time.Time
 	claimTTL time.Duration
+	kv       persist.KV // nil = memory-only
 
 	mu      sync.Mutex
 	records map[string]Record
@@ -98,7 +103,11 @@ func NewRepo(nowFn func() time.Time, claimTTL time.Duration) *Repo {
 	}
 }
 
-// Put stores (or overwrites) a record and releases any claim on its key.
+// Put stores (or overwrites) a record and releases any claim on its key
+// immediately — a publisher's claim must never linger until TTL once the
+// result is available, or peers would wait on work that is already done.
+// With a backend attached the record (and the claim release) is durable
+// before it becomes visible; a refused write leaves the repo unchanged.
 func (r *Repo) Put(rec Record) error {
 	if rec.Key == "" {
 		return fmt.Errorf("darr: record has empty key")
@@ -107,6 +116,9 @@ func (r *Repo) Put(rec Record) error {
 	defer r.mu.Unlock()
 	if rec.CreatedAt.IsZero() {
 		rec.CreatedAt = r.now()
+	}
+	if err := r.persistRecordsLocked([]Record{rec}); err != nil {
+		return err
 	}
 	r.records[rec.Key] = rec
 	delete(r.claims, rec.Key)
@@ -153,7 +165,16 @@ func (r *Repo) QueryByDataset(fp string) []Record {
 func (r *Repo) Claim(key, clientID string) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.claimLocked(key, clientID, r.now())
+	granted := r.claimLocked(key, clientID, r.now())
+	if granted && r.kv != nil {
+		if err := r.persistClaimsLocked(key); err != nil {
+			// A claim that would not survive a restart is worse than a
+			// denial: the client would compute while peers re-claim.
+			delete(r.claims, key)
+			return false
+		}
+	}
+	return granted
 }
 
 func (r *Repo) claimLocked(key, clientID string, now time.Time) bool {
@@ -205,8 +226,20 @@ func (r *Repo) ClaimBatch(keys []string, clientID string) map[string]bool {
 	mBatchKeys.Observe(float64(len(keys)))
 	now := r.now()
 	out := make(map[string]bool, len(keys))
+	var granted []string
 	for _, k := range keys {
 		out[k] = r.claimLocked(k, clientID, now)
+		if out[k] {
+			granted = append(granted, k)
+		}
+	}
+	if len(granted) > 0 && r.kv != nil {
+		if err := r.persistClaimsLocked(granted...); err != nil {
+			for _, k := range granted {
+				delete(r.claims, k)
+				out[k] = false
+			}
+		}
 	}
 	return out
 }
@@ -225,10 +258,17 @@ func (r *Repo) PutBatch(recs []Record) error {
 	mBatchPuts.Inc()
 	mBatchKeys.Observe(float64(len(recs)))
 	now := r.now()
-	for _, rec := range recs {
+	stamped := make([]Record, len(recs))
+	for i, rec := range recs {
 		if rec.CreatedAt.IsZero() {
 			rec.CreatedAt = now
 		}
+		stamped[i] = rec
+	}
+	if err := r.persistRecordsLocked(stamped); err != nil {
+		return err
+	}
+	for _, rec := range stamped {
 		r.records[rec.Key] = rec
 		delete(r.claims, rec.Key)
 		r.puts++
@@ -243,6 +283,11 @@ func (r *Repo) Release(key, clientID string) {
 	defer r.mu.Unlock()
 	if c, ok := r.claims[key]; ok && c.clientID == clientID {
 		delete(r.claims, key)
+		if r.kv != nil {
+			// Best-effort: a failed delete leaves a durable claim that
+			// load prunes once it expires or its record appears.
+			_ = r.kv.Delete(claimKey(key))
+		}
 	}
 }
 

@@ -85,10 +85,15 @@ func NewServer(repo *darr.Repo, hs store.ObjectStore) *Server {
 		s.mux.HandleFunc("/darr/batch/records", s.handleBatchRecords)
 		s.health["darr"] = func() any {
 			lookups, hits, puts := repo.Stats()
-			return map[string]any{
+			h := map[string]any{
 				"records": repo.Len(), "active_claims": repo.ActiveClaims(),
 				"lookups": lookups, "hits": hits, "puts": puts,
 			}
+			if st, ok := repo.PersistStats(); ok {
+				h["backend"] = st.Backend
+				h["persist"] = st
+			}
+			return h
 		}
 	}
 	if hs != nil {

@@ -1,0 +1,136 @@
+package persist
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+// benchFill writes history puts over live distinct keys — the shape where
+// compaction pays: open time O(live) vs O(history).
+func benchFill(b *testing.B, kv KV, history, live int) {
+	b.Helper()
+	val := make([]byte, 256)
+	for i := 0; i < history; i++ {
+		k := fmt.Sprintf("k/%06d", i%live)
+		if err := kv.PutBatch([]Item{{Key: k, Value: val}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchOpenDir(b *testing.B, compact bool) string {
+	b.Helper()
+	dir, err := os.MkdirTemp("", "persist-bench-")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { os.RemoveAll(dir) })
+	kv, err := Open("log:" + dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchFill(b, kv, 10000, 100)
+	if compact {
+		if err := kv.Compact(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := kv.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return dir
+}
+
+// BenchmarkPersistOpenUncompacted10k replays all 10k records at open.
+func BenchmarkPersistOpenUncompacted10k(b *testing.B) {
+	dir := benchOpenDir(b, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kv, err := Open("log:" + dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		kv.Close()
+	}
+}
+
+// BenchmarkPersistOpenCompacted10k loads the 100-key snapshot instead —
+// the number CI gates against the uncompacted open.
+func BenchmarkPersistOpenCompacted10k(b *testing.B) {
+	dir := benchOpenDir(b, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kv, err := Open("log:" + dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		kv.Close()
+	}
+}
+
+// BenchmarkPersistCursorScan streams 10k live keys through a prefix cursor.
+func BenchmarkPersistCursorScan(b *testing.B) {
+	kv, err := Open("mem:")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer kv.Close()
+	benchFill(b, kv, 10000, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cur, err := kv.Cursor("k/")
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for cur.Next() {
+			n++
+		}
+		cur.Close()
+		if n != 10000 {
+			b.Fatalf("scan saw %d keys", n)
+		}
+	}
+}
+
+// BenchmarkPersistPutBatchLog measures the durable batched write path
+// (fsync included) against the in-memory floor below.
+func BenchmarkPersistPutBatchLog(b *testing.B) {
+	dir := b.TempDir()
+	kv, err := Open("log:" + dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer kv.Close()
+	val := make([]byte, 256)
+	items := make([]Item, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range items {
+			items[j] = Item{Key: fmt.Sprintf("k/%06d", (i*16+j)%1000), Value: val}
+		}
+		if err := kv.PutBatch(items); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPersistPutBatchMem(b *testing.B) {
+	kv, err := Open("mem:")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer kv.Close()
+	val := make([]byte, 256)
+	items := make([]Item, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range items {
+			items[j] = Item{Key: fmt.Sprintf("k/%06d", (i*16+j)%1000), Value: val}
+		}
+		if err := kv.PutBatch(items); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

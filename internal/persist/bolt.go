@@ -1,0 +1,439 @@
+package persist
+
+import (
+	"context"
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"coda/internal/obs/trace"
+)
+
+func init() {
+	Register("bolt", func(dir string, params url.Values) (KV, error) {
+		return openBoltKV(dir, params)
+	})
+}
+
+const defaultWALLimit = 4 << 20
+
+// boltKV is the embedded B-tree-indexed backend: mutations append to a
+// wal-%08d.log file, and a background compactor periodically rewrites
+// index.db — the full live state as ascending CRC-framed pairs, bulk-
+// loaded straight into the blocked B-tree index at open — then drops the
+// WAL it covers. index.db is replaced atomically (tmp + rename), so open
+// always sees either the old or the new index, and open cost is O(live
+// keys) + the short WAL tail, never O(history). Auto-compaction kicks in
+// once the WAL outgrows the ?wal=<bytes> threshold.
+type boltKV struct {
+	mu       sync.Mutex
+	dir      string
+	walLimit int64
+
+	tab      *table
+	seq      uint64   // active WAL sequence number
+	f        *os.File // active WAL file
+	size     int64    // bytes in the active WAL file
+	lastGood int64    // size at the last committed batch
+	walBytes int64    // WAL bytes not yet covered by index.db
+
+	broken    bool
+	brokenErr error
+	closed    bool
+
+	kick    chan struct{}
+	done    chan struct{}
+	stopped chan struct{}
+
+	st  Stats
+	m   *backendMetrics
+	buf []byte
+}
+
+func walName(seq uint64) string { return fmt.Sprintf("wal-%08d.log", seq) }
+
+const boltIndexName = "index.db"
+
+func openBoltKV(dir string, params url.Values) (*boltKV, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("bolt backend needs a directory (bolt:<dir>)")
+	}
+	walLimit := int64(defaultWALLimit)
+	if s := params.Get("wal"); s != "" {
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil || n < walHeader {
+			return nil, fmt.Errorf("bad wal threshold %q", s)
+		}
+		walLimit = n
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	os.Remove(filepath.Join(dir, boltIndexName+".tmp")) // stale from a crashed compaction
+
+	b := &boltKV{
+		dir:      dir,
+		walLimit: walLimit,
+		tab:      newTable(),
+		kick:     make(chan struct{}, 1),
+		done:     make(chan struct{}),
+		stopped:  make(chan struct{}),
+		st:       Stats{Backend: "bolt", Healthy: true},
+		m:        metricsFor("bolt"),
+	}
+	start := time.Now()
+
+	// index.db was renamed into place atomically, so a valid-looking but
+	// torn index cannot occur short of disk corruption; loadSnapshotFile
+	// still validates every frame and falls back to full WAL replay.
+	var watermark uint64
+	if pairs, wm, ok := loadSnapshotFile(filepath.Join(dir, boltIndexName), b.tab); ok {
+		b.st.OpenSnapshotKeys = pairs
+		watermark = wm
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var wals []uint64
+	for _, e := range entries {
+		if n, ok := parseSeq(e.Name(), "wal-", ".log"); ok {
+			wals = append(wals, n)
+		}
+	}
+	sort.Slice(wals, func(i, j int) bool { return wals[i] < wals[j] })
+	for i, seq := range wals {
+		if seq < watermark {
+			continue
+		}
+		path := filepath.Join(dir, walName(seq))
+		n, err := replayFile(path, i == len(wals)-1, func(op byte, key string, val []byte) error {
+			switch op {
+			case opPut:
+				b.tab.put(key, val)
+			case opDel:
+				b.tab.del(key)
+			}
+			return nil
+		})
+		b.st.OpenReplayedRecords += n
+		if err != nil {
+			return nil, err
+		}
+		if fi, err := os.Stat(path); err == nil {
+			b.walBytes += fi.Size()
+		}
+	}
+
+	b.seq = watermark
+	if b.seq == 0 {
+		b.seq = 1
+	}
+	if len(wals) > 0 {
+		b.seq = wals[len(wals)-1]
+		path := filepath.Join(dir, walName(b.seq))
+		valid, err := validWALPrefix(path)
+		if err != nil {
+			return nil, err
+		}
+		f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if _, err := f.Seek(valid, 0); err != nil {
+			f.Close()
+			return nil, err
+		}
+		b.f, b.size, b.lastGood = f, valid, valid
+	} else if err := b.newWALLocked(b.seq); err != nil {
+		return nil, err
+	}
+
+	b.st.OpenSeconds = time.Since(start).Seconds()
+	b.m.openReplay.ObserveSince(start)
+	b.m.liveKeys.Set(float64(b.tab.len()))
+
+	go func() {
+		defer close(b.stopped)
+		for {
+			select {
+			case <-b.done:
+				return
+			case <-b.kick:
+				_ = b.Compact() // ErrClosed after Close is harmless
+			}
+		}
+	}()
+	return b, nil
+}
+
+func (b *boltKV) newWALLocked(seq uint64) error {
+	f, err := os.OpenFile(filepath.Join(b.dir, walName(seq)), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	syncDir(b.dir)
+	b.f, b.seq, b.size, b.lastGood = f, seq, 0, 0
+	return nil
+}
+
+func (b *boltKV) rollLocked() error {
+	if b.f != nil {
+		if err := b.f.Sync(); err != nil {
+			return err
+		}
+		if err := b.f.Close(); err != nil {
+			return err
+		}
+		b.f = nil
+	}
+	return b.newWALLocked(b.seq + 1)
+}
+
+// recoverLocked mirrors the log backend: reopen the active WAL by path,
+// truncate back to the last committed batch, clear the latch.
+func (b *boltKV) recoverLocked() error {
+	f, err := os.OpenFile(filepath.Join(b.dir, walName(b.seq)), os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: bolt backend latched (%v); recovery failed: %w", b.brokenErr, err)
+	}
+	if err := f.Truncate(b.lastGood); err != nil {
+		f.Close()
+		return fmt.Errorf("persist: bolt backend latched (%v); recovery failed: %w", b.brokenErr, err)
+	}
+	if _, err := f.Seek(b.lastGood, 0); err != nil {
+		f.Close()
+		return fmt.Errorf("persist: bolt backend latched (%v); recovery failed: %w", b.brokenErr, err)
+	}
+	if b.f != nil {
+		b.f.Close()
+	}
+	b.f, b.size = f, b.lastGood
+	b.broken, b.brokenErr = false, nil
+	return nil
+}
+
+func (b *boltKV) commitLocked() error {
+	if b.broken {
+		if err := b.recoverLocked(); err != nil {
+			return err
+		}
+	}
+	if _, err := b.f.Write(b.buf); err != nil {
+		b.broken, b.brokenErr = true, err
+		return err
+	}
+	if err := b.f.Sync(); err != nil {
+		b.broken, b.brokenErr = true, err
+		return err
+	}
+	b.size += int64(len(b.buf))
+	b.lastGood = b.size
+	b.walBytes += int64(len(b.buf))
+	if b.walBytes > b.walLimit {
+		select {
+		case b.kick <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+// Name implements KV.
+func (b *boltKV) Name() string { return "bolt" }
+
+// PutBatch implements KV.
+func (b *boltKV) PutBatch(items []Item) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrClosed
+	}
+	b.buf = b.buf[:0]
+	for _, it := range items {
+		b.buf = appendRecord(b.buf, opPut, it.Key, it.Value)
+	}
+	if err := b.commitLocked(); err != nil {
+		return err
+	}
+	for _, it := range items {
+		b.tab.put(it.Key, append([]byte(nil), it.Value...))
+	}
+	b.st.Puts += int64(len(items))
+	b.m.puts.Add(int64(len(items)))
+	b.m.liveKeys.Set(float64(b.tab.len()))
+	return nil
+}
+
+// GetBatch implements KV.
+func (b *boltKV) GetBatch(keys []string) (map[string][]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, ErrClosed
+	}
+	out := make(map[string][]byte, len(keys))
+	for _, k := range keys {
+		if v, ok := b.tab.get(k); ok {
+			out[k] = v
+		}
+	}
+	return out, nil
+}
+
+// Delete implements KV.
+func (b *boltKV) Delete(keys ...string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrClosed
+	}
+	b.buf = b.buf[:0]
+	for _, k := range keys {
+		b.buf = appendRecord(b.buf, opDel, k, nil)
+	}
+	if err := b.commitLocked(); err != nil {
+		return err
+	}
+	var n int64
+	for _, k := range keys {
+		if b.tab.del(k) {
+			n++
+		}
+	}
+	b.st.Deletes += n
+	b.m.deletes.Add(n)
+	b.m.liveKeys.Set(float64(b.tab.len()))
+	return nil
+}
+
+// Cursor implements KV.
+func (b *boltKV) Cursor(prefix string) (Cursor, error) {
+	b.mu.Lock()
+	closed := b.closed
+	b.st.CursorScans++
+	b.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	b.m.cursorScans.Inc()
+	return newTableCursor(&b.mu, b.tab, prefix), nil
+}
+
+// Snapshot implements KV: rewrite index.db without dropping WAL files.
+func (b *boltKV) Snapshot() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrClosed
+	}
+	_, err := b.snapshotLocked()
+	return err
+}
+
+func (b *boltKV) snapshotLocked() (watermark uint64, err error) {
+	_, sp := trace.Start(context.Background(), "persist.snapshot", trace.String("backend", "bolt"))
+	sp.SetComponent(trace.CompStoreWait)
+	defer sp.End()
+	start := time.Now()
+	if b.broken {
+		if err := b.recoverLocked(); err != nil {
+			return 0, err
+		}
+	}
+	if err := b.rollLocked(); err != nil {
+		b.broken, b.brokenErr = true, err
+		return 0, err
+	}
+	watermark = b.seq
+	tmp := filepath.Join(b.dir, boltIndexName+".tmp")
+	if _, err := writeSnapshotFile(tmp, b.tab, watermark); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp, filepath.Join(b.dir, boltIndexName)); err != nil {
+		return 0, err
+	}
+	syncDir(b.dir)
+	b.m.snapshotSec.ObserveSince(start)
+	b.st.LastCompactSeconds = time.Since(start).Seconds()
+	return watermark, nil
+}
+
+// Compact implements KV: rewrite index.db, then drop the WAL it covers.
+func (b *boltKV) Compact() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrClosed
+	}
+	_, sp := trace.Start(context.Background(), "persist.compact", trace.String("backend", "bolt"))
+	sp.SetComponent(trace.CompStoreWait)
+	defer sp.End()
+	start := time.Now()
+	watermark, err := b.snapshotLocked()
+	if err != nil {
+		return err
+	}
+	entries, err := os.ReadDir(b.dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if n, ok := parseSeq(e.Name(), "wal-", ".log"); ok && n < watermark {
+			os.Remove(filepath.Join(b.dir, e.Name()))
+		}
+	}
+	syncDir(b.dir)
+	b.walBytes = b.size
+	b.st.Compactions++
+	b.st.LastCompactSeconds = time.Since(start).Seconds()
+	b.m.compactions.Inc()
+	return nil
+}
+
+// Stats implements KV.
+func (b *boltKV) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.st
+	st.LiveKeys = b.tab.len()
+	st.Healthy = !b.broken
+	if b.brokenErr != nil {
+		st.Err = b.brokenErr.Error()
+	}
+	return st
+}
+
+// Close implements KV: stop the compactor, then flush and close the WAL.
+func (b *boltKV) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	b.mu.Unlock()
+	close(b.done)
+	<-b.stopped
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.f != nil {
+		err := b.f.Sync()
+		if cerr := b.f.Close(); err == nil {
+			err = cerr
+		}
+		b.f = nil
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package persist
+
+import (
+	"sort"
+	"strings"
+)
+
+// bindex is the ordered key index every backend shares: a two-level
+// B-tree-style blocked sorted index. Keys live in fixed-fanout sorted
+// blocks; the block list itself is ordered, so locating a key is a binary
+// search over block boundaries followed by a binary search inside one
+// block. Inserts and deletes touch a single block (splitting or removing
+// it as needed), and ascending iteration walks blocks in order — the shape
+// that makes prefix cursors cheap.
+type bindex struct {
+	blocks []*kblock
+	count  int
+}
+
+// kblock is one leaf of the index: an ascending run of keys.
+type kblock struct {
+	keys []string
+}
+
+// blockFanout is the split threshold; blocks split in half at 2x.
+const blockFanout = 256
+
+func (ix *bindex) len() int { return ix.count }
+
+// blockFor returns the index of the block that does (or would) contain
+// key: the first block whose last key is >= key, clamped to the final
+// block for keys beyond every boundary.
+func (ix *bindex) blockFor(key string) int {
+	n := len(ix.blocks)
+	i := sort.Search(n, func(i int) bool {
+		b := ix.blocks[i].keys
+		return b[len(b)-1] >= key
+	})
+	if i == n && n > 0 {
+		return n - 1
+	}
+	return i
+}
+
+// insert adds key, reporting whether it was absent.
+func (ix *bindex) insert(key string) bool {
+	if len(ix.blocks) == 0 {
+		ix.blocks = append(ix.blocks, &kblock{keys: []string{key}})
+		ix.count++
+		return true
+	}
+	bi := ix.blockFor(key)
+	b := ix.blocks[bi]
+	ki := sort.SearchStrings(b.keys, key)
+	if ki < len(b.keys) && b.keys[ki] == key {
+		return false
+	}
+	b.keys = append(b.keys, "")
+	copy(b.keys[ki+1:], b.keys[ki:])
+	b.keys[ki] = key
+	ix.count++
+	if len(b.keys) >= 2*blockFanout {
+		mid := len(b.keys) / 2
+		right := &kblock{keys: append([]string(nil), b.keys[mid:]...)}
+		b.keys = b.keys[:mid:mid]
+		ix.blocks = append(ix.blocks, nil)
+		copy(ix.blocks[bi+2:], ix.blocks[bi+1:])
+		ix.blocks[bi+1] = right
+	}
+	return true
+}
+
+// remove deletes key, reporting whether it was present. An emptied block
+// leaves the block list so boundaries stay tight.
+func (ix *bindex) remove(key string) bool {
+	if len(ix.blocks) == 0 {
+		return false
+	}
+	bi := ix.blockFor(key)
+	b := ix.blocks[bi]
+	ki := sort.SearchStrings(b.keys, key)
+	if ki >= len(b.keys) || b.keys[ki] != key {
+		return false
+	}
+	b.keys = append(b.keys[:ki], b.keys[ki+1:]...)
+	ix.count--
+	if len(b.keys) == 0 {
+		ix.blocks = append(ix.blocks[:bi], ix.blocks[bi+1:]...)
+	}
+	return true
+}
+
+// ascend visits keys >= from in ascending order until fn returns false.
+func (ix *bindex) ascend(from string, fn func(key string) bool) {
+	if len(ix.blocks) == 0 {
+		return
+	}
+	bi := ix.blockFor(from)
+	// blockFor clamps to the last block; if even its last key sorts below
+	// from, the range is empty.
+	first := ix.blocks[bi].keys
+	if first[len(first)-1] < from {
+		return
+	}
+	ki := sort.SearchStrings(first, from)
+	for ; bi < len(ix.blocks); bi++ {
+		keys := ix.blocks[bi].keys
+		for ; ki < len(keys); ki++ {
+			if !fn(keys[ki]) {
+				return
+			}
+		}
+		ki = 0
+	}
+}
+
+// ascendPrefix visits keys sharing prefix in ascending order.
+func (ix *bindex) ascendPrefix(prefix string, fn func(key string) bool) {
+	ix.ascend(prefix, func(k string) bool {
+		if !strings.HasPrefix(k, prefix) {
+			return false
+		}
+		return fn(k)
+	})
+}

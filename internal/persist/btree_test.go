@@ -1,0 +1,89 @@
+package persist
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestBindexAgainstReference drives the blocked index with a deterministic
+// random op stream and checks every ordered view against a plain sorted
+// slice — enough keys to force block splits and removals.
+func TestBindexAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var ix bindex
+	ref := map[string]bool{}
+
+	key := func() string { return fmt.Sprintf("%03d/%03d", rng.Intn(40), rng.Intn(100)) }
+	sortedRef := func() []string {
+		out := make([]string, 0, len(ref))
+		for k := range ref {
+			out = append(out, k)
+		}
+		sort.Strings(out)
+		return out
+	}
+
+	for op := 0; op < 20000; op++ {
+		k := key()
+		if rng.Intn(3) == 0 {
+			got := ix.remove(k)
+			if got != ref[k] {
+				t.Fatalf("op %d: remove(%q) = %v, ref says %v", op, k, got, ref[k])
+			}
+			delete(ref, k)
+		} else {
+			got := ix.insert(k)
+			if got == ref[k] {
+				t.Fatalf("op %d: insert(%q) = %v, ref says key present=%v", op, k, got, ref[k])
+			}
+			ref[k] = true
+		}
+	}
+	if ix.len() != len(ref) {
+		t.Fatalf("len = %d, ref has %d", ix.len(), len(ref))
+	}
+
+	want := sortedRef()
+	var got []string
+	ix.ascend("", func(k string) bool { got = append(got, k); return true })
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("full ascend diverges from reference (%d vs %d keys)", len(got), len(want))
+	}
+
+	// ascend from arbitrary midpoints, including keys absent from the set.
+	for _, from := range []string{"", "000/000", "020/050", "035/", "039/099", "zzz"} {
+		var g, w []string
+		ix.ascend(from, func(k string) bool { g = append(g, k); return true })
+		for _, k := range want {
+			if k >= from {
+				w = append(w, k)
+			}
+		}
+		if fmt.Sprint(g) != fmt.Sprint(w) {
+			t.Fatalf("ascend(%q): %d keys, reference %d", from, len(g), len(w))
+		}
+	}
+
+	// Prefix iteration stays inside the prefix.
+	for _, prefix := range []string{"007/", "020/", "absent/"} {
+		var g, w []string
+		ix.ascendPrefix(prefix, func(k string) bool { g = append(g, k); return true })
+		for _, k := range want {
+			if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+				w = append(w, k)
+			}
+		}
+		if fmt.Sprint(g) != fmt.Sprint(w) {
+			t.Fatalf("ascendPrefix(%q): %v, reference %v", prefix, g, w)
+		}
+	}
+
+	// Early termination stops the walk.
+	n := 0
+	ix.ascend("", func(string) bool { n++; return n < 7 })
+	if n != 7 {
+		t.Fatalf("early-stopped ascend visited %d keys, want 7", n)
+	}
+}

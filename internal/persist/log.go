@@ -1,0 +1,432 @@
+package persist
+
+import (
+	"context"
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"coda/internal/obs/trace"
+)
+
+func init() {
+	Register("log", func(dir string, params url.Values) (KV, error) {
+		return openLogKV(dir, params)
+	})
+}
+
+const defaultSegLimit = 4 << 20
+
+// logKV is the segmented append-only backend: every batch is one
+// CRC-framed, fsynced append to the active seg-%08d.log file, and
+// Compact writes a snap-%08d.snap checkpoint of the live table then
+// drops the segments it covers, so open cost tracks live keys rather
+// than total history. The snapshot is written in place (no tmp+rename):
+// a crash mid-snapshot leaves a torn file that fails its commit-trailer
+// check at open and falls back to the previous snapshot or full replay.
+type logKV struct {
+	mu       sync.Mutex
+	dir      string
+	segLimit int64
+
+	tab      *table
+	seq      uint64   // active segment sequence number
+	f        *os.File // active segment
+	size     int64    // bytes in the active segment
+	lastGood int64    // size at the last committed batch — the truncation point for recovery
+
+	broken    bool
+	brokenErr error
+	closed    bool
+
+	st  Stats
+	m   *backendMetrics
+	buf []byte
+}
+
+func segName(seq uint64) string { return fmt.Sprintf("seg-%08d.log", seq) }
+func snapName(wm uint64) string { return fmt.Sprintf("snap-%08d.snap", wm) }
+func parseSeq(name, prefix, ext string) (uint64, bool) {
+	if len(name) != len(prefix)+8+len(ext) || name[:len(prefix)] != prefix || name[len(name)-len(ext):] != ext {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(name[len(prefix):len(prefix)+8], 10, 64)
+	return n, err == nil
+}
+
+func openLogKV(dir string, params url.Values) (*logKV, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("log backend needs a directory (log:<dir>)")
+	}
+	segLimit := int64(defaultSegLimit)
+	if s := params.Get("segment"); s != "" {
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil || n < walHeader {
+			return nil, fmt.Errorf("bad segment size %q", s)
+		}
+		segLimit = n
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	b := &logKV{
+		dir:      dir,
+		segLimit: segLimit,
+		tab:      newTable(),
+		st:       Stats{Backend: "log", Healthy: true},
+		m:        metricsFor("log"),
+	}
+	start := time.Now()
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs, snaps []uint64
+	for _, e := range entries {
+		if n, ok := parseSeq(e.Name(), "seg-", ".log"); ok {
+			segs = append(segs, n)
+		} else if n, ok := parseSeq(e.Name(), "snap-", ".snap"); ok {
+			snaps = append(snaps, n)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
+
+	// Newest valid snapshot wins; a torn one falls back to the previous,
+	// and with none left the full segment history replays.
+	var watermark uint64
+	for i := len(snaps) - 1; i >= 0; i-- {
+		if pairs, wm, ok := loadSnapshotFile(filepath.Join(dir, snapName(snaps[i])), b.tab); ok {
+			b.st.OpenSnapshotKeys = pairs
+			watermark = wm
+			break
+		}
+	}
+
+	for i, seq := range segs {
+		if seq < watermark {
+			continue
+		}
+		last := i == len(segs)-1
+		n, err := replayFile(filepath.Join(dir, segName(seq)), last, func(op byte, key string, val []byte) error {
+			switch op {
+			case opPut:
+				b.tab.put(key, val)
+			case opDel:
+				b.tab.del(key)
+			}
+			return nil
+		})
+		b.st.OpenReplayedRecords += n
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Reopen the newest segment for appends, truncating any torn tail a
+	// crash mid-write left behind; with no segments (fresh dir, or all
+	// compacted away) start a new one above the watermark.
+	b.seq = watermark
+	if b.seq == 0 {
+		b.seq = 1
+	}
+	if len(segs) > 0 {
+		b.seq = segs[len(segs)-1]
+		path := filepath.Join(dir, segName(b.seq))
+		valid, err := validWALPrefix(path)
+		if err != nil {
+			return nil, err
+		}
+		f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if _, err := f.Seek(valid, 0); err != nil {
+			f.Close()
+			return nil, err
+		}
+		b.f, b.size, b.lastGood = f, valid, valid
+	} else {
+		if err := b.newSegmentLocked(b.seq); err != nil {
+			return nil, err
+		}
+	}
+
+	b.st.OpenSeconds = time.Since(start).Seconds()
+	b.m.openReplay.ObserveSince(start)
+	b.m.liveKeys.Set(float64(b.tab.len()))
+	return b, nil
+}
+
+func (b *logKV) newSegmentLocked(seq uint64) error {
+	f, err := os.OpenFile(filepath.Join(b.dir, segName(seq)), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	syncDir(b.dir)
+	b.f, b.seq, b.size, b.lastGood = f, seq, 0, 0
+	return nil
+}
+
+// rollLocked seals the active segment and starts the next one.
+func (b *logKV) rollLocked() error {
+	if b.f != nil {
+		if err := b.f.Sync(); err != nil {
+			return err
+		}
+		if err := b.f.Close(); err != nil {
+			return err
+		}
+		b.f = nil
+	}
+	return b.newSegmentLocked(b.seq + 1)
+}
+
+// recoverLocked clears a latched write failure: reopen the active segment
+// by path and truncate it back to the last committed batch, so a torn
+// half-written record never precedes good data. Success resets the latch;
+// failure keeps it and returns the original error context.
+func (b *logKV) recoverLocked() error {
+	f, err := os.OpenFile(filepath.Join(b.dir, segName(b.seq)), os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: log backend latched (%v); recovery failed: %w", b.brokenErr, err)
+	}
+	if err := f.Truncate(b.lastGood); err != nil {
+		f.Close()
+		return fmt.Errorf("persist: log backend latched (%v); recovery failed: %w", b.brokenErr, err)
+	}
+	if _, err := f.Seek(b.lastGood, 0); err != nil {
+		f.Close()
+		return fmt.Errorf("persist: log backend latched (%v); recovery failed: %w", b.brokenErr, err)
+	}
+	if b.f != nil {
+		b.f.Close()
+	}
+	b.f, b.size = f, b.lastGood
+	b.broken, b.brokenErr = false, nil
+	return nil
+}
+
+// commitLocked durably appends b.buf as one batch: recover a latched
+// failure first, roll full segments, write, fsync. Any failure latches the
+// backend so no further append lands after a possibly-torn record until
+// recovery truncates it away.
+func (b *logKV) commitLocked() error {
+	if b.broken {
+		if err := b.recoverLocked(); err != nil {
+			return err
+		}
+	}
+	if b.size >= b.segLimit {
+		if err := b.rollLocked(); err != nil {
+			b.broken, b.brokenErr = true, err
+			return err
+		}
+	}
+	if _, err := b.f.Write(b.buf); err != nil {
+		b.broken, b.brokenErr = true, err
+		return err
+	}
+	if err := b.f.Sync(); err != nil {
+		b.broken, b.brokenErr = true, err
+		return err
+	}
+	b.size += int64(len(b.buf))
+	b.lastGood = b.size
+	return nil
+}
+
+// Name implements KV.
+func (b *logKV) Name() string { return "log" }
+
+// PutBatch implements KV.
+func (b *logKV) PutBatch(items []Item) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrClosed
+	}
+	b.buf = b.buf[:0]
+	for _, it := range items {
+		b.buf = appendRecord(b.buf, opPut, it.Key, it.Value)
+	}
+	if err := b.commitLocked(); err != nil {
+		return err
+	}
+	for _, it := range items {
+		b.tab.put(it.Key, append([]byte(nil), it.Value...))
+	}
+	b.st.Puts += int64(len(items))
+	b.m.puts.Add(int64(len(items)))
+	b.m.liveKeys.Set(float64(b.tab.len()))
+	return nil
+}
+
+// GetBatch implements KV.
+func (b *logKV) GetBatch(keys []string) (map[string][]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, ErrClosed
+	}
+	out := make(map[string][]byte, len(keys))
+	for _, k := range keys {
+		if v, ok := b.tab.get(k); ok {
+			out[k] = v
+		}
+	}
+	return out, nil
+}
+
+// Delete implements KV.
+func (b *logKV) Delete(keys ...string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrClosed
+	}
+	b.buf = b.buf[:0]
+	for _, k := range keys {
+		b.buf = appendRecord(b.buf, opDel, k, nil)
+	}
+	if err := b.commitLocked(); err != nil {
+		return err
+	}
+	var n int64
+	for _, k := range keys {
+		if b.tab.del(k) {
+			n++
+		}
+	}
+	b.st.Deletes += n
+	b.m.deletes.Add(n)
+	b.m.liveKeys.Set(float64(b.tab.len()))
+	return nil
+}
+
+// Cursor implements KV.
+func (b *logKV) Cursor(prefix string) (Cursor, error) {
+	b.mu.Lock()
+	closed := b.closed
+	b.st.CursorScans++
+	b.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	b.m.cursorScans.Inc()
+	return newTableCursor(&b.mu, b.tab, prefix), nil
+}
+
+// snapshotLocked rolls the active segment and checkpoints the live table
+// into snap-<watermark>.snap, where the watermark is the fresh segment: a
+// later open loads the snapshot and replays only segments at or above it.
+func (b *logKV) snapshotLocked() (watermark uint64, err error) {
+	_, sp := trace.Start(context.Background(), "persist.snapshot", trace.String("backend", "log"))
+	sp.SetComponent(trace.CompStoreWait)
+	defer sp.End()
+	start := time.Now()
+	if b.broken {
+		if err := b.recoverLocked(); err != nil {
+			return 0, err
+		}
+	}
+	if err := b.rollLocked(); err != nil {
+		b.broken, b.brokenErr = true, err
+		return 0, err
+	}
+	watermark = b.seq
+	if _, err := writeSnapshotFile(filepath.Join(b.dir, snapName(watermark)), b.tab, watermark); err != nil {
+		return 0, err
+	}
+	syncDir(b.dir)
+	b.st.LastCompactSeconds = time.Since(start).Seconds()
+	b.m.snapshotSec.ObserveSince(start)
+	return watermark, nil
+}
+
+// Snapshot implements KV.
+func (b *logKV) Snapshot() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrClosed
+	}
+	_, err := b.snapshotLocked()
+	return err
+}
+
+// Compact implements KV: snapshot, then drop the segments (and older
+// snapshots) the new snapshot covers.
+func (b *logKV) Compact() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrClosed
+	}
+	_, sp := trace.Start(context.Background(), "persist.compact", trace.String("backend", "log"))
+	sp.SetComponent(trace.CompStoreWait)
+	defer sp.End()
+	start := time.Now()
+	watermark, err := b.snapshotLocked()
+	if err != nil {
+		return err
+	}
+	entries, err := os.ReadDir(b.dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if n, ok := parseSeq(e.Name(), "seg-", ".log"); ok && n < watermark {
+			os.Remove(filepath.Join(b.dir, e.Name()))
+		} else if n, ok := parseSeq(e.Name(), "snap-", ".snap"); ok && n < watermark {
+			os.Remove(filepath.Join(b.dir, e.Name()))
+		}
+	}
+	syncDir(b.dir)
+	b.st.Compactions++
+	b.st.LastCompactSeconds = time.Since(start).Seconds()
+	b.m.compactions.Inc()
+	return nil
+}
+
+// Stats implements KV.
+func (b *logKV) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.st
+	st.LiveKeys = b.tab.len()
+	st.Healthy = !b.broken
+	if b.brokenErr != nil {
+		st.Err = b.brokenErr.Error()
+	}
+	return st
+}
+
+// Close implements KV.
+func (b *logKV) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil
+	}
+	b.closed = true
+	if b.f != nil {
+		err := b.f.Sync()
+		if cerr := b.f.Close(); err == nil {
+			err = cerr
+		}
+		b.f = nil
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,298 @@
+package persist
+
+import (
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func listNames(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	return names
+}
+
+func fillLog(t *testing.T, kv KV, n int, liveKeys int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("k/%04d", i%liveKeys)
+		if err := kv.PutBatch([]Item{{Key: k, Value: []byte(fmt.Sprint(i))}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestLogCompactionDropsHistory: after Compact, old segments and snapshots
+// are gone and a reopen loads the snapshot instead of replaying history.
+func TestLogCompactionDropsHistory(t *testing.T) {
+	dir := t.TempDir()
+	kv, err := Open("log:" + dir + "?segment=1024")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillLog(t, kv, 300, 10)
+	if len(listNames(t, dir)) < 3 {
+		t.Fatalf("expected several segments before compaction, got %v", listNames(t, dir))
+	}
+	if err := kv.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if st := kv.Stats(); st.Compactions != 1 {
+		t.Fatalf("compactions = %d, want 1", st.Compactions)
+	}
+	var segs, snaps int
+	for _, n := range listNames(t, dir) {
+		switch {
+		case strings.HasSuffix(n, ".log"):
+			segs++
+		case strings.HasSuffix(n, ".snap"):
+			snaps++
+		}
+	}
+	if segs != 1 || snaps != 1 {
+		t.Fatalf("after compact: %d segments, %d snapshots (want 1 and 1): %v", segs, snaps, listNames(t, dir))
+	}
+	if err := kv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	kv2, err := Open("log:" + dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv2.Close()
+	st := kv2.Stats()
+	if st.OpenSnapshotKeys != 10 || st.OpenReplayedRecords != 0 {
+		t.Fatalf("reopen loaded %d snapshot keys and replayed %d records, want 10 and 0", st.OpenSnapshotKeys, st.OpenReplayedRecords)
+	}
+	got, _ := kv2.GetBatch([]string{"k/0003"})
+	if string(got["k/0003"]) != "293" {
+		t.Fatalf("k/0003 = %q after compacted reopen, want 293", got["k/0003"])
+	}
+}
+
+// TestLogTornSnapshotFallsBack: a snapshot torn by a crash mid-write fails
+// its commit-trailer check and the open replays the full segment history
+// instead — no data loss, because Snapshot alone never deletes segments.
+func TestLogTornSnapshotFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	kv, err := Open("log:" + dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillLog(t, kv, 40, 8)
+	if err := kv.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := kv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the snapshot: chop bytes off its tail, eating the commit trailer.
+	var snapPath string
+	for _, n := range listNames(t, dir) {
+		if strings.HasSuffix(n, ".snap") {
+			snapPath = filepath.Join(dir, n)
+		}
+	}
+	if snapPath == "" {
+		t.Fatal("no snapshot written")
+	}
+	fi, err := os.Stat(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(snapPath, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	kv2, err := Open("log:" + dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv2.Close()
+	st := kv2.Stats()
+	if st.OpenSnapshotKeys != 0 {
+		t.Fatalf("torn snapshot loaded %d keys, want 0 (fallback to replay)", st.OpenSnapshotKeys)
+	}
+	if st.OpenReplayedRecords != 40 {
+		t.Fatalf("fallback replayed %d records, want 40", st.OpenReplayedRecords)
+	}
+	got, _ := kv2.GetBatch([]string{"k/0007"})
+	if string(got["k/0007"]) != "39" {
+		t.Fatalf("k/0007 = %q after fallback, want 39", got["k/0007"])
+	}
+}
+
+// TestLogTornTailTruncated: garbage appended to the newest segment (a
+// crash mid-append) is truncated at open and subsequent appends extend
+// valid data.
+func TestLogTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	kv, err := Open("log:" + dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillLog(t, kv, 5, 5)
+	if err := kv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segPath := filepath.Join(dir, "seg-00000001.log")
+	f, err := os.OpenFile(segPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	kv2, err := Open("log:" + dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kv2.Stats().LiveKeys != 5 {
+		t.Fatalf("live keys = %d after torn tail, want 5", kv2.Stats().LiveKeys)
+	}
+	if err := kv2.PutBatch([]Item{{Key: "after", Value: []byte("crash")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := kv2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	kv3, err := Open("log:" + dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv3.Close()
+	got, _ := kv3.GetBatch([]string{"after"})
+	if string(got["after"]) != "crash" {
+		t.Fatal("append after torn-tail truncation did not survive")
+	}
+}
+
+// TestLogLatchRecovery: a transient write failure latches the backend
+// (surfaced in Stats), and the next write recovers instead of requiring a
+// process restart — the LogBackend broken-latch bug, fixed at this layer.
+func TestLogLatchRecovery(t *testing.T) {
+	dir := t.TempDir()
+	b, err := openLogKV(dir, url.Values{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := b.PutBatch([]Item{{Key: "ok/1", Value: []byte("x")}}); err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage the file handle to simulate a transient I/O failure.
+	b.mu.Lock()
+	b.f.Close()
+	b.mu.Unlock()
+	if err := b.PutBatch([]Item{{Key: "fail/1", Value: []byte("y")}}); err == nil {
+		t.Fatal("PutBatch on sabotaged handle succeeded")
+	}
+	if st := b.Stats(); st.Healthy || st.Err == "" {
+		t.Fatalf("latched backend reports healthy: %+v", st)
+	}
+	// The next write recovers: truncate to last good, reopen, append.
+	if err := b.PutBatch([]Item{{Key: "ok/2", Value: []byte("z")}}); err != nil {
+		t.Fatalf("write after latch did not recover: %v", err)
+	}
+	if st := b.Stats(); !st.Healthy {
+		t.Fatalf("backend still latched after recovery: %+v", st)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	kv, err := Open("log:" + dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+	got, _ := kv.GetBatch([]string{"ok/1", "ok/2", "fail/1"})
+	if string(got["ok/1"]) != "x" || string(got["ok/2"]) != "z" {
+		t.Fatalf("recovered log lost committed data: %v", got)
+	}
+	if _, ok := got["fail/1"]; ok {
+		t.Fatal("failed batch leaked into the log")
+	}
+}
+
+// TestBoltAutoCompaction: once the WAL outgrows its threshold the
+// background compactor rewrites index.db and drops the WAL, and a reopen
+// bulk-loads the index instead of replaying history.
+func TestBoltAutoCompaction(t *testing.T) {
+	dir := t.TempDir()
+	kv, err := Open("bolt:" + dir + "?wal=2048")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillLog(t, kv, 200, 10)
+	deadline := time.Now().Add(5 * time.Second)
+	for kv.Stats().Compactions == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("auto-compaction never ran")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := kv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range listNames(t, dir) {
+		if n == "index.db" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no index.db after auto-compaction: %v", listNames(t, dir))
+	}
+
+	kv2, err := Open("bolt:" + dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv2.Close()
+	st := kv2.Stats()
+	if st.OpenSnapshotKeys != 10 {
+		t.Fatalf("reopen loaded %d index keys, want 10", st.OpenSnapshotKeys)
+	}
+	if st.OpenReplayedRecords > 200 {
+		t.Fatalf("reopen replayed %d records; index should cover most history", st.OpenReplayedRecords)
+	}
+	got, _ := kv2.GetBatch([]string{"k/0009"})
+	if string(got["k/0009"]) != "199" {
+		t.Fatalf("k/0009 = %q after bolt reopen, want 199", got["k/0009"])
+	}
+}
+
+// TestOpenErrors: the DSN grammar rejects unknown schemes and missing
+// directories with errors that name the alternatives.
+func TestOpenErrors(t *testing.T) {
+	if _, err := Open("nope:/tmp/x"); err == nil || !strings.Contains(err.Error(), "mem") {
+		t.Fatalf("unknown scheme error should list known schemes, got %v", err)
+	}
+	if _, err := Open("no-scheme"); err == nil {
+		t.Fatal("DSN without scheme accepted")
+	}
+	if _, err := Open("log:"); err == nil {
+		t.Fatal("log DSN without directory accepted")
+	}
+	if _, err := Open("bolt:"); err == nil {
+		t.Fatal("bolt DSN without directory accepted")
+	}
+	if _, err := Open("log:" + t.TempDir() + "?segment=bogus"); err == nil {
+		t.Fatal("bad segment param accepted")
+	}
+}

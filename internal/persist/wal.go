@@ -1,0 +1,214 @@
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Shared write-ahead-log framing for the durable backends. One record:
+//
+//	u32 payload length | u32 CRC-32 (IEEE) of payload | payload
+//	payload = u8 op | u16 key length | key | value
+//
+// opPut and opDel are the mutations; opCommit is the snapshot trailer — a
+// snapshot file without a matching commit record is torn (a crash mid-
+// snapshot) and must be ignored in favor of replaying the full log.
+const (
+	opPut    = 1
+	opDel    = 2
+	opCommit = 3
+
+	walHeader = 8 // u32 length + u32 crc
+)
+
+// errTornRec marks a partial or corrupt record: the readable data ends here.
+var errTornRec = errors.New("persist: torn log record")
+
+// appendRecord frames one record onto buf.
+func appendRecord(buf []byte, op byte, key string, val []byte) []byte {
+	payloadLen := 1 + 2 + len(key) + len(val)
+	start := len(buf)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(payloadLen))
+	buf = append(buf, 0, 0, 0, 0) // crc placeholder
+	buf = append(buf, op)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(key)))
+	buf = append(buf, key...)
+	buf = append(buf, val...)
+	crc := crc32.ChecksumIEEE(buf[start+walHeader:])
+	binary.LittleEndian.PutUint32(buf[start+4:start+8], crc)
+	return buf
+}
+
+// readRecord decodes one record. io.EOF means a clean end, errTornRec a
+// partial or corrupt tail.
+func readRecord(r *bufio.Reader) (op byte, key string, val []byte, n int64, err error) {
+	var hdr [walHeader]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err == io.EOF {
+		return 0, "", nil, 0, io.EOF
+	} else if err != nil {
+		return 0, "", nil, 0, errTornRec
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		return 0, "", nil, 0, errTornRec
+	}
+	length := binary.LittleEndian.Uint32(hdr[:4])
+	sum := binary.LittleEndian.Uint32(hdr[4:])
+	if length < 3 || length > 1<<31 {
+		return 0, "", nil, 0, errTornRec
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, "", nil, 0, errTornRec
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return 0, "", nil, 0, errTornRec
+	}
+	op = payload[0]
+	keyLen := int(binary.LittleEndian.Uint16(payload[1:3]))
+	if 3+keyLen > len(payload) {
+		return 0, "", nil, 0, errTornRec
+	}
+	key = string(payload[3 : 3+keyLen])
+	val = payload[3+keyLen:]
+	return op, key, val, walHeader + int64(length), nil
+}
+
+// validWALPrefix returns how many bytes of the file hold intact records —
+// the truncation point for a torn tail after a crash mid-write.
+func validWALPrefix(path string) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("persist: opening wal: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var off int64
+	for {
+		_, _, _, n, err := readRecord(r)
+		if err != nil {
+			return off, nil // io.EOF or errTornRec: valid data ends here
+		}
+		off += n
+	}
+}
+
+// replayFile streams every intact record of one log file into fn.
+// tolerateTail controls what a torn record means: the footprint of a crash
+// mid-write on the newest file (stop cleanly), or real corruption on an
+// older one (error).
+func replayFile(path string, tolerateTail bool, fn func(op byte, key string, val []byte) error) (records int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("persist: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	for {
+		op, key, val, _, err := readRecord(r)
+		if err == io.EOF {
+			return records, nil
+		}
+		if err != nil {
+			if tolerateTail {
+				return records, nil
+			}
+			return records, fmt.Errorf("persist: %s corrupt: %w", path, err)
+		}
+		records++
+		if err := fn(op, key, val); err != nil {
+			return records, err
+		}
+	}
+}
+
+// writeSnapshotFile streams every live pair of tab (in ascending key
+// order) into path as framed opPut records, sealed by an opCommit trailer
+// carrying the pair count and the log watermark (the first log sequence
+// number the snapshot does NOT cover), and fsyncs. The caller serializes
+// access to tab.
+func writeSnapshotFile(path string, tab *table, watermark uint64) (pairs int64, err error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("persist: creating snapshot: %w", err)
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	var buf []byte
+	var count int64
+	var werr error
+	tab.ix.ascend("", func(k string) bool {
+		v, ok := tab.get(k)
+		if !ok {
+			return true
+		}
+		buf = appendRecord(buf[:0], opPut, k, v)
+		if _, err := w.Write(buf); err != nil {
+			werr = err
+			return false
+		}
+		count++
+		return true
+	})
+	if werr == nil {
+		var trailer [16]byte
+		binary.LittleEndian.PutUint64(trailer[:8], uint64(count))
+		binary.LittleEndian.PutUint64(trailer[8:], watermark)
+		buf = appendRecord(buf[:0], opCommit, "", trailer[:])
+		_, werr = w.Write(buf)
+	}
+	if werr == nil {
+		werr = w.Flush()
+	}
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return 0, fmt.Errorf("persist: writing snapshot: %w", werr)
+	}
+	return count, nil
+}
+
+// loadSnapshotFile replays a snapshot into tab, validating every frame and
+// requiring the opCommit trailer to match the pair count — a torn or
+// miscounted snapshot loads nothing and reports ok=false so the caller
+// falls back to full log replay.
+func loadSnapshotFile(path string, tab *table) (pairs int64, watermark uint64, ok bool) {
+	staged := newTable()
+	var committed, count int64
+	sealed := false
+	_, err := replayFile(path, true, func(op byte, key string, val []byte) error {
+		switch op {
+		case opPut:
+			staged.put(key, val)
+			count++
+		case opCommit:
+			if len(val) == 16 {
+				committed = int64(binary.LittleEndian.Uint64(val[:8]))
+				watermark = binary.LittleEndian.Uint64(val[8:])
+				sealed = true
+			}
+		}
+		return nil
+	})
+	if err != nil || !sealed || committed != count {
+		return 0, 0, false
+	}
+	*tab = *staged
+	return count, watermark, true
+}
+
+// syncDir fsyncs a directory so renames and newly created files survive a
+// crash; not every filesystem supports it, so failures are ignored.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+}

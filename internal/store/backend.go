@@ -21,6 +21,22 @@ type VersionBackend interface {
 	Close() error
 }
 
+// VersionTrimmer is an optional VersionBackend capability: backends that
+// retain history are told when retention evicts versions, so their durable
+// state stays proportional to what the store still serves. Trim is
+// best-effort — a failure leaves stale version keys behind, which replay
+// tolerates (they reload and get trimmed again).
+type VersionTrimmer interface {
+	Trim(key string, dropped []uint64) error
+}
+
+// HealthReporter is an optional VersionBackend capability: a non-nil
+// error means the backend is latched after a write failure and appends
+// will attempt recovery. Stats and /healthz surface it.
+type HealthReporter interface {
+	Healthy() error
+}
+
 // MemBackend is the in-memory backend: versions live only in the store's
 // shards and nothing survives the process — the original HomeStore
 // behavior, re-homed as the default backend.

@@ -35,8 +35,10 @@ type LogBackend struct {
 	size  int64    // active segment size
 	index map[string]uint64
 	// broken latches after a failed write: the tail may hold a torn
-	// record, so further appends could be lost by the next replay.
+	// record, so further appends could be lost by the next replay. The
+	// next Append attempts recovery (truncate + reopen) before writing.
 	broken error
+	closed bool
 }
 
 // DefaultSegmentBytes is the roll threshold when OpenLogBackend gets 0.
@@ -205,15 +207,53 @@ func validPrefix(path string) (int64, error) {
 	}
 }
 
-// Append implements VersionBackend: frame, write, fsync, roll.
+// recoverLocked clears the broken latch a failed write left behind: the
+// active segment is truncated back to b.size — the last byte a successful
+// append confirmed — so a torn half-written record never precedes new
+// data, and a fresh file handle replaces the one that failed. Success
+// resets the latch; failure keeps it for the next attempt.
+func (b *LogBackend) recoverLocked() error {
+	path := b.segPath(b.seq)
+	if err := os.Truncate(path, b.size); err != nil {
+		return fmt.Errorf("store: log backend latched (%v); recovery failed: %w", b.broken, err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: log backend latched (%v); recovery failed: %w", b.broken, err)
+	}
+	if b.f != nil {
+		_ = b.f.Close()
+	}
+	b.f = f
+	b.broken = nil
+	return nil
+}
+
+// Healthy implements HealthReporter: a non-nil error means a write
+// failure latched the backend and no append has recovered it yet.
+func (b *LogBackend) Healthy() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.broken != nil {
+		return fmt.Errorf("store: log backend latched after write failure: %w", b.broken)
+	}
+	return nil
+}
+
+// Append implements VersionBackend: frame, write, fsync, roll. A broken
+// latch from an earlier transient failure is repaired first (truncate the
+// possibly-torn tail, reopen), so one bad write does not wedge the
+// backend until a process restart.
 func (b *LogBackend) Append(key string, v Version) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if b.f == nil {
+	if b.closed {
 		return errLogClosed
 	}
 	if b.broken != nil {
-		return fmt.Errorf("store: log backend needs reopen after write failure: %w", b.broken)
+		if err := b.recoverLocked(); err != nil {
+			return err
+		}
 	}
 	rec := encodeRecord(key, v)
 	if _, err := b.f.Write(rec); err != nil {
@@ -292,6 +332,7 @@ func (b *LogBackend) Latest(key string) uint64 {
 func (b *LogBackend) Close() error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	b.closed = true
 	if b.f == nil {
 		return nil
 	}

@@ -142,13 +142,21 @@ func (s *HomeStore) object(key string, create bool) *object {
 	return obj
 }
 
-// trimRetention drops versions beyond the retention window. Caller holds
-// obj.mu (or has exclusive access during replay). The survivors move to a
-// fresh slice so evicted version data can be collected.
-func (o *object) trimRetention(retain int) {
-	if len(o.versions) > retain+1 {
-		o.versions = append([]Version(nil), o.versions[len(o.versions)-retain-1:]...)
+// trimRetention drops versions beyond the retention window, returning the
+// evicted version numbers so a trimming backend can drop them too. Caller
+// holds obj.mu (or has exclusive access during replay). The survivors move
+// to a fresh slice so evicted version data can be collected.
+func (o *object) trimRetention(retain int) []uint64 {
+	if len(o.versions) <= retain+1 {
+		return nil
 	}
+	cut := len(o.versions) - retain - 1
+	dropped := make([]uint64, cut)
+	for i := range dropped {
+		dropped[i] = o.versions[i].Num
+	}
+	o.versions = append([]Version(nil), o.versions[cut:]...)
+	return dropped
 }
 
 // clearDeltaCache empties the cache in place — no map reallocation on the
@@ -198,7 +206,11 @@ func (s *HomeStore) Put(key string, data []byte) (uint64, error) {
 		return 0, fmt.Errorf("store: persisting %q version %d: %w", key, next, err)
 	}
 	obj.versions = append(obj.versions, v)
-	obj.trimRetention(s.opts.Retain)
+	if dropped := obj.trimRetention(s.opts.Retain); len(dropped) > 0 {
+		if t, ok := s.backend.(VersionTrimmer); ok {
+			_ = t.Trim(key, dropped) // best-effort; stale keys are garbage, not corruption
+		}
+	}
 	// The latest version changed, so all cached deltas are stale.
 	obj.clearDeltaCache()
 	mStorePuts.Inc()
@@ -343,29 +355,64 @@ func (s *HomeStore) RetainedVersions(key string) ([]uint64, error) {
 	return out, nil
 }
 
-// Stats returns a snapshot of the reply accounting.
+// Stats returns a snapshot of the reply accounting, including the
+// backend's health (latched write failures surface here and in /healthz).
 func (s *HomeStore) Stats() Stats {
-	return Stats{
-		FullReplies:   int(s.fullReplies.Load()),
-		DeltaReplies:  int(s.deltaReplies.Load()),
-		FullBytes:     s.fullBytes.Load(),
-		DeltaBytes:    s.deltaBytes.Load(),
-		SavedBytes:    s.savedBytes.Load(),
-		DeltaComputes: s.deltaComputes.Load(),
+	st := Stats{
+		FullReplies:    int(s.fullReplies.Load()),
+		DeltaReplies:   int(s.deltaReplies.Load()),
+		FullBytes:      s.fullBytes.Load(),
+		DeltaBytes:     s.deltaBytes.Load(),
+		SavedBytes:     s.savedBytes.Load(),
+		DeltaComputes:  s.deltaComputes.Load(),
+		Backend:        s.backend.Name(),
+		BackendHealthy: true,
+	}
+	if hr, ok := s.backend.(HealthReporter); ok {
+		if err := hr.Healthy(); err != nil {
+			st.BackendHealthy = false
+			st.BackendErr = err.Error()
+		}
+	}
+	return st
+}
+
+// Each streams every object key to fn until it returns false. Keys are
+// snapshotted one shard at a time, so fn runs without any store lock held
+// and writers never stall behind a slow consumer.
+func (s *HomeStore) Each(fn func(key string) bool) {
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		keys := make([]string, 0, len(sh.objects))
+		for k := range sh.objects {
+			keys = append(keys, k)
+		}
+		sh.mu.RUnlock()
+		for _, k := range keys {
+			if !fn(k) {
+				return
+			}
+		}
 	}
 }
 
 // Keys lists all object keys.
 func (s *HomeStore) Keys() []string {
 	var out []string
-	for _, sh := range s.shards {
-		sh.mu.RLock()
-		for k := range sh.objects {
-			out = append(out, k)
-		}
-		sh.mu.RUnlock()
-	}
+	s.Each(func(k string) bool {
+		out = append(out, k)
+		return true
+	})
 	return out
+}
+
+// CompactBackend runs the backend's compaction cycle when it has one (the
+// shared persistence backends); a no-op otherwise.
+func (s *HomeStore) CompactBackend() error {
+	if c, ok := s.backend.(interface{ Compact() error }); ok {
+		return c.Compact()
+	}
+	return nil
 }
 
 // deltaCacheLen reports the cached-delta count for a key (test hook).

@@ -1,0 +1,300 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestOpenDSNCrashRecovery: the store over the shared persistence layer
+// recovers its exact state at reopen — same versions, same retention
+// window, delta replies still working against replayed bases.
+func TestOpenDSNCrashRecovery(t *testing.T) {
+	for _, scheme := range []string{"log", "bolt"} {
+		t.Run(scheme, func(t *testing.T) {
+			dir := t.TempDir()
+			dsn := scheme + ":" + dir
+			s, err := OpenDSN(dsn, Options{Retain: 3, BlockSize: 16})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var last []byte
+			for i := 0; i < 6; i++ {
+				last = bytes.Repeat([]byte{byte('a' + i)}, 64)
+				if _, err := s.Put("obj/1", last); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := s.Put("obj two", []byte("with spaces/and/slashes")); err != nil {
+				t.Fatal(err)
+			}
+			retained, _ := s.RetainedVersions("obj/1")
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			s2, err := OpenDSN(dsn, Options{Retain: 3, BlockSize: 16})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s2.Close()
+			cur, err := s2.Current("obj/1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cur.Num != 6 || !bytes.Equal(cur.Data, last) {
+				t.Fatalf("recovered version %d (%d bytes), want 6 (%d bytes)", cur.Num, len(cur.Data), len(last))
+			}
+			retained2, _ := s2.RetainedVersions("obj/1")
+			if fmt.Sprint(retained) != fmt.Sprint(retained2) {
+				t.Fatalf("retention window changed across restart: %v vs %v", retained, retained2)
+			}
+			cur2, err := s2.Current("obj two")
+			if err != nil || string(cur2.Data) != "with spaces/and/slashes" {
+				t.Fatalf("escaped key did not round-trip: %v %q", err, cur2.Data)
+			}
+			// Delta replies work against replayed bases.
+			reply, err := s2.Get("obj/1", retained2[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if reply.Version != 6 {
+				t.Fatalf("reply version %d, want 6", reply.Version)
+			}
+			// Puts continue after recovery with the next version number.
+			n, err := s2.Put("obj/1", []byte("post-restart"))
+			if err != nil || n != 7 {
+				t.Fatalf("post-restart Put = (%d, %v), want (7, nil)", n, err)
+			}
+		})
+	}
+}
+
+// TestKVBackendTrimsRetention: versions evicted by the retention window
+// leave the backend too, so compacted durable state tracks what the store
+// serves, not total history.
+func TestKVBackendTrimsRetention(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDSN("log:"+dir, Options{Retain: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := s.Put("k", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.CompactBackend(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenDSN("log:"+dir, Options{Retain: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	retained, err := s2.RetainedVersions("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(retained) != fmt.Sprint([]uint64{8, 9, 10}) {
+		t.Fatalf("retained after trim+compact+reopen = %v, want [8 9 10]", retained)
+	}
+}
+
+// TestStatsBackendHealth: the backend name and health surface through
+// Stats (and from there /healthz).
+func TestStatsBackendHealth(t *testing.T) {
+	s := NewHomeStore(Options{})
+	st := s.Stats()
+	if st.Backend != "mem" || !st.BackendHealthy {
+		t.Fatalf("mem stats = %+v", st)
+	}
+	dir := t.TempDir()
+	s2, err := OpenDSN("log:"+dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if st := s2.Stats(); st.Backend != "log" || !st.BackendHealthy {
+		t.Fatalf("log stats = %+v", st)
+	}
+}
+
+// TestLogBackendLatchRecovers: the satellite regression — a transient
+// write failure used to latch LogBackend until a process restart; now the
+// next Append truncates the torn tail and recovers, and Healthy surfaces
+// the latched window.
+func TestLogBackendLatchRecovers(t *testing.T) {
+	dir := t.TempDir()
+	b, err := OpenLogBackend(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := b.Append("k", Version{Num: 1, Data: []byte("one")}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a transient I/O failure by sabotaging the file handle.
+	b.mu.Lock()
+	b.f.Close()
+	b.mu.Unlock()
+	if err := b.Append("k", Version{Num: 2, Data: []byte("two")}); err == nil {
+		t.Fatal("append on sabotaged handle succeeded")
+	}
+	if err := b.Healthy(); err == nil {
+		t.Fatal("latched backend reports healthy")
+	}
+	if err := b.Append("k", Version{Num: 2, Data: []byte("two")}); err != nil {
+		t.Fatalf("append after latch did not recover: %v", err)
+	}
+	if err := b.Healthy(); err != nil {
+		t.Fatalf("recovered backend still unhealthy: %v", err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Replay sees both committed versions and nothing torn.
+	b2, err := OpenLogBackend(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	var got []uint64
+	if err := b2.Replay(func(key string, v Version) error {
+		got = append(got, v.Num)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != fmt.Sprint([]uint64{1, 2}) {
+		t.Fatalf("replayed versions %v, want [1 2]", got)
+	}
+}
+
+// TestEachStreamsKeys: Each visits every key exactly once and stops early
+// when told to.
+func TestEachStreamsKeys(t *testing.T) {
+	s := NewHomeStore(Options{})
+	for i := 0; i < 20; i++ {
+		if _, err := s.Put(fmt.Sprintf("k%02d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := map[string]int{}
+	s.Each(func(k string) bool { seen[k]++; return true })
+	if len(seen) != 20 {
+		t.Fatalf("Each visited %d keys, want 20", len(seen))
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Fatalf("key %s visited %d times", k, n)
+		}
+	}
+	var n int
+	s.Each(func(string) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("early-stopped Each visited %d keys, want 5", n)
+	}
+	if len(s.Keys()) != 20 {
+		t.Fatalf("Keys() = %d entries, want 20", len(s.Keys()))
+	}
+}
+
+// TestReplicaSyncAll: the streaming full-sync pulls every object without
+// materializing the keyspace.
+func TestReplicaSyncAll(t *testing.T) {
+	s := NewHomeStore(Options{BlockSize: 16})
+	for i := 0; i < 10; i++ {
+		if _, err := s.Put(fmt.Sprintf("obj%d", i), bytes.Repeat([]byte{byte(i)}, 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewReplica()
+	n, err := r.SyncAll(s)
+	if err != nil || n != 10 {
+		t.Fatalf("SyncAll = (%d, %v), want (10, nil)", n, err)
+	}
+	for i := 0; i < 10; i++ {
+		data, ok := r.Data(fmt.Sprintf("obj%d", i))
+		if !ok || !bytes.Equal(data, bytes.Repeat([]byte{byte(i)}, 32)) {
+			t.Fatalf("replica missing obj%d after SyncAll", i)
+		}
+	}
+	// A second sync is all unchanged replies.
+	before := r.BytesReceived()
+	if _, err := r.SyncAll(s); err != nil {
+		t.Fatal(err)
+	}
+	if delta := r.BytesReceived() - before; delta != 10*unchangedWireBytes {
+		t.Fatalf("resync transferred %d bytes, want %d (all unchanged)", delta, 10*unchangedWireBytes)
+	}
+}
+
+// TestOpenDSNMemMapsToNativeBackend: "mem:" must not double-buffer the
+// object data in a second in-memory table.
+func TestOpenDSNMemMapsToNativeBackend(t *testing.T) {
+	s, err := OpenDSN("mem:", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Backend() != "mem" {
+		t.Fatalf("backend = %q, want mem", s.Backend())
+	}
+	if _, err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVersionKeyCodec: the o/<escaped>/<hex> encoding round-trips hostile
+// keys and sorts versions numerically.
+func TestVersionKeyCodec(t *testing.T) {
+	for _, key := range []string{"plain", "with/slash", "with space", "per%cent", "ünïcode"} {
+		enc := encodeVersionKey(key, 42)
+		k, num, err := decodeVersionKey(enc)
+		if err != nil || k != key || num != 42 {
+			t.Fatalf("round-trip %q: got (%q, %d, %v)", key, k, num, err)
+		}
+	}
+	if encodeVersionKey("k", 9) >= encodeVersionKey("k", 10) {
+		t.Fatal("version 9 does not sort before version 10")
+	}
+	if encodeVersionKey("k", 255) >= encodeVersionKey("k", 4096) {
+		t.Fatal("hex padding broken: 255 does not sort before 4096")
+	}
+}
+
+// TestLegacyLogBackendFilesUntouched: the pre-SPI LogBackend format still
+// opens byte-for-byte — crash-recovery fixtures from before the refactor
+// must keep replaying.
+func TestLegacyLogBackendFilesUntouched(t *testing.T) {
+	dir := t.TempDir()
+	b, err := OpenLogBackend(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Append("x", Version{Num: 1, Data: []byte("legacy")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "seg-00000001.log"))
+	if err != nil || len(raw) == 0 {
+		t.Fatalf("legacy segment missing: %v", err)
+	}
+	s, err := OpenLog(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	cur, err := s.Current("x")
+	if err != nil || string(cur.Data) != "legacy" {
+		t.Fatalf("legacy replay: %v %q", err, cur.Data)
+	}
+}

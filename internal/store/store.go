@@ -115,6 +115,13 @@ type Stats struct {
 	// cache and singleflight it stays below the delta-reply count under
 	// concurrent or repeated pulls of the same (key, base).
 	DeltaComputes int64
+	// Backend names the persistence backend underneath the store, and
+	// BackendHealthy/BackendErr surface a latched write failure (a
+	// durable backend that refused an append and has not yet recovered)
+	// into /healthz.
+	Backend        string
+	BackendHealthy bool
+	BackendErr     string
 }
 
 // ObjectStore is the data-tier seam: the versioned object operations every
@@ -137,6 +144,10 @@ type ObjectStore interface {
 	RetainedVersions(key string) ([]uint64, error)
 	// Keys lists all object keys.
 	Keys() []string
+	// Each streams every object key to fn until it returns false — cursor
+	// iteration for consumers (replication sync, boot accounting) that
+	// must walk a large keyspace without materializing it.
+	Each(fn func(key string) bool)
 	// Stats returns a snapshot of the reply accounting.
 	Stats() Stats
 	// Close releases the backend (flushes/closes segment files for the
